@@ -1,0 +1,252 @@
+package xsact
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, plus the ablations listed in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// Figure 4(a) quality numbers are emitted as the custom metric "DoD";
+// Figure 4(b) is the benchmark's own ns/op. Absolute times will not
+// match the paper's 2010 hardware; the shape (single-swap usually
+// cheaper per query, multi-swap achieving >= DoD) is the reproduction
+// target. cmd/xsact-bench prints the same data as paper-style tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+	"repro/internal/feature"
+	"repro/internal/index"
+	"repro/internal/slca"
+	"repro/internal/snippet"
+	"repro/internal/xseek"
+)
+
+var benchSetup struct {
+	once    sync.Once
+	eng     *xseek.Engine
+	queries []string
+	stats   [][]*feature.Stats // per query
+}
+
+func setupMovies(b *testing.B) {
+	b.Helper()
+	benchSetup.once.Do(func() {
+		root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 300})
+		benchSetup.eng = xseek.New(root)
+		benchSetup.queries = dataset.MovieQueries()
+		for _, q := range benchSetup.queries {
+			st, err := experiment.ResultStats(benchSetup.eng, q)
+			if err != nil {
+				panic(fmt.Sprintf("bench setup: %v", err))
+			}
+			benchSetup.stats = append(benchSetup.stats, st)
+		}
+	})
+}
+
+// BenchmarkFigure4aQuality regenerates Figure 4(a): per query, the DoD
+// each algorithm achieves (custom metric "DoD"); wall time per
+// generation is the benchmark time.
+func BenchmarkFigure4aQuality(b *testing.B) {
+	setupMovies(b)
+	opts := core.Options{SizeBound: 10, Threshold: 0.10}
+	for qi, q := range benchSetup.queries {
+		for _, alg := range []core.Algorithm{core.AlgSingleSwap, core.AlgMultiSwap} {
+			b.Run(fmt.Sprintf("QM%d/%s", qi+1, alg), func(b *testing.B) {
+				stats := benchSetup.stats[qi]
+				var dod int
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dfss := core.Generate(alg, stats, opts)
+					dod = core.TotalDoD(dfss, opts.Threshold)
+				}
+				b.ReportMetric(float64(dod), "DoD")
+				b.ReportMetric(float64(len(stats)), "results")
+				_ = q
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4bTime regenerates Figure 4(b): end-to-end DFS
+// generation latency per query per algorithm (search and extraction
+// excluded, as in the paper's "processing time" of the DFS modules).
+func BenchmarkFigure4bTime(b *testing.B) {
+	setupMovies(b)
+	opts := core.Options{SizeBound: 10, Threshold: 0.10}
+	for qi := range benchSetup.queries {
+		for _, alg := range []core.Algorithm{core.AlgSingleSwap, core.AlgMultiSwap} {
+			b.Run(fmt.Sprintf("QM%d/%s", qi+1, alg), func(b *testing.B) {
+				stats := benchSetup.stats[qi]
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = core.Generate(alg, stats, opts)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1To2SnippetGap regenerates the qualitative Figure 1 →
+// Figure 2 claim on the Product Reviews corpus: snippet DoD vs XSACT
+// DoD on the {tomtom, gps} walkthrough, reported as custom metrics.
+func BenchmarkFigure1To2SnippetGap(b *testing.B) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := doc.Search("tomtom gps")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(results) > 3 {
+		results = results[:3]
+	}
+	var snip, multi int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snip, err = SnippetDoD(results, "tomtom gps", 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp, err := Compare(results, CompareOptions{SizeBound: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		multi = cmp.DoD
+	}
+	b.ReportMetric(float64(snip), "snippetDoD")
+	b.ReportMetric(float64(multi), "xsactDoD")
+}
+
+// BenchmarkAblationSLCA compares the Indexed Lookup Eager SLCA
+// algorithm against the naive scan (DESIGN.md ablation) on the movie
+// corpus's densest benchmark query.
+func BenchmarkAblationSLCA(b *testing.B) {
+	setupMovies(b)
+	idx := benchSetup.eng.Index()
+	terms := index.TokenizeQuery("thriller detective")
+	lists, err := idx.QueryLists(terms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = slca.IndexedLookupEager(lists)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = slca.Naive(lists)
+		}
+	})
+}
+
+// BenchmarkAblationThreshold sweeps the differentiation threshold x on
+// QM1 (DESIGN.md ablation), reporting DoD at each point.
+func BenchmarkAblationThreshold(b *testing.B) {
+	setupMovies(b)
+	stats := benchSetup.stats[0]
+	for _, x := range []float64{0.05, 0.10, 0.25, 0.50} {
+		b.Run(fmt.Sprintf("x=%g", x), func(b *testing.B) {
+			var dod int
+			for i := 0; i < b.N; i++ {
+				dfss := core.MultiSwap(stats, core.Options{SizeBound: 10, Threshold: x})
+				dod = core.TotalDoD(dfss, x)
+			}
+			b.ReportMetric(float64(dod), "DoD")
+		})
+	}
+}
+
+// BenchmarkAblationSizeBound sweeps the size bound L on QM1 (DESIGN.md
+// ablation), reporting DoD at each point.
+func BenchmarkAblationSizeBound(b *testing.B) {
+	setupMovies(b)
+	stats := benchSetup.stats[0]
+	for _, L := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("L=%d", L), func(b *testing.B) {
+			var dod int
+			for i := 0; i < b.N; i++ {
+				dfss := core.MultiSwap(stats, core.Options{SizeBound: L, Threshold: 0.10})
+				dod = core.TotalDoD(dfss, 0.10)
+			}
+			b.ReportMetric(float64(dod), "DoD")
+		})
+	}
+}
+
+// BenchmarkAblationAnneal compares simulated annealing (the "better
+// algorithms" probe) against multi-swap on QM2: DoD as custom metrics,
+// time as the benchmark measurement. Annealing needs orders of
+// magnitude more work to approach the DP-based fixpoint.
+func BenchmarkAblationAnneal(b *testing.B) {
+	setupMovies(b)
+	stats := benchSetup.stats[1] // QM2
+	opts := core.Options{SizeBound: 10, Threshold: 0.10}
+	b.Run("multi-swap", func(b *testing.B) {
+		var dod int
+		for i := 0; i < b.N; i++ {
+			dod = core.TotalDoD(core.MultiSwap(stats, opts), opts.Threshold)
+		}
+		b.ReportMetric(float64(dod), "DoD")
+	})
+	b.Run("anneal-10k", func(b *testing.B) {
+		var dod int
+		for i := 0; i < b.N; i++ {
+			dfss := core.Anneal(stats, core.AnnealOptions{Options: opts, Seed: 1, Steps: 10000})
+			dod = core.TotalDoD(dfss, opts.Threshold)
+		}
+		b.ReportMetric(float64(dod), "DoD")
+	})
+}
+
+// BenchmarkPipelineEndToEnd measures the full demo path — search,
+// entity identification, feature extraction, DFS generation, table
+// rendering — for one interactive comparison, the latency a demo user
+// experiences per click.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := doc.Search("tomtom gps")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp, err := Compare(results[:2], CompareOptions{SizeBound: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = cmp.Text()
+	}
+}
+
+// BenchmarkSnippetGeneration measures the eXtract-style baseline
+// snippet generator on one product result.
+func BenchmarkSnippetGeneration(b *testing.B) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := doc.Search("tomtom gps")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := feature.Extract(results[0].res.Node, doc.eng.Schema(), results[0].Label)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snippet.Generate(stats, snippet.Options{Size: 8, Query: "tomtom gps"})
+	}
+}

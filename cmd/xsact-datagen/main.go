@@ -1,0 +1,76 @@
+// Command xsact-datagen writes the synthetic XML corpora to disk so
+// they can be inspected, versioned, or fed back to xsact -data <file>.
+//
+// Usage:
+//
+//	xsact-datagen -out ./data            # writes reviews.xml, retailer.xml, movies.xml
+//	xsact-datagen -out ./data -only movies -movies 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "output directory")
+		only     = flag.String("only", "", "write a single dataset: reviews, retailer, or movies")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		products = flag.Int("products", 8, "products per category (reviews dataset)")
+		perBrand = flag.Int("per-brand", 60, "products per brand (retailer dataset)")
+		movies   = flag.Int("movies", 300, "movie count (movies dataset)")
+	)
+	flag.Parse()
+
+	if err := run(*out, *only, *seed, *products, *perBrand, *movies); err != nil {
+		fmt.Fprintln(os.Stderr, "xsact-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, only string, seed int64, products, perBrand, movies int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	gens := map[string]func() *xmltree.Node{
+		"reviews": func() *xmltree.Node {
+			return dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed, ProductsPerCategory: products})
+		},
+		"retailer": func() *xmltree.Node {
+			return dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed, ProductsPerBrand: perBrand})
+		},
+		"movies": func() *xmltree.Node {
+			return dataset.Movies(dataset.MoviesConfig{Seed: seed, Movies: movies})
+		},
+	}
+	names := []string{"reviews", "retailer", "movies"}
+	if only != "" {
+		if _, ok := gens[only]; !ok {
+			return fmt.Errorf("unknown dataset %q", only)
+		}
+		names = []string{only}
+	}
+	for _, name := range names {
+		path := filepath.Join(out, name+".xml")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		root := gens[name]()
+		if err := xmltree.WriteXML(f, root); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d nodes)\n", path, root.CountNodes())
+	}
+	return nil
+}

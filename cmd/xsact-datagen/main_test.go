@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestWriteAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "", 1, 2, 5, 30); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"reviews.xml", "retailer.xml", "movies.xml"} {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		root, err := xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s does not reparse: %v", name, err)
+		}
+		if root.CountNodes() < 10 {
+			t.Fatalf("%s suspiciously small", name)
+		}
+	}
+}
+
+func TestWriteSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "movies", 1, 2, 5, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "movies.xml")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "reviews.xml")); !os.IsNotExist(err) {
+		t.Fatal("-only must not write other datasets")
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if err := run(t.TempDir(), "bogus", 1, 2, 5, 20); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestCreatesOutputDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	if err := run(dir, "movies", 1, 2, 5, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "movies.xml")); err != nil {
+		t.Fatal(err)
+	}
+}

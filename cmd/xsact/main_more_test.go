@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunNewFormats(t *testing.T) {
+	for _, format := range []string{"markdown", "md", "csv"} {
+		if err := run("reviews", 1, "tomtom gps", false, "1,2", 6, 0.1, "multi-swap", format, false); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunGreedyAlgorithm(t *testing.T) {
+	if err := run("reviews", 1, "tomtom gps", false, "1,2", 6, 0.1, "greedy", "text", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCleanedQuery(t *testing.T) {
+	// "tomtim" is a typo; with -clean it resolves to tomtom and the
+	// comparison proceeds.
+	if err := run("reviews", 1, "tomtim gps", false, "1,2", 6, 0.1, "top-k", "text", true); err != nil {
+		t.Fatal(err)
+	}
+	// Without -clean the same query fails with NoMatchError.
+	if err := run("reviews", 1, "tomtim gps", false, "1,2", 6, 0.1, "top-k", "text", false); err == nil {
+		t.Fatal("typo query without -clean should fail")
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+func TestLoadBuiltinDatasets(t *testing.T) {
+	for _, name := range []string{"reviews", "retailer", "movies"} {
+		root, err := loadDataset(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if root.CountNodes() < 10 {
+			t.Fatalf("%s: suspiciously small corpus", name)
+		}
+	}
+}
+
+func TestLoadDatasetFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.xml")
+	if err := os.WriteFile(path, []byte(`<r><a>x</a></r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, err := loadDataset(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Tag != "r" {
+		t.Fatalf("root = %q", root.Tag)
+	}
+	if _, err := loadDataset(filepath.Join(dir, "missing.xml"), 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func fakeResults(n int) []*xseek.Result {
+	out := make([]*xseek.Result, n)
+	for i := range out {
+		node := xmltree.NewElement("product")
+		out[i] = &xseek.Result{Node: node, Label: "r"}
+	}
+	return out
+}
+
+func TestPickResults(t *testing.T) {
+	rs := fakeResults(4)
+	all, err := pickResults(rs, "all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("all: %v %d", err, len(all))
+	}
+	some, err := pickResults(rs, "1, 3")
+	if err != nil || len(some) != 2 || some[0] != rs[0] || some[1] != rs[2] {
+		t.Fatalf("subset pick failed: %v", err)
+	}
+	for _, bad := range []string{"0", "5", "x", "1,,2"} {
+		if _, err := pickResults(rs, bad); err == nil {
+			t.Errorf("pickResults(%q) should error", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Exercise the full CLI path (writing to stdout is fine in tests).
+	if err := run("reviews", 1, "tomtom gps", false, "1,2", 6, 0.1, "multi-swap", "text", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("reviews", 1, "tomtom gps", true, "all", 6, 0.1, "multi-swap", "text", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("reviews", 1, "tomtom gps", false, "1,2", 6, 0.1, "single-swap", "html", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no query", func() error { return run("reviews", 1, "", false, "all", 6, 0.1, "multi-swap", "text", false) }},
+		{"bad alg", func() error { return run("reviews", 1, "tomtom gps", false, "1,2", 6, 0.1, "bogus", "text", false) }},
+		{"bad format", func() error { return run("reviews", 1, "tomtom gps", false, "1,2", 6, 0.1, "top-k", "pdf", false) }},
+		{"one result", func() error { return run("reviews", 1, "tomtom gps", false, "1", 6, 0.1, "top-k", "text", false) }},
+		{"no match", func() error { return run("reviews", 1, "zzznope", false, "all", 6, 0.1, "top-k", "text", false) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command xsactd serves XSACT's web demo (the paper's Figure 5): a
+// search box over the built-in datasets, a result list with
+// checkboxes, a size-bound field, and a "Compare" button that renders
+// the comparison table.
+//
+// Usage:
+//
+//	xsactd [-addr :8080] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		seed = flag.Int64("seed", 1, "dataset seed")
+	)
+	flag.Parse()
+
+	srv, err := newServer(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xsactd:", err)
+		os.Exit(1)
+	}
+	log.Printf("xsactd listening on %s (datasets: %v)", *addr, srv.datasetNames())
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// datasetNames lists the loaded corpora in menu order.
+func (s *server) datasetNames() []string {
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	return names
+}

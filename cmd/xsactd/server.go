@@ -1,0 +1,226 @@
+package main
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/feature"
+	"repro/internal/index"
+	"repro/internal/table"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// sameKeywords reports whether the cleaned keywords equal the query's
+// own tokens (i.e. no spelling correction happened).
+func sameKeywords(query string, cleaned []string) bool {
+	orig := index.TokenizeQuery(query)
+	if len(orig) != len(cleaned) {
+		return false
+	}
+	for i := range orig {
+		if orig[i] != cleaned[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// server holds one search engine per dataset.
+type server struct {
+	engines map[string]*xseek.Engine
+	order   []string
+}
+
+func newServer(seed int64) (*server, error) {
+	s := &server{engines: make(map[string]*xseek.Engine)}
+	add := func(name string, eng *xseek.Engine) {
+		s.engines[name] = eng
+		s.order = append(s.order, name)
+	}
+	add("Product Reviews", xseek.New(dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})))
+	add("Outdoor Retailer", xseek.New(dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed})))
+	add("Movies", xseek.New(dataset.Movies(dataset.MoviesConfig{Seed: seed})))
+	return s, nil
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleSearch)
+	mux.HandleFunc("/compare", s.handleCompare)
+	mux.HandleFunc("/result", s.handleResult)
+	return mux
+}
+
+const pageHead = `<!DOCTYPE html>
+<html><head><title>XSACT — Structured Search Result Comparison</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 70em; }
+table.xsact-comparison { border-collapse: collapse; margin-top: 1em; }
+table.xsact-comparison td, table.xsact-comparison th { border: 1px solid #999; padding: 4px 8px; }
+td.unknown { color: #999; font-style: italic; }
+.result { margin: 0.4em 0; }
+</style></head><body>
+<h1>XSACT</h1>
+<p>Compare structured search results via Differentiation Feature Sets.</p>`
+
+const pageFoot = `</body></html>`
+
+// autoDataset is the dropdown entry for database selection: the server
+// routes the query to the corpus that covers its keywords best.
+const autoDataset = "Any (auto-select)"
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	ds := r.FormValue("dataset")
+	if ds == "" {
+		ds = s.order[0]
+	}
+	query := r.FormValue("q")
+
+	fmt.Fprint(w, pageHead)
+	fmt.Fprint(w, `<form method="get" action="/">dataset: <select name="dataset">`)
+	for _, name := range append([]string{autoDataset}, s.order...) {
+		sel := ""
+		if name == ds {
+			sel = " selected"
+		}
+		fmt.Fprintf(w, `<option%s>%s</option>`, sel, html.EscapeString(name))
+	}
+	fmt.Fprintf(w, `</select> keywords: <input name="q" value="%s" size="40"> <button>Search</button></form>`,
+		html.EscapeString(query))
+
+	if query != "" {
+		s.renderResults(w, ds, query)
+	}
+	fmt.Fprint(w, pageFoot)
+}
+
+func (s *server) renderResults(w http.ResponseWriter, ds, query string) {
+	if ds == autoDataset {
+		name, eng := xseek.SelectDatabase(s.engines, query)
+		if eng == nil {
+			fmt.Fprintf(w, "<p>no dataset contains keywords of %s</p>", html.EscapeString(query))
+			return
+		}
+		ds = name
+		fmt.Fprintf(w, "<p>auto-selected dataset <b>%s</b></p>", html.EscapeString(ds))
+	}
+	eng, ok := s.engines[ds]
+	if !ok {
+		fmt.Fprintf(w, "<p>unknown dataset %s</p>", html.EscapeString(ds))
+		return
+	}
+	results, cleaned, err := eng.SearchCleaned(query)
+	if err != nil {
+		fmt.Fprintf(w, "<p>search error: %s</p>", html.EscapeString(err.Error()))
+		return
+	}
+	if joined := strings.Join(cleaned, " "); !sameKeywords(query, cleaned) {
+		fmt.Fprintf(w, "<p>showing results for <b>%s</b></p>", html.EscapeString(joined))
+	}
+	fmt.Fprintf(w, `<h2>%d results</h2><form method="get" action="/compare">
+<input type="hidden" name="dataset" value="%s">
+<input type="hidden" name="q" value="%s">
+table size bound L: <input name="L" value="10" size="3">
+algorithm: <select name="alg"><option>multi-swap</option><option>single-swap</option><option>top-k</option></select>
+<button>Compare selected</button><br>`,
+		len(results), html.EscapeString(ds), html.EscapeString(query))
+	for i, res := range results {
+		detail := fmt.Sprintf("/result?dataset=%s&q=%s&idx=%d",
+			url.QueryEscape(ds), url.QueryEscape(query), i)
+		fmt.Fprintf(w, `<div class="result"><label><input type="checkbox" name="sel" value="%d"></label> <a href="%s">%s</a> — %s</div>`,
+			i, detail, html.EscapeString(res.Label), html.EscapeString(xseek.DescribeResult(res, 4)))
+	}
+	fmt.Fprint(w, `</form>`)
+}
+
+// handleResult shows one result's full subtree — the demo's "click the
+// name of the result and the entire result will be shown".
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	ds := r.FormValue("dataset")
+	query := r.FormValue("q")
+	eng, ok := s.engines[ds]
+	if !ok {
+		http.Error(w, "unknown dataset", http.StatusBadRequest)
+		return
+	}
+	results, _, err := eng.SearchCleaned(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	idx, err := strconv.Atoi(r.FormValue("idx"))
+	if err != nil || idx < 0 || idx >= len(results) {
+		http.Error(w, "bad result index", http.StatusBadRequest)
+		return
+	}
+	res := results[idx]
+	fmt.Fprint(w, pageHead)
+	fmt.Fprintf(w, "<h2>%s</h2><pre>%s</pre>", html.EscapeString(res.Label),
+		html.EscapeString(xmltree.XMLString(res.Node)))
+	fmt.Fprintf(w, `<p><a href="/?dataset=%s&q=%s">back to results</a></p>`,
+		url.QueryEscape(ds), url.QueryEscape(query))
+	fmt.Fprint(w, pageFoot)
+}
+
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	ds := r.FormValue("dataset")
+	query := r.FormValue("q")
+	eng, ok := s.engines[ds]
+	if !ok {
+		http.Error(w, "unknown dataset", http.StatusBadRequest)
+		return
+	}
+	// Must mirror renderResults' search exactly so the checkbox
+	// indices resolve to the same results.
+	results, _, err := eng.SearchCleaned(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	bound, err := strconv.Atoi(strings.TrimSpace(r.FormValue("L")))
+	if err != nil || bound < 1 {
+		bound = core.DefaultSizeBound
+	}
+	alg := core.Algorithm(r.FormValue("alg"))
+
+	var stats []*feature.Stats
+	for _, v := range r.Form["sel"] {
+		idx, err := strconv.Atoi(v)
+		if err != nil || idx < 0 || idx >= len(results) {
+			http.Error(w, "bad selection", http.StatusBadRequest)
+			return
+		}
+		res := results[idx]
+		stats = append(stats, feature.Extract(res.Node, eng.Schema(), res.Label))
+	}
+	if len(stats) < 2 {
+		http.Error(w, "select at least two results to compare", http.StatusBadRequest)
+		return
+	}
+
+	dfss := core.Generate(alg, stats, core.Options{SizeBound: bound, Pad: true})
+	if dfss == nil {
+		http.Error(w, "unknown algorithm", http.StatusBadRequest)
+		return
+	}
+	fmt.Fprint(w, pageHead)
+	fmt.Fprintf(w, "<h2>Comparison (%s, L=%d)</h2>", html.EscapeString(string(alg)), bound)
+	if err := table.Build(dfss).WriteHTML(w); err != nil {
+		return
+	}
+	fmt.Fprintf(w, "<p>total DoD = %d</p>", core.TotalDoD(dfss, core.DefaultThreshold))
+	fmt.Fprintf(w, `<p><a href="/?dataset=%s&q=%s">back to results</a></p>`,
+		html.EscapeString(ds), html.EscapeString(query))
+	fmt.Fprint(w, pageFoot)
+}

@@ -1,0 +1,98 @@
+package xsact_test
+
+import (
+	"fmt"
+	"log"
+
+	xsact "repro"
+)
+
+// Example shows the whole pipeline on a two-product catalog: search,
+// then a comparison table whose rows expose how the results differ.
+func Example() {
+	doc, err := xsact.ParseString(`
+<store>
+  <product>
+    <name>Go 630</name>
+    <rating>4.2</rating>
+  </product>
+  <product>
+    <name>Go 730</name>
+    <rating>4.1</rating>
+  </product>
+</store>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := doc.Search("go")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := xsact.Compare(results, xsact.CompareOptions{SizeBound: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results=%d DoD=%d\n", len(results), cmp.DoD)
+	fmt.Print(cmp.Markdown())
+	// Output:
+	// results=2 DoD=2
+	// | feature | Go 630 | Go 730 |
+	// |---|---|---|
+	// | product:name | Go 630 | Go 730 |
+	// | product:rating | 4.2 | 4.1 |
+}
+
+// ExampleDocument_SearchCleaned shows spelling correction against the
+// corpus vocabulary before searching.
+func ExampleDocument_SearchCleaned() {
+	doc, err := xsact.ParseString(`
+<store>
+  <product><name>TomTom navigator</name></product>
+  <product><name>TomTom mount</name></product>
+</store>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, cleaned, err := doc.SearchCleaned("tomtim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cleaned[0], len(results))
+	// Output: tomtom 2
+}
+
+// ExampleResult_Lift shows coarsening results to an enclosing entity,
+// as the paper's brand-comparison walkthrough does.
+func ExampleResult_Lift() {
+	doc, err := xsact.ParseString(`
+<retailer>
+  <brand>
+    <name>Marmot</name>
+    <products>
+      <product><name>Ridge jacket</name><gender>men</gender></product>
+      <product><name>Basin jacket</name><gender>men</gender></product>
+    </products>
+  </brand>
+  <brand>
+    <name>Columbia</name>
+    <products>
+      <product><name>Peak jacket</name><gender>men</gender></product>
+    </products>
+  </brand>
+</retailer>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	products, err := doc.Search("men jacket")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var brands []*xsact.Result
+	for _, p := range products {
+		brands = append(brands, p.Lift("brand"))
+	}
+	brands = xsact.Dedupe(brands)
+	fmt.Printf("%d products across %d brands: %s, %s\n",
+		len(products), len(brands), brands[0].Label, brands[1].Label)
+	// Output: 3 products across 2 brands: Marmot, Columbia
+}

@@ -1,0 +1,64 @@
+// Assistant: the full keyword-search stack the paper sketches around
+// result differentiation — database selection, query cleaning, result
+// ranking, and finally the comparison table. A (clumsy) shopper types
+// a misspelled query without saying which catalog they mean; the
+// library routes it, fixes the spelling, ranks the hits, and compares
+// the top results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xsact "repro"
+)
+
+func main() {
+	lib := xsact.NewLibrary()
+	for _, name := range []string{"reviews", "retailer", "movies"} {
+		doc, err := xsact.BuiltinDataset(name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib.Add(name, doc)
+	}
+
+	const typed = "tomtim gps" // note the typo
+	fmt.Printf("user typed: %q\n", typed)
+
+	// Database selection: which corpus should answer this?
+	corpus, _, err := lib.Search("tomtom gps")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database selection routed the query to: %s\n", corpus)
+
+	doc, err := xsact.BuiltinDataset(corpus, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query cleaning: fix the typo against the corpus vocabulary.
+	results, cleaned, err := doc.SearchCleaned(typed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query cleaning: searching for %v (%d results)\n", cleaned, len(results))
+
+	// Result ranking: most relevant hits first.
+	ranked, scores, err := doc.SearchRanked("tomtom gps")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop ranked results:")
+	for i := 0; i < len(ranked) && i < 3; i++ {
+		fmt.Printf("  %.2f  %s\n", scores[i], ranked[i].Describe())
+	}
+
+	// Differentiation: compare the top two.
+	cmp, err := xsact.Compare(ranked[:2], xsact.CompareOptions{SizeBound: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncomparison of the top two (DoD=%d):\n\n%s", cmp.DoD, cmp.Text())
+}

@@ -1,0 +1,56 @@
+// Quickstart: parse a small XML catalog, run a keyword query, and
+// print the comparison table of the two results — the whole XSACT
+// pipeline in ~30 lines of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xsact "repro"
+)
+
+const catalog = `
+<store>
+  <product>
+    <name>TomTom Go 630</name>
+    <price>199</price>
+    <rating>4.2</rating>
+    <reviews>
+      <review><pro>easy to read</pro><pro>compact</pro><bestuse>auto</bestuse></review>
+      <review><pro>easy to read</pro><pro>compact</pro></review>
+      <review><pro>easy to read</pro><bestuse>auto</bestuse></review>
+    </reviews>
+  </product>
+  <product>
+    <name>TomTom Go 730</name>
+    <price>249</price>
+    <rating>4.1</rating>
+    <reviews>
+      <review><pro>acquire satellites quickly</pro><pro>easy to setup</pro></review>
+      <review><pro>easy to setup</pro><pro>compact</pro><bestuse>fast routing</bestuse></review>
+    </reviews>
+  </product>
+</store>`
+
+func main() {
+	doc, err := xsact.ParseString(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results, err := doc.Search("tomtom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q returned %d results:\n", "tomtom", len(results))
+	for i, r := range results {
+		fmt.Printf("  %d. %s\n", i+1, r.Describe())
+	}
+
+	cmp, err := xsact.Compare(results, xsact.CompareOptions{SizeBound: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncomparison table (L=7, DoD=%d):\n\n%s", cmp.DoD, cmp.Text())
+}

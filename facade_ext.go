@@ -1,0 +1,124 @@
+package xsact
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/table"
+	"repro/internal/xseek"
+)
+
+// Markdown renders the comparison as a GitHub-flavoured Markdown table.
+func (c *Comparison) Markdown() string { return c.tbl.Markdown() }
+
+// CSV renders the comparison as CSV with a header row.
+func (c *Comparison) CSV() string { return c.tbl.CSV() }
+
+// SearchRanked runs Search and orders results by TF-IDF relevance
+// (most relevant first) instead of document order. Scores accompany
+// the results.
+func (d *Document) SearchRanked(query string) ([]*Result, []float64, error) {
+	ranked, err := d.eng.SearchRanked(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*Result, len(ranked))
+	scores := make([]float64, len(ranked))
+	for i, r := range ranked {
+		out[i] = &Result{doc: d, res: r.Result, Label: r.Label}
+		scores[i] = r.Score
+	}
+	return out, scores, nil
+}
+
+// SearchCleaned spell-corrects the query against the corpus vocabulary
+// (edit distance ≤ 2) before searching, returning the corrected
+// keywords so callers can show "did you mean".
+func (d *Document) SearchCleaned(query string) ([]*Result, []string, error) {
+	rs, cleaned, err := d.eng.SearchCleaned(query)
+	if err != nil {
+		return nil, cleaned, err
+	}
+	out := make([]*Result, len(rs))
+	for i, r := range rs {
+		out[i] = &Result{doc: d, res: r, Label: r.Label}
+	}
+	return out, cleaned, nil
+}
+
+// Library is a set of named documents with database selection: queries
+// route to the corpus that covers their keywords best, the paper's
+// "database selection" companion technique.
+type Library struct {
+	docs  map[string]*Document
+	order []string
+}
+
+// NewLibrary creates an empty library.
+func NewLibrary() *Library {
+	return &Library{docs: make(map[string]*Document)}
+}
+
+// Add registers a document under a name, replacing any previous entry
+// with that name.
+func (l *Library) Add(name string, doc *Document) {
+	if _, exists := l.docs[name]; !exists {
+		l.order = append(l.order, name)
+	}
+	l.docs[name] = doc
+}
+
+// Names lists the registered documents in insertion order.
+func (l *Library) Names() []string {
+	out := make([]string, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// Search routes the query to the best-covering corpus and searches it,
+// returning the chosen corpus name alongside the results.
+func (l *Library) Search(query string) (string, []*Result, error) {
+	engines := make(map[string]*xseek.Engine, len(l.docs))
+	for name, d := range l.docs {
+		engines[name] = d.eng
+	}
+	name, _ := xseek.SelectDatabase(engines, query)
+	if name == "" {
+		return "", nil, fmt.Errorf("xsact: no registered corpus contains keywords of %q", query)
+	}
+	results, err := l.docs[name].Search(query)
+	return name, results, err
+}
+
+// CompareInteresting is Compare with contrast-based interestingness
+// steering (the paper's future-work factor): feature types on which
+// the results' frequencies disagree most strongly are favoured. It
+// uses the weighted-greedy generator.
+func CompareInteresting(results []*Result, opts CompareOptions) (*Comparison, error) {
+	if len(results) < 2 {
+		return nil, fmt.Errorf("xsact: comparison needs at least 2 results, got %d", len(results))
+	}
+	doc := results[0].doc
+	stats := make([]*feature.Stats, len(results))
+	for i, r := range results {
+		if r.doc != doc {
+			return nil, fmt.Errorf("xsact: results from different documents")
+		}
+		stats[i] = feature.Extract(r.res.Node, doc.eng.Schema(), r.Label)
+	}
+	copts := core.Options{SizeBound: opts.SizeBound, Threshold: opts.Threshold}
+	dfss := core.WeightedGreedy(stats, copts, core.ContrastInterest(stats))
+	x := opts.Threshold
+	if x <= 0 {
+		x = core.DefaultThreshold
+	}
+	cmp := &Comparison{
+		tbl: table.Build(dfss),
+		DoD: core.TotalDoD(dfss, x),
+	}
+	for _, s := range stats {
+		cmp.Labels = append(cmp.Labels, s.Label)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,144 @@
+package xsact
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestComparisonFormats(t *testing.T) {
+	doc, _ := ParseString(demoDoc)
+	results, _ := doc.Search("tomtom")
+	cmp, err := Compare(results, CompareOptions{SizeBound: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := cmp.Markdown()
+	if !strings.HasPrefix(md, "| feature |") {
+		t.Fatalf("markdown = %q...", md[:40])
+	}
+	records, err := csv.NewReader(strings.NewReader(cmp.CSV())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not reparse: %v", err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("CSV records = %d", len(records))
+	}
+}
+
+func TestSearchRankedFacade(t *testing.T) {
+	doc, _ := ParseString(demoDoc)
+	results, scores, err := doc.SearchRanked("tomtom compact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(scores) || len(results) == 0 {
+		t.Fatalf("results/scores = %d/%d", len(results), len(scores))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i-1] < scores[i] {
+			t.Fatal("scores not descending")
+		}
+	}
+	// Ranked results are usable downstream.
+	if len(results) >= 2 {
+		if _, err := Compare(results[:2], CompareOptions{SizeBound: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSearchCleanedFacade(t *testing.T) {
+	doc, _ := ParseString(demoDoc)
+	results, cleaned, err := doc.SearchCleaned("tomtim")
+	if err != nil {
+		t.Fatalf("err = %v (cleaned %v)", err, cleaned)
+	}
+	if cleaned[0] != "tomtom" {
+		t.Fatalf("cleaned = %v", cleaned)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestCompareInteresting(t *testing.T) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := doc.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareInteresting(results[:3], CompareOptions{SizeBound: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.DoD <= 0 {
+		t.Fatalf("DoD = %d", cmp.DoD)
+	}
+	if len(cmp.Labels) != 3 {
+		t.Fatalf("labels = %v", cmp.Labels)
+	}
+	if !strings.Contains(cmp.Text(), "review:pro") {
+		t.Fatalf("table missing pro row:\n%s", cmp.Text())
+	}
+	// Error paths.
+	if _, err := CompareInteresting(results[:1], CompareOptions{}); err == nil {
+		t.Fatal("single result should error")
+	}
+	other, _ := BuiltinDataset("reviews", 2)
+	otherResults, _ := other.Search("tomtom gps")
+	if _, err := CompareInteresting([]*Result{results[0], otherResults[0]}, CompareOptions{}); err == nil {
+		t.Fatal("cross-document comparison should error")
+	}
+}
+
+func TestLibraryRouting(t *testing.T) {
+	lib := NewLibrary()
+	for _, name := range []string{"reviews", "retailer", "movies"} {
+		doc, err := BuiltinDataset(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.Add(name, doc)
+	}
+	if got := lib.Names(); len(got) != 3 || got[0] != "reviews" {
+		t.Fatalf("Names = %v", got)
+	}
+	cases := map[string]string{
+		"tomtom gps":     "reviews",
+		"rain jackets":   "retailer",
+		"horror vampire": "movies",
+	}
+	for query, want := range cases {
+		name, results, err := lib.Search(query)
+		if err != nil {
+			t.Fatalf("%q: %v", query, err)
+		}
+		if name != want {
+			t.Errorf("Search(%q) routed to %q, want %q", query, name, want)
+		}
+		if len(results) == 0 {
+			t.Errorf("Search(%q) returned no results", query)
+		}
+	}
+	if _, _, err := lib.Search("xyzzyplugh"); err == nil {
+		t.Fatal("hopeless query should error")
+	}
+}
+
+func TestLibraryAddReplaces(t *testing.T) {
+	lib := NewLibrary()
+	a, _ := ParseString(`<r><x>alpha</x><x>alpha2</x></r>`)
+	b, _ := ParseString(`<r><y>beta</y><y>beta2</y></r>`)
+	lib.Add("one", a)
+	lib.Add("one", b) // replace
+	if len(lib.Names()) != 1 {
+		t.Fatalf("Names = %v", lib.Names())
+	}
+	if _, _, err := lib.Search("beta"); err != nil {
+		t.Fatalf("replacement not in effect: %v", err)
+	}
+}

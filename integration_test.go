@@ -1,0 +1,150 @@
+package xsact
+
+// Integration matrix: every built-in dataset × its canonical queries ×
+// every deterministic algorithm, checking pipeline-wide invariants the
+// unit tests cannot see (search → entity inference → extraction → DFS
+// → table must agree with each other).
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/feature"
+	"repro/internal/table"
+	"repro/internal/xseek"
+)
+
+func datasetQueries() map[string][]string {
+	return map[string][]string{
+		"reviews":  dataset.ReviewQueries(),
+		"retailer": dataset.RetailerQueries(),
+		"movies":   dataset.MovieQueries(),
+	}
+}
+
+func TestIntegrationMatrix(t *testing.T) {
+	opts := core.Options{SizeBound: 8, Threshold: 0.1, Pad: true}
+	algs := []core.Algorithm{core.AlgTopK, core.AlgGreedy, core.AlgSingleSwap, core.AlgMultiSwap}
+	for name, queries := range datasetQueries() {
+		doc, err := BuiltinDataset(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := xseek.New(doc.root) // same-package test: reach the parsed tree directly
+		for _, q := range queries {
+			results, err := eng.Search(q)
+			if err != nil {
+				t.Fatalf("%s %q: %v", name, q, err)
+			}
+			if len(results) < 2 {
+				continue // nothing to differentiate
+			}
+			if len(results) > 6 {
+				results = results[:6]
+			}
+			stats := make([]*feature.Stats, len(results))
+			for i, r := range results {
+				stats[i] = feature.Extract(r.Node, eng.Schema(), r.Label)
+				if stats[i].FeatureCount() == 0 {
+					t.Fatalf("%s %q: result %q extracted no features", name, q, r.Label)
+				}
+			}
+			for _, alg := range algs {
+				dfss := core.Generate(alg, stats, opts)
+				for ri, d := range dfss {
+					if err := d.Validate(opts.SizeBound); err != nil {
+						t.Fatalf("%s %q %s result %d: %v", name, q, alg, ri, err)
+					}
+				}
+				// The rendered table must contain every selected type
+				// exactly once as a row, and one column per result.
+				tbl := table.Build(dfss)
+				if len(tbl.Labels) != len(dfss) {
+					t.Fatalf("%s %q %s: %d columns for %d results", name, q, alg, len(tbl.Labels), len(dfss))
+				}
+				typeSet := map[feature.Type]bool{}
+				for _, d := range dfss {
+					for tp := range d.Sel {
+						typeSet[tp] = true
+					}
+				}
+				if len(tbl.Rows) != len(typeSet) {
+					t.Fatalf("%s %q %s: %d rows for %d selected types", name, q, alg, len(tbl.Rows), len(typeSet))
+				}
+				// DoD consistency: the table's known/unknown structure
+				// must reflect the selections.
+				for _, row := range tbl.Rows {
+					for ci, cell := range row.Cells {
+						_, selected := dfss[ci].Sel[row.Type]
+						if cell.Known != selected {
+							t.Fatalf("%s %q %s: cell known=%v but selected=%v for %s",
+								name, q, alg, cell.Known, selected, row.Type)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationSnippetVsDFSAcrossDatasets(t *testing.T) {
+	// The Figure-1-vs-2 direction must hold on every dataset, not just
+	// product reviews: coordinated multi-swap >= snippet selections.
+	for name, queries := range datasetQueries() {
+		doc, err := BuiltinDataset(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := doc.Search(queries[0])
+		if err != nil || len(results) < 2 {
+			t.Fatalf("%s: %v (%d results)", name, err, len(results))
+		}
+		if len(results) > 4 {
+			results = results[:4]
+		}
+		snip, err := SnippetDoD(results, queries[0], 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := Compare(results, CompareOptions{SizeBound: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.DoD < snip {
+			t.Errorf("%s: multi-swap DoD %d < snippet DoD %d", name, cmp.DoD, snip)
+		}
+	}
+}
+
+func TestIntegrationTableFormatsAgree(t *testing.T) {
+	doc, err := BuiltinDataset("retailer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := doc.Search("rain jackets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var brands []*Result
+	for _, r := range results {
+		brands = append(brands, r.Lift("brand"))
+	}
+	brands = Dedupe(brands)
+	if len(brands) < 2 {
+		t.Fatalf("brands = %d", len(brands))
+	}
+	cmp, err := Compare(brands[:2], CompareOptions{SizeBound: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four renderings must mention the same labels.
+	for _, out := range []string{cmp.Text(), cmp.HTML(), cmp.Markdown(), cmp.CSV()} {
+		for _, label := range cmp.Labels {
+			if !strings.Contains(out, label) {
+				t.Fatalf("a rendering lost label %q", label)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/feature"
+)
+
+// AnnealOptions configures simulated annealing.
+type AnnealOptions struct {
+	Options
+	// Seed drives the random walk; equal seeds give equal outputs.
+	Seed int64
+	// Steps is the number of proposal steps. Zero means 2000.
+	Steps int
+	// StartTemp is the initial temperature in DoD units. Zero means 2.
+	StartTemp float64
+}
+
+// Anneal explores the joint DFS space with simulated annealing —
+// a third entry in the paper's "better algorithms" future-work
+// direction, able (unlike both swap methods) to accept temporarily
+// worse states and cross DoD plateaus. Proposals are single grow or
+// shrink moves on a random result (shrinks being acceptable uphill or
+// downhill is what lets it escape); temperature decays
+// geometrically to zero so the walk ends in hill-climbing, and the
+// best state ever visited is returned. Given a large step budget it
+// can climb past the swap methods' local optima
+// (BenchmarkAblationAnneal measures ~+35% DoD on one benchmark query
+// at ~20x the cost), which makes it an upper-bound probe on how much
+// the cheap local searches leave behind — the gap the paper's
+// NP-hardness result predicts must exist.
+func Anneal(stats []*feature.Stats, opts AnnealOptions) []*DFS {
+	o := opts.Options.normalized()
+	steps := opts.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	temp := opts.StartTemp
+	if temp <= 0 {
+		temp = 2
+	}
+	cool := math.Pow(0.01/temp, 1/float64(steps)) // reach 0.01 at the end
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	dfss := newDFSs(stats)
+	for _, d := range dfss {
+		pad(d, o.SizeBound)
+	}
+	cur := TotalDoD(dfss, o.Threshold)
+	best := cur
+	bestSel := snapshot(dfss)
+
+	for step := 0; step < steps; step++ {
+		i := rng.Intn(len(dfss))
+		d := dfss[i]
+		undo, delta := proposeMove(dfss, i, d, o, rng)
+		if undo == nil {
+			continue
+		}
+		accept := delta >= 0
+		if !accept {
+			accept = rng.Float64() < math.Exp(float64(delta)/temp)
+		}
+		if !accept {
+			undo()
+		} else {
+			cur += delta
+			if cur > best {
+				best = cur
+				bestSel = snapshot(dfss)
+			}
+		}
+		temp *= cool
+	}
+	for i := range dfss {
+		dfss[i].Sel = bestSel[i]
+	}
+	return dfss
+}
+
+// proposeMove mutates result i with a random valid move and returns an
+// undo closure plus the DoD delta, or (nil, 0) when no move applies.
+func proposeMove(dfss []*DFS, i int, d *DFS, o Options, rng *rand.Rand) (func(), int) {
+	grows := growMoves(d)
+	if d.Sel.Size() >= o.SizeBound {
+		grows = nil
+	}
+	shrinks := shrinkMoves(d)
+	total := len(grows) + len(shrinks)
+	if total == 0 {
+		return nil, 0
+	}
+	pick := rng.Intn(total)
+	var m move
+	if pick < len(grows) {
+		m = grows[pick]
+	} else {
+		m = shrinks[pick-len(grows)]
+	}
+	prev, had := d.Sel[m.t]
+	delta := typeDelta(dfss, i, m.t, prev, m.depth, o.Threshold)
+	applyMove(d.Sel, m)
+	return func() { restore(d.Sel, m.t, prev, had) }, delta
+}
+
+func snapshot(dfss []*DFS) []Selection {
+	out := make([]Selection, len(dfss))
+	for i, d := range dfss {
+		out[i] = d.Sel.Clone()
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAnnealProducesValidDFSs(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 30; iter++ {
+		stats := randomStatsSet(r, 3, 4, 3)
+		dfss := Anneal(stats, AnnealOptions{
+			Options: Options{SizeBound: 5, Threshold: 0.1},
+			Seed:    int64(iter),
+			Steps:   400,
+		})
+		for _, d := range dfss {
+			if err := d.Validate(5); err != nil {
+				t.Fatalf("anneal produced invalid DFS: %v", err)
+			}
+		}
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	stats := randomStatsSet(r, 3, 4, 3)
+	opts := AnnealOptions{Options: Options{SizeBound: 5, Threshold: 0.1}, Seed: 7, Steps: 300}
+	a := TotalDoD(Anneal(stats, opts), 0.1)
+	b := TotalDoD(Anneal(stats, opts), 0.1)
+	if a != b {
+		t.Fatalf("same seed, different DoD: %d vs %d", a, b)
+	}
+}
+
+func TestAnnealBeatsOrMatchesTopK(t *testing.T) {
+	// Annealing starts at top-fill and keeps the best state visited,
+	// so it can never end below the starting DoD.
+	r := rand.New(rand.NewSource(63))
+	for iter := 0; iter < 40; iter++ {
+		stats := randomStatsSet(r, 3, 4, 3)
+		opts := Options{SizeBound: 4, Threshold: 0.1}
+		top := TotalDoD(TopK(stats, opts), opts.Threshold)
+		ann := TotalDoD(Anneal(stats, AnnealOptions{Options: opts, Seed: int64(iter), Steps: 500}), opts.Threshold)
+		if ann < top {
+			t.Fatalf("iter %d: anneal %d < top-k %d", iter, ann, top)
+		}
+	}
+}
+
+func TestAnnealNearMultiSwap(t *testing.T) {
+	// With enough steps annealing should land in the same ballpark as
+	// multi-swap (within 25% on these small instances).
+	r := rand.New(rand.NewSource(64))
+	short := 0
+	for iter := 0; iter < 25; iter++ {
+		stats := randomStatsSet(r, 3, 4, 3)
+		opts := Options{SizeBound: 4, Threshold: 0.1}
+		ms := TotalDoD(MultiSwap(stats, opts), opts.Threshold)
+		ann := TotalDoD(Anneal(stats, AnnealOptions{Options: opts, Seed: int64(iter), Steps: 3000}), opts.Threshold)
+		if float64(ann) < 0.75*float64(ms) {
+			short++
+		}
+	}
+	if short > 3 {
+		t.Fatalf("anneal fell far short of multi-swap on %d/25 instances", short)
+	}
+}
+
+func TestAnnealDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(65))
+	stats := randomStatsSet(r, 2, 3, 2)
+	dfss := Anneal(stats, AnnealOptions{}) // all defaults
+	for _, d := range dfss {
+		if err := d.Validate(DefaultSizeBound); err != nil {
+			t.Fatalf("default anneal invalid: %v", err)
+		}
+	}
+}
+
+func BenchmarkAnneal(b *testing.B) {
+	r := rand.New(rand.NewSource(66))
+	stats := randomStatsSet(r, 5, 5, 4)
+	opts := AnnealOptions{Options: Options{SizeBound: 8, Threshold: 0.1}, Seed: 1, Steps: 2000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Anneal(stats, opts)
+	}
+}

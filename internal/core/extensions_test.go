@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/feature"
+)
+
+func TestGreedyProducesValidDFSs(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	opts := Options{SizeBound: 5, Threshold: 0.1}
+	for iter := 0; iter < 80; iter++ {
+		stats := randomStatsSet(r, 3, 4, 3)
+		for _, d := range GreedyGlobal(stats, opts) {
+			if err := d.Validate(opts.SizeBound); err != nil {
+				t.Fatalf("greedy produced invalid DFS: %v", err)
+			}
+		}
+	}
+}
+
+func TestGreedyFillsBudgets(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	stats := randomStatsSet(r, 3, 5, 4)
+	opts := Options{SizeBound: 4, Threshold: 0.1}
+	for _, d := range GreedyGlobal(stats, opts) {
+		avail := 0
+		for _, tp := range d.Stats.AllTypes() {
+			avail += len(d.Stats.ValuesOf(tp))
+		}
+		want := opts.SizeBound
+		if avail < want {
+			want = avail
+		}
+		if d.Size() != want {
+			t.Fatalf("greedy left budget unused: size %d, want %d", d.Size(), want)
+		}
+	}
+}
+
+func TestGreedyCoordination(t *testing.T) {
+	// Two results sharing a differentiating type that raw frequency
+	// would never pick: greedy must discover it through gain once the
+	// first side selects something.
+	pro := feature.Type{Entity: "review", Attribute: "pro"}
+	con := feature.Type{Entity: "review", Attribute: "con"}
+	a := feature.NewStatsFromCounts("a", map[string]int{"review": 10},
+		map[feature.Feature]int{
+			{Type: pro, Value: "same"}:   10, // identical in both: no diff
+			{Type: con, Value: "pricey"}: 9,  // 90% here vs 10% there
+		})
+	b := feature.NewStatsFromCounts("b", map[string]int{"review": 10},
+		map[feature.Feature]int{
+			{Type: pro, Value: "same"}:   10,
+			{Type: con, Value: "pricey"}: 1,
+		})
+	dfss := GreedyGlobal([]*feature.Stats{a, b}, Options{SizeBound: 2, Threshold: 0.1})
+	if got := TotalDoD(dfss, 0.1); got != 1 {
+		t.Fatalf("greedy DoD = %d, want 1 (con differentiates)", got)
+	}
+	if _, ok := dfss[0].Sel[con]; !ok {
+		t.Fatal("greedy did not select the differentiating type")
+	}
+}
+
+func TestGreedyBetweenTopKAndMultiSwap(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	opts := Options{SizeBound: 4, Threshold: 0.1}
+	greedyWins, multiWins := 0, 0
+	for iter := 0; iter < 100; iter++ {
+		stats := randomStatsSet(r, 3, 4, 3)
+		top := TotalDoD(TopK(stats, opts), opts.Threshold)
+		gr := TotalDoD(GreedyGlobal(stats, opts), opts.Threshold)
+		ms := TotalDoD(MultiSwap(stats, opts), opts.Threshold)
+		if gr >= top {
+			greedyWins++
+		}
+		if ms >= gr {
+			multiWins++
+		}
+	}
+	// Greedy is coordinated, so it should beat-or-match the
+	// independent top-k on the vast majority of instances, and
+	// multi-swap should beat-or-match greedy similarly.
+	if greedyWins < 90 {
+		t.Fatalf("greedy >= top-k on only %d/100 instances", greedyWins)
+	}
+	if multiWins < 85 {
+		t.Fatalf("multi-swap >= greedy on only %d/100 instances", multiWins)
+	}
+}
+
+func TestWeightedDoDUniformMatchesTotalDoD(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for iter := 0; iter < 50; iter++ {
+		stats := randomStatsSet(r, 3, 3, 3)
+		dfss := MultiSwap(stats, Options{SizeBound: 4, Threshold: 0.1})
+		plain := float64(TotalDoD(dfss, 0.1))
+		weighted := WeightedDoD(dfss, 0.1, UniformInterest)
+		if plain != weighted {
+			t.Fatalf("uniform weighted DoD %f != plain %f", weighted, plain)
+		}
+		if nilW := WeightedDoD(dfss, 0.1, nil); nilW != plain {
+			t.Fatalf("nil interest DoD %f != plain %f", nilW, plain)
+		}
+	}
+}
+
+func TestContrastInterestRange(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	stats := randomStatsSet(r, 4, 4, 3)
+	interest := ContrastInterest(stats)
+	for _, s := range stats {
+		for _, tp := range s.AllTypes() {
+			w := interest(tp)
+			if w < 1 || w > 2 {
+				t.Fatalf("contrast weight %f for %s outside [1,2]", w, tp)
+			}
+		}
+	}
+	if w := interest(feature.Type{Entity: "zz", Attribute: "zz"}); w != 1 {
+		t.Fatalf("unknown type weight = %f, want 1", w)
+	}
+}
+
+func TestContrastInterestPrefersSpreadTypes(t *testing.T) {
+	pro := feature.Type{Entity: "review", Attribute: "pro"}
+	con := feature.Type{Entity: "review", Attribute: "con"}
+	a := feature.NewStatsFromCounts("a", map[string]int{"review": 10},
+		map[feature.Feature]int{
+			{Type: pro, Value: "v"}: 9, // 90% vs 80%: small spread
+			{Type: con, Value: "w"}: 9, // 90% vs 10%: large spread
+		})
+	b := feature.NewStatsFromCounts("b", map[string]int{"review": 10},
+		map[feature.Feature]int{
+			{Type: pro, Value: "v"}: 8,
+			{Type: con, Value: "w"}: 1,
+		})
+	interest := ContrastInterest([]*feature.Stats{a, b})
+	if interest(con) <= interest(pro) {
+		t.Fatalf("contrast(%s)=%f should exceed contrast(%s)=%f",
+			con, interest(con), pro, interest(pro))
+	}
+}
+
+func TestWeightedGreedyUniformEqualsGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(26))
+	for iter := 0; iter < 50; iter++ {
+		stats := randomStatsSet(r, 3, 4, 3)
+		opts := Options{SizeBound: 4, Threshold: 0.1}
+		a := GreedyGlobal(stats, opts)
+		b := WeightedGreedy(stats, opts, UniformInterest)
+		c := WeightedGreedy(stats, opts, nil)
+		for i := range a {
+			if !selectionsEqual(a[i].Sel, b[i].Sel) || !selectionsEqual(a[i].Sel, c[i].Sel) {
+				t.Fatalf("iter %d: uniform weighted greedy diverged from greedy", iter)
+			}
+		}
+	}
+}
+
+func selectionsEqual(a, b Selection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t, d := range a {
+		if b[t] != d {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWeightedGreedySteersTowardInterest(t *testing.T) {
+	// Two candidate differentiating types in *different* entities
+	// (validity couples types within one entity, so a flip is only
+	// observable across entities); budget 1 each. Weighting the less
+	// frequent type higher must flip the greedy's choice.
+	ta := feature.Type{Entity: "e1", Attribute: "aaa"}
+	tb := feature.Type{Entity: "e2", Attribute: "bbb"}
+	mk := func(label string, ca, cb int) *feature.Stats {
+		return feature.NewStatsFromCounts(label,
+			map[string]int{"e1": 10, "e2": 10},
+			map[feature.Feature]int{
+				{Type: ta, Value: "x"}: ca,
+				{Type: tb, Value: "y"}: cb,
+			})
+	}
+	// Both types differentiate (9/8 vs 1); ta is more frequent.
+	stats := []*feature.Stats{mk("a", 9, 8), mk("b", 1, 1)}
+	opts := Options{SizeBound: 1, Threshold: 0.1}
+
+	plain := WeightedGreedy(stats, opts, UniformInterest)
+	if _, ok := plain[0].Sel[ta]; !ok {
+		t.Fatalf("uniform greedy should pick the more frequent type; got %v", plain[0].Sel)
+	}
+	boosted := WeightedGreedy(stats, opts, func(t feature.Type) float64 {
+		if t == tb {
+			return 5
+		}
+		return 1
+	})
+	if _, ok := boosted[0].Sel[tb]; !ok {
+		t.Fatalf("interest weighting should flip the choice to %s; got %v", tb, boosted[0].Sel)
+	}
+	if _, ok := boosted[1].Sel[tb]; !ok {
+		t.Fatalf("coordination should follow the boosted type; got %v", boosted[1].Sel)
+	}
+}
+
+func TestGenerateGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(27))
+	stats := randomStatsSet(r, 2, 3, 2)
+	if Generate(AlgGreedy, stats, Options{SizeBound: 3}) == nil {
+		t.Fatal("Generate(greedy) returned nil")
+	}
+	if len(Algorithms()) != 5 {
+		t.Fatalf("Algorithms() = %v", Algorithms())
+	}
+}
+
+func BenchmarkGreedyGlobal(b *testing.B) {
+	r := rand.New(rand.NewSource(28))
+	stats := randomStatsSet(r, 5, 5, 4)
+	opts := Options{SizeBound: 8, Threshold: 0.1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyGlobal(stats, opts)
+	}
+}

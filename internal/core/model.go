@@ -1,0 +1,410 @@
+// Package core implements XSACT's primary contribution: construction
+// of Differentiation Feature Sets (DFSs) for a group of structured
+// search results (Liu, Sun, Chen, "Structured Search Result
+// Differentiation", PVLDB 2(1), 2009; demonstrated as XSACT, VLDB
+// 2010).
+//
+// Given per-result feature statistics (package feature), a size bound
+// L and a differentiation threshold x, the generator picks for each
+// result a valid feature selection of at most L features so that the
+// total Degree of Differentiation (DoD) across all result pairs is
+// maximized. Exact maximization is NP-hard; the package provides the
+// paper's two local-optimality algorithms (single-swap and multi-swap)
+// plus an exhaustive oracle and frequency-only baselines for
+// evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/feature"
+)
+
+// DefaultThreshold is the paper's empirically chosen differentiation
+// threshold: two relative frequencies differ if they are more than 10%
+// (of the smaller one) apart.
+const DefaultThreshold = 0.10
+
+// DefaultSizeBound is a reasonable default for the per-result DFS size
+// limit L when the user does not specify one.
+const DefaultSizeBound = 10
+
+// Options configures DFS generation.
+type Options struct {
+	// SizeBound is L, the maximum number of features per DFS.
+	// Zero selects DefaultSizeBound.
+	SizeBound int
+	// Threshold is x: the relative-difference fraction above which two
+	// frequencies of the same feature differentiate two results.
+	// Zero selects DefaultThreshold.
+	Threshold float64
+	// MaxRounds bounds the coordinate-ascent rounds; zero means no
+	// bound (the algorithms terminate anyway because total DoD is a
+	// bounded integer that strictly increases every accepted step).
+	MaxRounds int
+	// Pad, when true, fills any leftover budget with the most
+	// significant remaining features after optimization. Padding never
+	// lowers DoD (DoD is monotone under selection growth) and makes
+	// the comparison table a richer summary.
+	Pad bool
+}
+
+func (o Options) normalized() Options {
+	if o.SizeBound <= 0 {
+		o.SizeBound = DefaultSizeBound
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = DefaultThreshold
+	}
+	return o
+}
+
+// Selection maps each chosen feature type to its value depth d >= 1:
+// the DFS contains the type's top-d values (by occurrence). A nil
+// Selection is empty.
+type Selection map[feature.Type]int
+
+// Clone returns an independent copy.
+func (s Selection) Clone() Selection {
+	out := make(Selection, len(s))
+	for t, d := range s {
+		out[t] = d
+	}
+	return out
+}
+
+// Size returns the number of features selected: the sum of depths.
+func (s Selection) Size() int {
+	n := 0
+	for _, d := range s {
+		n += d
+	}
+	return n
+}
+
+// DFS is the Differentiation Feature Set of one result: its statistics
+// plus the current selection.
+type DFS struct {
+	Stats *feature.Stats
+	Sel   Selection
+}
+
+// Features returns the selected features in deterministic order
+// (entities sorted, types by significance, values by occurrence).
+func (d *DFS) Features() []feature.Feature {
+	var out []feature.Feature
+	for _, e := range d.Stats.Entities() {
+		for _, t := range d.Stats.TypesOf(e) {
+			depth := d.Sel[t]
+			vals := d.Stats.ValuesOf(t)
+			for i := 0; i < depth && i < len(vals); i++ {
+				out = append(out, feature.Feature{Type: t, Value: vals[i].Value})
+			}
+		}
+	}
+	return out
+}
+
+// Size returns the number of features in the DFS.
+func (d *DFS) Size() int { return d.Sel.Size() }
+
+// Validate checks the validity desideratum: per entity, selected types
+// must form a prefix of the significance order; per type, the depth
+// must be between 1 and the number of values; and the total size must
+// not exceed bound (ignored when bound <= 0).
+func (d *DFS) Validate(bound int) error {
+	perEntity := make(map[string][]feature.Type)
+	for t, depth := range d.Sel {
+		if !d.Stats.HasType(t) {
+			return fmt.Errorf("core: selection contains type %s absent from result %q", t, d.Stats.Label)
+		}
+		if depth < 1 {
+			return fmt.Errorf("core: type %s has depth %d < 1", t, depth)
+		}
+		if n := len(d.Stats.ValuesOf(t)); depth > n {
+			return fmt.Errorf("core: type %s has depth %d > %d values", t, depth, n)
+		}
+		perEntity[t.Entity] = append(perEntity[t.Entity], t)
+	}
+	for e, selected := range perEntity {
+		order := d.Stats.TypesOf(e)
+		k := len(selected)
+		if k > len(order) {
+			return fmt.Errorf("core: entity %s selects %d of %d types", e, k, len(order))
+		}
+		inPrefix := make(map[feature.Type]bool, k)
+		for _, t := range order[:k] {
+			inPrefix[t] = true
+		}
+		for _, t := range selected {
+			if !inPrefix[t] {
+				return fmt.Errorf("core: entity %s: type %s selected out of significance order", e, t)
+			}
+		}
+	}
+	if bound > 0 && d.Sel.Size() > bound {
+		return fmt.Errorf("core: DFS size %d exceeds bound %d", d.Sel.Size(), bound)
+	}
+	return nil
+}
+
+// relDiffer reports whether relative frequencies a and b differ by
+// more than threshold x (fraction of the smaller). A zero frequency
+// against a positive one always differs (the ratio is unbounded).
+func relDiffer(a, b, x float64) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
+		return false
+	}
+	if lo == 0 {
+		return hi > 0
+	}
+	return (hi-lo)/lo > x
+}
+
+// typeDiffers reports whether results a and b, with value depths da
+// and db for shared type t, are differentiable in t: some value shown
+// by either side has relative frequencies differing by more than x.
+// The hot path of every algorithm; depths are small, so the b-side
+// dedup is a linear scan over a's shown prefix rather than a map.
+func typeDiffers(a, b *feature.Stats, t feature.Type, da, db int, x float64) bool {
+	avals := a.ValuesOf(t)
+	if da > len(avals) {
+		da = len(avals)
+	}
+	for _, vc := range avals[:da] {
+		if relDiffer(a.Rel(t, vc.Value), b.Rel(t, vc.Value), x) {
+			return true
+		}
+	}
+	bvals := b.ValuesOf(t)
+	if db > len(bvals) {
+		db = len(bvals)
+	}
+outer:
+	for _, vc := range bvals[:db] {
+		for _, avc := range avals[:da] {
+			if avc.Value == vc.Value {
+				continue outer
+			}
+		}
+		if relDiffer(a.Rel(t, vc.Value), b.Rel(t, vc.Value), x) {
+			return true
+		}
+	}
+	return false
+}
+
+// PairDoD returns the degree of differentiation of two DFSs: the
+// number of feature types selected in both whose shown values expose a
+// more-than-x relative difference.
+func PairDoD(a, b *DFS, x float64) int {
+	dod := 0
+	for t, da := range a.Sel {
+		db, ok := b.Sel[t]
+		if !ok {
+			continue
+		}
+		if typeDiffers(a.Stats, b.Stats, t, da, db, x) {
+			dod++
+		}
+	}
+	return dod
+}
+
+// TotalDoD returns the summed DoD over all pairs of DFSs —
+// Desideratum 3's objective.
+func TotalDoD(dfss []*DFS, x float64) int {
+	total := 0
+	for i := 0; i < len(dfss); i++ {
+		for j := i + 1; j < len(dfss); j++ {
+			total += PairDoD(dfss[i], dfss[j], x)
+		}
+	}
+	return total
+}
+
+// resultDoD returns Σ_j PairDoD(dfss[i], dfss[j]) for j ≠ i — the part
+// of the objective affected by changing result i's selection.
+func resultDoD(dfss []*DFS, i int, x float64) int {
+	sum := 0
+	for j := range dfss {
+		if j != i {
+			sum += PairDoD(dfss[i], dfss[j], x)
+		}
+	}
+	return sum
+}
+
+// newDFSs wraps stats into DFS shells with empty selections.
+func newDFSs(stats []*feature.Stats) []*DFS {
+	out := make([]*DFS, len(stats))
+	for i, s := range stats {
+		out[i] = &DFS{Stats: s, Sel: make(Selection)}
+	}
+	return out
+}
+
+// candidateGrow enumerates the grow moves available to d: deepening a
+// selected type by one value or opening the next type of an entity at
+// depth 1. Returned as (type, newDepth) pairs in deterministic order.
+type move struct {
+	t     feature.Type
+	depth int // new depth after the move (0 = remove entirely)
+}
+
+func growMoves(d *DFS) []move {
+	var out []move
+	for _, e := range d.Stats.Entities() {
+		order := d.Stats.TypesOf(e)
+		k := 0
+		for _, t := range order {
+			if _, ok := d.Sel[t]; ok {
+				k++
+			} else {
+				break
+			}
+		}
+		for _, t := range order[:k] {
+			if depth := d.Sel[t]; depth < len(d.Stats.ValuesOf(t)) {
+				out = append(out, move{t: t, depth: depth + 1})
+			}
+		}
+		if k < len(order) {
+			out = append(out, move{t: order[k], depth: 1})
+		}
+	}
+	return out
+}
+
+func shrinkMoves(d *DFS) []move {
+	var out []move
+	for _, e := range d.Stats.Entities() {
+		order := d.Stats.TypesOf(e)
+		k := 0
+		for _, t := range order {
+			if _, ok := d.Sel[t]; ok {
+				k++
+			} else {
+				break
+			}
+		}
+		for i, t := range order[:k] {
+			depth := d.Sel[t]
+			if depth >= 2 {
+				out = append(out, move{t: t, depth: depth - 1})
+			} else if i == k-1 {
+				// Only the last type of the prefix may be dropped.
+				out = append(out, move{t: t, depth: 0})
+			}
+		}
+	}
+	return out
+}
+
+func applyMove(sel Selection, m move) {
+	if m.depth == 0 {
+		delete(sel, m.t)
+	} else {
+		sel[m.t] = m.depth
+	}
+}
+
+// prefixLen returns how many types of entity e are selected in sel
+// (they always form a prefix for valid selections).
+func prefixLen(stats *feature.Stats, sel Selection, e string) int {
+	k := 0
+	for _, t := range stats.TypesOf(e) {
+		if _, ok := sel[t]; ok {
+			k++
+		} else {
+			break
+		}
+	}
+	return k
+}
+
+// pad fills leftover budget with the most *frequent* unselected
+// features (valid growth only), mirroring how a summary spends space:
+// each candidate grow move is scored by the relative frequency of the
+// value it would reveal, so a product's singleton attributes (name,
+// rating — frequency 1.0 within their entity) surface before a rare
+// fourth-ranked pro. This is also the "valid top-fill" starting point
+// of both local-search algorithms; scoring by value frequency rather
+// than raw type totals keeps the initial summaries diverse across
+// entities, which matters because a type can only ever differentiate
+// once both sides select it.
+func pad(d *DFS, bound int) {
+	for d.Sel.Size() < bound {
+		moves := growMoves(d)
+		if len(moves) == 0 {
+			return
+		}
+		best := -1
+		for i := range moves {
+			if best == -1 || betterPadMove(d.Stats, moves[i], moves[best]) {
+				best = i
+			}
+		}
+		applyMove(d.Sel, moves[best])
+	}
+}
+
+// padScore ranks a grow move for padding purposes: the relative
+// frequency of the value it reveals, then raw count, then type
+// significance. Scores are comparable across results, which
+// GreedyGlobal relies on for its tie-breaking.
+type padScore struct {
+	rel   float64
+	count int
+	total int
+}
+
+func scoreMove(s *feature.Stats, m move) padScore {
+	vc := s.ValuesOf(m.t)[m.depth-1]
+	return padScore{
+		rel:   float64(vc.Count) / float64(s.GroupCount(m.t.Entity)),
+		count: vc.Count,
+		total: s.TypeTotal(m.t),
+	}
+}
+
+func (p padScore) better(q padScore) bool {
+	if p.rel != q.rel {
+		return p.rel > q.rel
+	}
+	if p.count != q.count {
+		return p.count > q.count
+	}
+	return p.total > q.total
+}
+
+// betterPadMove orders grow moves within one result by padScore, with
+// deterministic type/depth tie-breaks.
+func betterPadMove(s *feature.Stats, a, b move) bool {
+	pa, pb := scoreMove(s, a), scoreMove(s, b)
+	if pa.better(pb) {
+		return true
+	}
+	if pb.better(pa) {
+		return false
+	}
+	if a.t != b.t {
+		return a.t.Less(b.t)
+	}
+	return a.depth < b.depth
+}
+
+// SortFeatures orders features deterministically for display.
+func SortFeatures(fs []feature.Feature) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Type != fs[j].Type {
+			return fs[i].Type.Less(fs[j].Type)
+		}
+		return fs[i].Value < fs[j].Value
+	})
+}

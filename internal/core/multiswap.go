@@ -1,0 +1,214 @@
+package core
+
+import "repro/internal/feature"
+
+// MultiSwap generates DFSs with the paper's multi-swap method:
+// block-coordinate ascent where each step replaces one result's entire
+// selection with the *optimal* valid selection given the other DFSs,
+// computed exactly by a nested dynamic program (per-entity prefix DP
+// combined by a knapsack over entities). At the fixpoint no change of
+// any number of features in any single DFS can increase the total DoD
+// — multi-swap optimality.
+func MultiSwap(stats []*feature.Stats, opts Options) []*DFS {
+	opts = opts.normalized()
+	dfss := newDFSs(stats)
+	for _, d := range dfss {
+		pad(d, opts.SizeBound) // same valid starting summary as SingleSwap
+	}
+	rounds := 0
+	for {
+		improved := false
+		for i := range dfss {
+			base := resultDoD(dfss, i, opts.Threshold)
+			cand := optimalSelection(dfss, i, opts)
+			old := dfss[i].Sel
+			dfss[i].Sel = cand
+			if resultDoD(dfss, i, opts.Threshold) > base {
+				improved = true
+			} else {
+				dfss[i].Sel = old
+			}
+		}
+		rounds++
+		if !improved || (opts.MaxRounds > 0 && rounds >= opts.MaxRounds) {
+			break
+		}
+	}
+	if opts.Pad {
+		for _, d := range dfss {
+			pad(d, opts.SizeBound)
+		}
+	}
+	return dfss
+}
+
+// optimalSelection computes, exactly, a valid selection for result i
+// maximizing Σ_j DoD(D_i, D_j) with the other selections fixed,
+// subject to |D_i| ≤ L. Among equal-gain selections it prefers smaller
+// ones and then pads with the most significant features, keeping the
+// result a faithful summary.
+func optimalSelection(dfss []*DFS, i int, opts Options) Selection {
+	d := dfss[i]
+	L := opts.SizeBound
+
+	// Per-entity best-gain-at-cost curves.
+	entities := d.Stats.Entities()
+	curves := make([][]int, len(entities))    // curves[e][c] = max gain with exactly c features in entity e
+	choices := make([][][]int, len(entities)) // choices[e][c] = depth per type for that optimum (nil if infeasible)
+	for ei, e := range entities {
+		curves[ei], choices[ei] = entityCurve(dfss, i, e, L, opts.Threshold)
+	}
+
+	// Knapsack across entities: dp[c] = best total gain with exactly c
+	// features; parent pointers reconstruct the per-entity allocation.
+	const neg = -1 << 30
+	dp := make([]int, L+1)
+	for c := 1; c <= L; c++ {
+		dp[c] = neg
+	}
+	parent := make([][]int, len(entities)) // parent[e][c] = features allocated to entity e at state c
+	for ei := range entities {
+		parent[ei] = make([]int, L+1)
+		next := make([]int, L+1)
+		for c := range next {
+			next[c] = neg
+		}
+		for c := 0; c <= L; c++ {
+			if dp[c] == neg {
+				continue
+			}
+			for alloc := 0; alloc+c <= L && alloc < len(curves[ei]); alloc++ {
+				if choices[ei][alloc] == nil && alloc != 0 {
+					continue
+				}
+				if g := dp[c] + curves[ei][alloc]; g > next[c+alloc] {
+					next[c+alloc] = g
+					parent[ei][c+alloc] = alloc
+				}
+			}
+		}
+		dp = next
+	}
+
+	// Best gain at the smallest cost.
+	bestC, bestG := 0, 0
+	for c := 0; c <= L; c++ {
+		if dp[c] != neg && dp[c] > bestG {
+			bestG, bestC = dp[c], c
+		}
+	}
+
+	sel := make(Selection)
+	c := bestC
+	for ei := len(entities) - 1; ei >= 0; ei-- {
+		alloc := parent[ei][c]
+		if alloc > 0 {
+			order := d.Stats.TypesOf(entities[ei])
+			for ti, depth := range choices[ei][alloc] {
+				if depth > 0 {
+					sel[order[ti]] = depth
+				}
+			}
+		}
+		c -= alloc
+	}
+
+	// Fill leftover budget with significance padding (never lowers DoD).
+	cand := &DFS{Stats: d.Stats, Sel: sel}
+	pad(cand, L)
+	return cand.Sel
+}
+
+// entityCurve computes, for entity e of result i, the maximum
+// differentiation gain achievable with exactly c features (c in
+// 0..maxCost), honoring validity: the selected types are a prefix of
+// the significance order and each selected type takes a prefix of its
+// values (depth >= 1). It also returns, per cost, the depth vector
+// over the type order realizing the optimum (nil when c is
+// infeasible).
+func entityCurve(dfss []*DFS, i int, e string, maxCost int, x float64) ([]int, [][]int) {
+	d := dfss[i]
+	order := d.Stats.TypesOf(e)
+
+	// gain[t][depth] = number of other results differentiated by type
+	// order[t] when result i shows its top-depth values.
+	gain := make([][]int, len(order))
+	for ti, t := range order {
+		nvals := len(d.Stats.ValuesOf(t))
+		gain[ti] = make([]int, nvals+1)
+		for depth := 1; depth <= nvals; depth++ {
+			g := 0
+			for j, other := range dfss {
+				if j == i {
+					continue
+				}
+				dj, ok := other.Sel[t]
+				if !ok {
+					continue
+				}
+				if typeDiffers(d.Stats, other.Stats, t, depth, dj, x) {
+					g++
+				}
+			}
+			gain[ti][depth] = g
+		}
+	}
+
+	const neg = -1 << 30
+	// dp[k][c] = max gain selecting exactly the first k types with
+	// total cost c. depthAt[k][c] = depth of type k-1 in that optimum.
+	dp := make([][]int, len(order)+1)
+	depthAt := make([][]int, len(order)+1)
+	for k := range dp {
+		dp[k] = make([]int, maxCost+1)
+		depthAt[k] = make([]int, maxCost+1)
+		for c := range dp[k] {
+			dp[k][c] = neg
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= len(order); k++ {
+		nvals := len(d.Stats.ValuesOf(order[k-1]))
+		for c := 0; c <= maxCost; c++ {
+			for depth := 1; depth <= nvals && depth <= c; depth++ {
+				if dp[k-1][c-depth] == neg {
+					continue
+				}
+				if g := dp[k-1][c-depth] + gain[k-1][depth]; g > dp[k][c] {
+					dp[k][c] = g
+					depthAt[k][c] = depth
+				}
+			}
+		}
+	}
+
+	curve := make([]int, maxCost+1)
+	choice := make([][]int, maxCost+1)
+	curve[0] = 0
+	choice[0] = []int{} // empty prefix: feasible, no types
+	for c := 1; c <= maxCost; c++ {
+		bestK := -1
+		best := neg
+		for k := 1; k <= len(order); k++ {
+			if dp[k][c] > best {
+				best = dp[k][c]
+				bestK = k
+			}
+		}
+		if bestK < 0 || best == neg {
+			curve[c] = neg
+			choice[c] = nil
+			continue
+		}
+		curve[c] = best
+		depths := make([]int, len(order))
+		cc := c
+		for k := bestK; k >= 1; k-- {
+			dep := depthAt[k][cc]
+			depths[k-1] = dep
+			cc -= dep
+		}
+		choice[c] = depths
+	}
+	return curve, choice
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropPairDoDSymmetric: DoD(a,b) == DoD(b,a) on random valid DFSs.
+func TestPropPairDoDSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 300; iter++ {
+		stats := randomStatsSet(r, 2, 4, 3)
+		dfss := Random(stats, Options{SizeBound: 5, Threshold: 0.1}, r)
+		a, b := dfss[0], dfss[1]
+		if PairDoD(a, b, 0.1) != PairDoD(b, a, 0.1) {
+			t.Fatalf("PairDoD asymmetric at iteration %d", iter)
+		}
+	}
+}
+
+// TestPropDoDBoundedBySharedTypes: DoD(a,b) can never exceed the
+// number of types selected in both DFSs.
+func TestPropDoDBoundedBySharedTypes(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 300; iter++ {
+		stats := randomStatsSet(r, 2, 4, 3)
+		dfss := Random(stats, Options{SizeBound: 6, Threshold: 0.1}, r)
+		shared := 0
+		for tp := range dfss[0].Sel {
+			if _, ok := dfss[1].Sel[tp]; ok {
+				shared++
+			}
+		}
+		if got := PairDoD(dfss[0], dfss[1], 0.1); got > shared {
+			t.Fatalf("DoD %d exceeds shared types %d", got, shared)
+		}
+	}
+}
+
+// TestPropThresholdMonotone: raising x can only remove differentiable
+// witnesses, so pairwise DoD is non-increasing in x for fixed DFSs.
+func TestPropThresholdMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	thresholds := []float64{0.01, 0.05, 0.1, 0.3, 0.7, 1.5, 5}
+	for iter := 0; iter < 200; iter++ {
+		stats := randomStatsSet(r, 2, 4, 3)
+		dfss := Random(stats, Options{SizeBound: 5, Threshold: 0.1}, r)
+		prev := -1
+		for i := len(thresholds) - 1; i >= 0; i-- {
+			dod := PairDoD(dfss[0], dfss[1], thresholds[i])
+			if prev >= 0 && dod < prev {
+				t.Fatalf("DoD rose from %d to %d as x tightened", prev, dod)
+			}
+			prev = dod
+		}
+	}
+}
+
+// TestPropRelDifferQuick: quick-checked algebraic properties of the
+// threshold predicate.
+func TestPropRelDifferQuick(t *testing.T) {
+	symmetric := func(a, b float64, xRaw uint8) bool {
+		x := float64(xRaw%100) / 100
+		a, b = abs(a), abs(b)
+		return relDiffer(a, b, x) == relDiffer(b, a, x)
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	irreflexive := func(a float64, xRaw uint8) bool {
+		x := float64(xRaw%100) / 100
+		return !relDiffer(abs(a), abs(a), x)
+	}
+	if err := quick.Check(irreflexive, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// TestPropGrowShrinkInverse: applying a grow move and then shrinking
+// it back restores the selection.
+func TestPropGrowShrinkInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	for iter := 0; iter < 200; iter++ {
+		stats := randomStatsSet(r, 1, 4, 3)
+		dfss := Random(stats, Options{SizeBound: 4, Threshold: 0.1}, r)
+		d := dfss[0]
+		before := d.Sel.Clone()
+		moves := growMoves(d)
+		if len(moves) == 0 {
+			continue
+		}
+		m := moves[r.Intn(len(moves))]
+		prev, had := d.Sel[m.t]
+		applyMove(d.Sel, m)
+		restore(d.Sel, m.t, prev, had)
+		if !selectionsEqual(before, d.Sel) {
+			t.Fatalf("grow+restore changed selection: %v -> %v", before, d.Sel)
+		}
+	}
+}
+
+// TestPropMovesPreserveValidity: every grow and shrink move offered on
+// a valid selection yields a valid selection.
+func TestPropMovesPreserveValidity(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	for iter := 0; iter < 200; iter++ {
+		stats := randomStatsSet(r, 1, 4, 3)
+		dfss := Random(stats, Options{SizeBound: 4, Threshold: 0.1}, r)
+		d := dfss[0]
+		for _, m := range growMoves(d) {
+			prev, had := d.Sel[m.t]
+			applyMove(d.Sel, m)
+			if err := d.Validate(0); err != nil {
+				t.Fatalf("grow move broke validity: %v", err)
+			}
+			restore(d.Sel, m.t, prev, had)
+		}
+		for _, m := range shrinkMoves(d) {
+			prev, had := d.Sel[m.t]
+			applyMove(d.Sel, m)
+			if err := d.Validate(0); err != nil {
+				t.Fatalf("shrink move broke validity: %v", err)
+			}
+			restore(d.Sel, m.t, prev, had)
+		}
+	}
+}
+
+// TestPropStatsInvariants: extraction-independent invariants of the
+// statistics the algorithms consume, on random stats.
+func TestPropStatsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	for iter := 0; iter < 100; iter++ {
+		stats := randomStatsSet(r, 1, 5, 4)[0]
+		for _, e := range stats.Entities() {
+			types := stats.TypesOf(e)
+			for i := 1; i < len(types); i++ {
+				if stats.TypeTotal(types[i-1]) < stats.TypeTotal(types[i]) {
+					t.Fatal("types not in descending significance")
+				}
+			}
+			for _, tp := range types {
+				vals := stats.ValuesOf(tp)
+				sum := 0
+				for i, vc := range vals {
+					if i > 0 && vals[i-1].Count < vc.Count {
+						t.Fatal("values not in descending count")
+					}
+					sum += vc.Count
+				}
+				if sum != stats.TypeTotal(tp) {
+					t.Fatalf("value counts sum %d != type total %d", sum, stats.TypeTotal(tp))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import "repro/internal/feature"
+
+// SingleSwap generates DFSs with the paper's single-swap method: start
+// every result from the valid frequency top-fill (the natural summary)
+// and repeatedly apply the first add / remove / change-one-feature
+// move that strictly increases total DoD, cycling over results until
+// no single move helps. The fixpoint is single-swap optimal: changing
+// or adding any one feature of any DFS cannot increase DoD.
+//
+// Changing type t in result i only perturbs the DoD terms of t in
+// pairs (i, j), so moves are scored by a per-type delta rather than by
+// re-evaluating the whole objective — this is what keeps single-swap
+// cheap per step (Figure 4(b)).
+func SingleSwap(stats []*feature.Stats, opts Options) []*DFS {
+	opts = opts.normalized()
+	dfss := newDFSs(stats)
+	for _, d := range dfss {
+		pad(d, opts.SizeBound) // top-fill start: the valid significance summary
+	}
+	rounds := 0
+	for {
+		improved := false
+		for i := range dfss {
+			if improveOnce(dfss, i, opts) {
+				improved = true
+			}
+		}
+		rounds++
+		if !improved || (opts.MaxRounds > 0 && rounds >= opts.MaxRounds) {
+			break
+		}
+	}
+	if opts.Pad {
+		for _, d := range dfss {
+			pad(d, opts.SizeBound)
+		}
+	}
+	return dfss
+}
+
+// typeDelta returns the change in Σ_j DoD(D_i, D_j) caused by moving
+// type t of result i from depth dOld to dNew (depth 0 = unselected).
+func typeDelta(dfss []*DFS, i int, t feature.Type, dOld, dNew int, x float64) int {
+	d := dfss[i]
+	delta := 0
+	for j, other := range dfss {
+		if j == i {
+			continue
+		}
+		dj, ok := other.Sel[t]
+		if !ok {
+			continue
+		}
+		before := dOld > 0 && typeDiffers(d.Stats, other.Stats, t, dOld, dj, x)
+		after := dNew > 0 && typeDiffers(d.Stats, other.Stats, t, dNew, dj, x)
+		if after && !before {
+			delta++
+		} else if before && !after {
+			delta--
+		}
+	}
+	return delta
+}
+
+// improveOnce applies first-improving single-swap moves to result i
+// until none exists. Returns whether anything changed.
+func improveOnce(dfss []*DFS, i int, opts Options) bool {
+	d := dfss[i]
+	changed := false
+	for {
+		applied := false
+
+		// Pure grows (when under budget): adding a feature.
+		if d.Sel.Size() < opts.SizeBound {
+			for _, g := range growMoves(d) {
+				if typeDelta(dfss, i, g.t, d.Sel[g.t], g.depth, opts.Threshold) > 0 {
+					applyMove(d.Sel, g)
+					applied = true
+					break
+				}
+			}
+		}
+
+		// Swaps (changing a feature): a shrink paired with a grow.
+		// Deltas add because the two moves touch distinct types.
+		if !applied {
+		swaps:
+			for _, s := range shrinkMoves(d) {
+				sDelta := typeDelta(dfss, i, s.t, d.Sel[s.t], s.depth, opts.Threshold)
+				sPrev, sHad := d.Sel[s.t]
+				applyMove(d.Sel, s) // grow moves are relative to the shrunk state
+				for _, g := range growMoves(d) {
+					if g.t == s.t {
+						continue // same-type grow is just the inverse
+					}
+					if sDelta+typeDelta(dfss, i, g.t, d.Sel[g.t], g.depth, opts.Threshold) > 0 {
+						applyMove(d.Sel, g)
+						applied = true
+						break swaps
+					}
+				}
+				restore(d.Sel, s.t, sPrev, sHad)
+			}
+		}
+
+		if !applied {
+			return changed
+		}
+		changed = true
+	}
+}
+
+func restore(sel Selection, t feature.Type, prev int, had bool) {
+	if had {
+		sel[t] = prev
+	} else {
+		delete(sel, t)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import "repro/internal/feature"
+
+// Interestingness weighs feature types when scoring differentiation —
+// the paper's closing future-work item ("considering more factors
+// (e.g., interestingness) when selecting features"). A weight of 1 is
+// neutral; larger weights make differences in that type count more.
+type Interestingness func(feature.Type) float64
+
+// UniformInterest weighs every type equally (plain DoD).
+func UniformInterest(feature.Type) float64 { return 1 }
+
+// ContrastInterest weighs a type by how spread-out its top-value
+// frequencies are across the compared results: types on which results
+// genuinely disagree (one says 90%, another 10%) are more interesting
+// to show than types that differ only barely past the threshold. The
+// returned function is fixed for the given result set.
+func ContrastInterest(stats []*feature.Stats) Interestingness {
+	weights := make(map[feature.Type]float64)
+	for _, s := range stats {
+		for _, t := range s.AllTypes() {
+			if _, done := weights[t]; done {
+				continue
+			}
+			lo, hi := 1.0, 0.0
+			present := 0
+			for _, o := range stats {
+				if !o.HasType(t) {
+					continue
+				}
+				present++
+				top := o.ValuesOf(t)[0]
+				rel := o.Rel(t, top.Value)
+				if rel < lo {
+					lo = rel
+				}
+				if rel > hi {
+					hi = rel
+				}
+			}
+			if present < 2 {
+				weights[t] = 1
+				continue
+			}
+			weights[t] = 1 + (hi - lo) // spread in [0,1] adds up to +1
+		}
+	}
+	return func(t feature.Type) float64 {
+		if w, ok := weights[t]; ok {
+			return w
+		}
+		return 1
+	}
+}
+
+// WeightedDoD is TotalDoD with per-type interestingness weights: each
+// differentiable shared type contributes its weight instead of 1.
+func WeightedDoD(dfss []*DFS, x float64, interest Interestingness) float64 {
+	if interest == nil {
+		interest = UniformInterest
+	}
+	total := 0.0
+	for i := 0; i < len(dfss); i++ {
+		for j := i + 1; j < len(dfss); j++ {
+			a, b := dfss[i], dfss[j]
+			for t, da := range a.Sel {
+				db, ok := b.Sel[t]
+				if !ok {
+					continue
+				}
+				if typeDiffers(a.Stats, b.Stats, t, da, db, x) {
+					total += interest(t)
+				}
+			}
+		}
+	}
+	return total
+}
+
+// WeightedGreedy grows all DFSs together like GreedyGlobal but scores
+// moves by weighted marginal gain, and weights the frequency tie-break
+// too — so interesting types win both when gains compete and during
+// the zero-gain bootstrap picks that seed coordination. With
+// UniformInterest it reduces to GreedyGlobal.
+func WeightedGreedy(stats []*feature.Stats, opts Options, interest Interestingness) []*DFS {
+	opts = opts.normalized()
+	if interest == nil {
+		interest = UniformInterest
+	}
+	dfss := newDFSs(stats)
+	for {
+		type candidate struct {
+			i     int
+			m     move
+			gain  float64
+			score padScore
+		}
+		best := candidate{i: -1}
+		for i, d := range dfss {
+			if d.Sel.Size() >= opts.SizeBound {
+				continue
+			}
+			for _, m := range growMoves(d) {
+				w := interest(m.t)
+				g := float64(typeDelta(dfss, i, m.t, d.Sel[m.t], m.depth, opts.Threshold)) * w
+				sc := scoreMove(d.Stats, m)
+				sc.rel *= w
+				if best.i == -1 || g > best.gain ||
+					(g == best.gain && sc.better(best.score)) {
+					best = candidate{i: i, m: m, gain: g, score: sc}
+				}
+			}
+		}
+		if best.i == -1 {
+			break
+		}
+		applyMove(dfss[best.i].Sel, best.m)
+	}
+	return dfss
+}

@@ -1,0 +1,114 @@
+// Package dataset generates the synthetic XML corpora this repository
+// substitutes for the paper's three crawled datasets (none of which is
+// retrievable offline):
+//
+//   - ProductReviews — buzzillions.com-style products (GPS, mobile
+//     phones, digital cameras) with per-review pro/con/best-use
+//     features (the paper's Figure 1 data);
+//   - OutdoorRetailer — REI.com-style brands with product catalogs
+//     (category, subcategory, gender, features);
+//   - Movies — the IMDB-style corpus behind the Figure 4 benchmark,
+//     with the eight evaluation queries QM1–QM8.
+//
+// Generators are deterministic given the seed, and each result class
+// carries a distinct sampling profile so feature-frequency
+// distributions genuinely differ across results — the property the
+// DFS algorithms exercise. The DFS generator sees only (entity,
+// attribute, value, count) statistics, so matching the shape (entity
+// cardinalities, feature variety, frequency skew) of the originals
+// preserves the behaviour the paper measures.
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// profile draws values from a pool with per-instance weights so that
+// different products/brands/movies favour different features.
+type profile struct {
+	pool    []string
+	weights []float64
+	total   float64
+}
+
+// newProfile assigns each pool entry a random squared weight; squaring
+// sharpens the skew so a few values dominate (as review data does).
+func newProfile(r *rand.Rand, pool []string) *profile {
+	p := &profile{pool: pool, weights: make([]float64, len(pool))}
+	for i := range pool {
+		w := r.Float64()
+		p.weights[i] = w * w
+		p.total += p.weights[i]
+	}
+	return p
+}
+
+// pick samples one value according to the weights.
+func (p *profile) pick(r *rand.Rand) string {
+	x := r.Float64() * p.total
+	for i, w := range p.weights {
+		x -= w
+		if x <= 0 {
+			return p.pool[i]
+		}
+	}
+	return p.pool[len(p.pool)-1]
+}
+
+// pickN samples up to n distinct values.
+func (p *profile) pickN(r *rand.Rand, n int) []string {
+	if n > len(p.pool) {
+		n = len(p.pool)
+	}
+	seen := make(map[string]bool, n)
+	var out []string
+	for guard := 0; len(out) < n && guard < 20*n; guard++ {
+		v := p.pick(r)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// finish assigns Dewey IDs and returns the tree.
+func finish(root *xmltree.Node) *xmltree.Node {
+	root.AssignIDs(nil)
+	return root
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// ftoa1 renders a float with one decimal (ratings like "4.2").
+func ftoa1(f float64) string {
+	whole := int(f)
+	frac := int((f-float64(whole))*10 + 0.5)
+	if frac == 10 {
+		whole++
+		frac = 0
+	}
+	return itoa(whole) + "." + itoa(frac)
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+func TestProductReviewsDeterministic(t *testing.T) {
+	a := ProductReviews(ReviewsConfig{Seed: 1, ProductsPerCategory: 2, MinReviews: 3, MaxReviews: 6})
+	b := ProductReviews(ReviewsConfig{Seed: 1, ProductsPerCategory: 2, MinReviews: 3, MaxReviews: 6})
+	if xmltree.XMLString(a) != xmltree.XMLString(b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := ProductReviews(ReviewsConfig{Seed: 2, ProductsPerCategory: 2, MinReviews: 3, MaxReviews: 6})
+	if xmltree.XMLString(a) == xmltree.XMLString(c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestProductReviewsShape(t *testing.T) {
+	root := ProductReviews(ReviewsConfig{Seed: 7, ProductsPerCategory: 4, MinReviews: 5, MaxReviews: 10})
+	prods := root.FindAll("product")
+	if len(prods) != 12 { // 3 categories x 4
+		t.Fatalf("products = %d, want 12", len(prods))
+	}
+	for _, p := range prods {
+		if p.FirstChildElement("name") == nil || p.FirstChildElement("rating") == nil {
+			t.Fatal("product missing name/rating")
+		}
+		reviews := p.FirstChildElement("reviews").ChildElements()
+		if len(reviews) < 5 || len(reviews) > 10 {
+			t.Fatalf("review count %d outside [5,10]", len(reviews))
+		}
+		for _, rev := range reviews {
+			if len(rev.FindAll("pro")) == 0 {
+				t.Fatal("review with no pros")
+			}
+		}
+	}
+}
+
+func TestProductReviewsSchemaEntities(t *testing.T) {
+	root := ProductReviews(ReviewsConfig{Seed: 3, ProductsPerCategory: 3, MinReviews: 4, MaxReviews: 8})
+	s := xseek.InferSchema(root)
+	if s.CategoryOf("catalog/product") != xseek.EntityNode {
+		t.Fatal("product should be an entity")
+	}
+	if s.CategoryOf("catalog/product/reviews/review") != xseek.EntityNode {
+		t.Fatal("review should be an entity")
+	}
+	if s.CategoryOf("catalog/product/rating") != xseek.AttributeNode {
+		t.Fatal("rating should be an attribute")
+	}
+}
+
+func TestProductReviewsRoundTripsThroughXML(t *testing.T) {
+	root := ProductReviews(ReviewsConfig{Seed: 5, ProductsPerCategory: 2, MinReviews: 3, MaxReviews: 5})
+	out := xmltree.XMLString(root)
+	back, err := xmltree.ParseString(out)
+	if err != nil {
+		t.Fatalf("generated corpus does not reparse: %v", err)
+	}
+	if back.CountNodes() != root.CountNodes() {
+		t.Fatalf("node count changed: %d vs %d", root.CountNodes(), back.CountNodes())
+	}
+}
+
+func TestOutdoorRetailerShape(t *testing.T) {
+	root := OutdoorRetailer(RetailerConfig{Seed: 1, ProductsPerBrand: 20})
+	brands := root.FindAll("brand")
+	if len(brands) != len(retailBrands) {
+		t.Fatalf("brands = %d", len(brands))
+	}
+	for _, b := range brands {
+		prods := b.FirstChildElement("products").ChildElements()
+		if len(prods) != 20 {
+			t.Fatalf("products per brand = %d", len(prods))
+		}
+	}
+}
+
+func TestOutdoorRetailerBrandFocus(t *testing.T) {
+	root := OutdoorRetailer(RetailerConfig{Seed: 1, ProductsPerBrand: 120})
+	for _, b := range root.FindAll("brand") {
+		name := b.FirstChildElement("name").Value()
+		var spec *brandSpec
+		for i := range retailBrands {
+			if retailBrands[i].name == name {
+				spec = &retailBrands[i]
+			}
+		}
+		if spec == nil {
+			t.Fatalf("unknown brand %q", name)
+		}
+		counts := map[string]int{}
+		jackets := 0
+		for _, p := range b.FindAll("product") {
+			if p.FirstChildElement("category").Value() != "jackets" {
+				continue
+			}
+			jackets++
+			counts[p.FirstChildElement("subcategory").Value()]++
+		}
+		if jackets == 0 {
+			t.Fatalf("%s sells no jackets", name)
+		}
+		// The focus subcategory should be the (or near the) most
+		// common; with a 6x boost it should hold a clear plurality.
+		best, bestN := "", 0
+		for sc, n := range counts {
+			if n > bestN {
+				best, bestN = sc, n
+			}
+		}
+		if best != spec.focusSubcat {
+			t.Errorf("%s focus = %q (want %q); counts=%v", name, best, spec.focusSubcat, counts)
+		}
+	}
+}
+
+func TestMoviesShapeAndQueries(t *testing.T) {
+	root := Movies(MoviesConfig{Seed: 1, Movies: 150})
+	movies := root.FindAll("movie")
+	if len(movies) != 150 {
+		t.Fatalf("movies = %d", len(movies))
+	}
+	for _, m := range movies[:10] {
+		if len(m.FindAll("genre")) == 0 || len(m.FindAll("keyword")) < 2 {
+			t.Fatal("movie missing genres/keywords")
+		}
+		if len(m.FindAll("actor")) < 3 {
+			t.Fatal("movie missing cast")
+		}
+	}
+	if len(MovieQueries()) != 8 {
+		t.Fatalf("want 8 benchmark queries, got %d", len(MovieQueries()))
+	}
+}
+
+func TestMoviesQueriesReturnResults(t *testing.T) {
+	root := Movies(MoviesConfig{Seed: 1, Movies: 300})
+	eng := xseek.New(root)
+	sizes := make([]int, 0, 8)
+	for _, q := range MovieQueries() {
+		res, err := eng.Search(q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		if len(res) < 2 {
+			t.Fatalf("query %q returned %d results; differentiation needs >= 2", q, len(res))
+		}
+		sizes = append(sizes, len(res))
+	}
+	// The workload should span a range of result-set sizes.
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max < 2*min {
+		t.Logf("query result sizes: %v", sizes)
+		t.Error("benchmark queries do not vary result-set size by at least 2x")
+	}
+}
+
+func TestReviewAndRetailerQueriesWork(t *testing.T) {
+	reviews := ProductReviews(ReviewsConfig{Seed: 2, ProductsPerCategory: 4, MinReviews: 5, MaxReviews: 10})
+	re := xseek.New(reviews)
+	for _, q := range ReviewQueries() {
+		res, err := re.Search(q)
+		if err != nil {
+			t.Fatalf("reviews query %q: %v", q, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("reviews query %q returned nothing", q)
+		}
+	}
+	retail := OutdoorRetailer(RetailerConfig{Seed: 2, ProductsPerBrand: 30})
+	oe := xseek.New(retail)
+	for _, q := range RetailerQueries() {
+		res, err := oe.Search(q)
+		if err != nil {
+			t.Fatalf("retailer query %q: %v", q, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("retailer query %q returned nothing", q)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if itoa(0) != "0" || itoa(42) != "42" || itoa(-7) != "-7" {
+		t.Fatalf("itoa: %s %s %s", itoa(0), itoa(42), itoa(-7))
+	}
+	if ftoa1(4.25) != "4.3" && ftoa1(4.25) != "4.2" {
+		t.Fatalf("ftoa1(4.25) = %s", ftoa1(4.25))
+	}
+	if ftoa1(3.96) != "4.0" {
+		t.Fatalf("ftoa1(3.96) = %s", ftoa1(3.96))
+	}
+	if !strings.Contains(ftoa1(5.0), ".") {
+		t.Fatal("ftoa1 must always include a decimal")
+	}
+}
+
+func BenchmarkProductReviews(b *testing.B) {
+	cfg := ReviewsConfig{Seed: 1, ProductsPerCategory: 4, MinReviews: 10, MaxReviews: 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ProductReviews(cfg)
+	}
+}
+
+func BenchmarkMovies(b *testing.B) {
+	cfg := MoviesConfig{Seed: 1, Movies: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Movies(cfg)
+	}
+}

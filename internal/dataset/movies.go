@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// MoviesConfig sizes the IMDB-style movie corpus behind the Figure 4
+// benchmark.
+type MoviesConfig struct {
+	Seed int64
+	// Movies is the corpus size. Zero means 300.
+	Movies int
+}
+
+func (c MoviesConfig) normalized() MoviesConfig {
+	if c.Movies <= 0 {
+		c.Movies = 300
+	}
+	return c
+}
+
+var (
+	movieGenres = []string{
+		"action", "comedy", "drama", "thriller", "romance",
+		"horror", "scifi", "documentary",
+	}
+	// genreKeywords gives each genre an affinity pool; a movie's
+	// keywords come mostly from its genres' pools, which controls how
+	// many results each QM query (genre + keyword) returns.
+	genreKeywords = map[string][]string{
+		"action":      {"revenge", "heist", "chase", "explosion", "martial arts"},
+		"comedy":      {"romance", "family", "road trip", "wedding", "workplace"},
+		"drama":       {"war", "family", "courtroom", "coming of age", "politics"},
+		"thriller":    {"detective", "conspiracy", "serial killer", "heist", "hostage"},
+		"romance":     {"love triangle", "wedding", "second chance", "holiday", "letters"},
+		"horror":      {"vampire", "haunted house", "zombie", "curse", "found footage"},
+		"scifi":       {"space", "time travel", "robot", "alien", "dystopia"},
+		"documentary": {"nature", "music", "sports", "history", "crime"},
+	}
+	movieAdjectives = []string{
+		"Silent", "Crimson", "Last", "Hidden", "Broken", "Golden", "Midnight",
+		"Lost", "Burning", "Frozen", "Electric", "Savage", "Gentle", "Iron",
+	}
+	movieNouns = []string{
+		"Horizon", "Echo", "Empire", "River", "Promise", "Shadow", "Garden",
+		"Signal", "Harvest", "Voyage", "Cipher", "Reckoning", "Outpost", "Mirror",
+	}
+	actorPool = []string{
+		"Ada Brooks", "Ben Cortez", "Clara Voss", "Dev Anand", "Elena Marsh",
+		"Felix Okoye", "Grace Lindqvist", "Hugo Barros", "Iris Takeda",
+		"Jonas Werner", "Kira Novak", "Liam Doyle", "Mara Castellanos",
+		"Nils Bergman", "Odette Laurent", "Pavel Dmitriev", "Quinn Harlow",
+		"Rosa Delgado", "Sven Holm", "Tessa Wright", "Umar Farouk",
+		"Vera Kovacs", "Wes Calder", "Xenia Petrova", "Yusuf Demir",
+		"Zoe Albright", "Arlo Finch", "Bella Ramos", "Cyrus Vane", "Dara Singh",
+	}
+	directorPool = []string{
+		"A. Kurosawa Jr", "B. Varga", "C. Almeida", "D. Lindgren", "E. Moreau",
+		"F. Castellano", "G. Petrov", "H. Tanaka", "I. Svensson", "J. Okafor",
+	}
+	languagePool = []string{"english", "french", "japanese", "spanish", "korean", "german"}
+	countryPool  = []string{"usa", "france", "japan", "spain", "korea", "germany", "uk"}
+)
+
+// Movies generates the IMDB-style corpus:
+//
+//	movies/movie{title, year, rating, genre*, keyword*,
+//	             director, language, country, cast/actor*}
+//
+// Genres are assigned with decreasing popularity (action most common)
+// so the eight benchmark queries span a range of result-set sizes, as
+// a real query mix would.
+func Movies(cfg MoviesConfig) *xmltree.Node {
+	cfg = cfg.normalized()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	root := xmltree.NewElement("movies")
+
+	genreProfile := newProfile(r, movieGenres)
+	// Deterministic popularity skew, independent of the random weights.
+	for i := range genreProfile.weights {
+		w := 1.0 / float64(i+1)
+		genreProfile.total += w - genreProfile.weights[i]
+		genreProfile.weights[i] = w
+	}
+	actorProfile := newProfile(r, actorPool)
+
+	for m := 0; m < cfg.Movies; m++ {
+		movie := root.Elem("movie")
+		title := movieAdjectives[r.Intn(len(movieAdjectives))] + " " +
+			movieNouns[r.Intn(len(movieNouns))] + " " + itoa(1960+r.Intn(50))
+		movie.Leaf("title", title)
+		movie.Leaf("year", itoa(1960+r.Intn(50)))
+		movie.Leaf("rating", ftoa1(3.0+r.Float64()*6.5))
+
+		genres := genreProfile.pickN(r, 1+r.Intn(3))
+		for _, g := range genres {
+			movie.Leaf("genre", g)
+		}
+		// Keywords: mostly from the movie's genres, a few strays.
+		kwProfile := newProfile(r, keywordPoolFor(genres))
+		for _, kw := range kwProfile.pickN(r, 2+r.Intn(5)) {
+			movie.Leaf("keyword", kw)
+		}
+		if r.Intn(4) == 0 {
+			movie.Leaf("keyword", genreKeywords[movieGenres[r.Intn(len(movieGenres))]][r.Intn(5)])
+		}
+
+		movie.Leaf("director", directorPool[r.Intn(len(directorPool))])
+		movie.Leaf("language", languagePool[r.Intn(len(languagePool))])
+		movie.Leaf("country", countryPool[r.Intn(len(countryPool))])
+		cast := movie.Elem("cast")
+		for _, a := range actorProfile.pickN(r, 3+r.Intn(6)) {
+			cast.Leaf("actor", a)
+		}
+	}
+	return finish(root)
+}
+
+func keywordPoolFor(genres []string) []string {
+	var pool []string
+	for _, g := range genres {
+		pool = append(pool, genreKeywords[g]...)
+	}
+	return pool
+}
+
+// MovieQueries returns the eight benchmark queries QM1–QM8 used to
+// regenerate Figure 4. The paper does not list its IMDB queries; these
+// eight combine genres, keywords and languages at varying selectivity
+// so the per-query result sets span roughly 4–20 results — the scale
+// at which the paper's DoD axis (tens) lives (see EXPERIMENTS.md).
+func MovieQueries() []string {
+	return []string{
+		"action revenge english", // QM1
+		"comedy romance french",  // QM2
+		"thriller detective",     // QM3
+		"drama war german",       // QM4
+		"scifi space",            // QM5
+		"horror vampire",         // QM6
+		"action heist spanish",   // QM7
+		"comedy family korean",   // QM8
+	}
+}

@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// RetailerConfig sizes the Outdoor Retailer corpus.
+type RetailerConfig struct {
+	Seed int64
+	// ProductsPerBrand bounds each brand's catalog size. Zero means 60
+	// ("a brand can have hundreds of products", scaled down).
+	ProductsPerBrand int
+}
+
+func (c RetailerConfig) normalized() RetailerConfig {
+	if c.ProductsPerBrand <= 0 {
+		c.ProductsPerBrand = 60
+	}
+	return c
+}
+
+// brandSpec gives each brand a focus so that brand-level comparison
+// tables expose the paper's narrative: "Marmot mainly sells rain
+// jackets, while Columbia focuses on insulated ski jackets".
+type brandSpec struct {
+	name string
+	// focusSubcat is over-weighted in the brand's jacket lineup.
+	focusSubcat string
+	// focusFeature is over-weighted among product features.
+	focusFeature string
+}
+
+var retailBrands = []brandSpec{
+	{"Marmot", "rain", "waterproof"},
+	{"Columbia", "insulated ski", "insulated"},
+	{"Patagonia", "fleece", "recycled materials"},
+	{"NorthFace", "softshell", "windproof"},
+	{"Arcteryx", "hardshell", "breathable"},
+	{"REI Co-op", "windbreaker", "packable"},
+}
+
+var (
+	retailCategories = []string{"jackets", "footwear", "tents", "packs", "bicycles"}
+	jacketSubcats    = []string{"rain", "insulated ski", "softshell", "fleece", "windbreaker", "hardshell"}
+	otherSubcats     = map[string][]string{
+		"footwear": {"hiking boots", "trail runners", "sandals", "climbing shoes"},
+		"tents":    {"backpacking", "camping", "ultralight", "four season"},
+		"packs":    {"daypack", "overnight", "expedition", "hydration"},
+		"bicycles": {"road", "mountain", "hybrid", "commuter"},
+	}
+	genders        = []string{"men", "women", "unisex"}
+	retailFeatures = []string{
+		"waterproof", "breathable", "lightweight", "packable", "hooded",
+		"insulated", "recycled materials", "windproof", "adjustable fit",
+		"pit zips", "reflective trim", "stretch fabric",
+	}
+	productNouns = []string{
+		"Summit", "Ridge", "Cascade", "Alpine", "Trail", "Storm", "Peak",
+		"Canyon", "Glacier", "Meadow", "Basin", "Crest",
+	}
+)
+
+// OutdoorRetailer generates the REI-style corpus:
+//
+//	retailer/brand{name, products/product{name, category, subcategory,
+//	               gender, price, feature*}}
+//
+// Jackets dominate each catalog (the example query domain), and each
+// brand's focus subcategory/feature is sampled three times as often as
+// the rest, so brand-level feature statistics differ markedly.
+func OutdoorRetailer(cfg RetailerConfig) *xmltree.Node {
+	cfg = cfg.normalized()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	root := xmltree.NewElement("retailer")
+	for _, spec := range retailBrands {
+		brand := root.Elem("brand")
+		brand.Leaf("name", spec.name)
+		products := brand.Elem("products")
+
+		featProfile := newProfile(r, retailFeatures)
+		boost(featProfile, spec.focusFeature)
+		subcatProfile := newProfile(r, jacketSubcats)
+		boost(subcatProfile, spec.focusSubcat)
+
+		for p := 0; p < cfg.ProductsPerBrand; p++ {
+			prod := products.Elem("product")
+			category := retailCategories[0] // jackets dominate
+			if r.Intn(3) == 0 {
+				category = retailCategories[1+r.Intn(len(retailCategories)-1)]
+			}
+			var subcat string
+			if category == "jackets" {
+				subcat = subcatProfile.pick(r)
+			} else {
+				pool := otherSubcats[category]
+				subcat = pool[r.Intn(len(pool))]
+			}
+			gender := genders[r.Intn(len(genders))]
+			prod.Leaf("name", spec.name+" "+productNouns[r.Intn(len(productNouns))]+" "+itoa(p))
+			prod.Leaf("category", category)
+			prod.Leaf("subcategory", subcat)
+			prod.Leaf("gender", gender)
+			prod.Leaf("price", itoa(30+r.Intn(500)))
+			for _, f := range featProfile.pickN(r, 2+r.Intn(4)) {
+				prod.Leaf("feature", f)
+			}
+		}
+	}
+	return finish(root)
+}
+
+// boost makes one pool entry dominate: its weight becomes three times
+// the sum of all the others, so the brand's focus value is sampled in
+// roughly three of every four draws regardless of the random weights.
+func boost(p *profile, value string) {
+	for i, v := range p.pool {
+		if v == value {
+			rest := p.total - p.weights[i]
+			p.total = rest + 3*rest
+			p.weights[i] = 3 * rest
+			return
+		}
+	}
+}
+
+// BrandFocus is the ground-truth specialty the generator gives a brand
+// — what a shopper should be able to learn from a brand comparison
+// table ("Marmot mainly sells rain jackets").
+type BrandFocus struct {
+	Brand       string
+	Subcategory string // dominant jacket subcategory
+	Feature     string // dominant product feature
+}
+
+// BrandFocuses exposes the generator's ground truth for evaluation:
+// the focus-recovery experiment checks whether DFS tables surface
+// these values (see internal/experiment).
+func BrandFocuses() []BrandFocus {
+	out := make([]BrandFocus, len(retailBrands))
+	for i, b := range retailBrands {
+		out[i] = BrandFocus{Brand: b.name, Subcategory: b.focusSubcat, Feature: b.focusFeature}
+	}
+	return out
+}
+
+// RetailerQueries returns keyword queries for the Outdoor Retailer
+// corpus, led by the paper's "men, jackets" walkthrough.
+func RetailerQueries() []string {
+	return []string{
+		"men jackets",
+		"women jackets",
+		"rain jackets",
+		"hiking boots",
+		"mountain bicycles",
+	}
+}

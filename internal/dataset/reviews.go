@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// ReviewsConfig sizes the Product Reviews corpus.
+type ReviewsConfig struct {
+	// Seed drives all sampling; equal seeds give identical corpora.
+	Seed int64
+	// ProductsPerCategory is how many products each of the three
+	// categories gets. Zero means 8.
+	ProductsPerCategory int
+	// MinReviews / MaxReviews bound the per-product review count.
+	// Zeros mean 10 and 80 — "a product can have hundreds of reviews"
+	// scaled to keep tests fast; raise for stress runs.
+	MinReviews, MaxReviews int
+}
+
+func (c ReviewsConfig) normalized() ReviewsConfig {
+	if c.ProductsPerCategory <= 0 {
+		c.ProductsPerCategory = 8
+	}
+	if c.MinReviews <= 0 {
+		c.MinReviews = 10
+	}
+	if c.MaxReviews < c.MinReviews {
+		c.MaxReviews = c.MinReviews + 70
+	}
+	return c
+}
+
+type reviewCategory struct {
+	name     string
+	brands   []string
+	models   map[string][]string // brand -> model lines (kept consistent: Nuvi is Garmin's)
+	pros     []string
+	cons     []string
+	bestuses []string
+}
+
+var reviewCategories = []reviewCategory{
+	{
+		name:   "GPS",
+		brands: []string{"TomTom", "Garmin", "Magellan"},
+		models: map[string][]string{
+			"TomTom":   {"Go 630", "Go 730", "One XL", "Go 920"},
+			"Garmin":   {"Nuvi 260", "Nuvi 760", "Zumo 550", "StreetPilot c340"},
+			"Magellan": {"RoadMate 1412", "Maestro 4250", "CrossoverGPS", "Triton 500"},
+		},
+		pros: []string{
+			"compact", "easy to read", "easy to setup", "acquire satellites quickly",
+			"large screen", "accurate directions", "long battery life", "loud speaker",
+			"fast routing", "clear voice prompts",
+		},
+		cons: []string{
+			"short battery life", "expensive", "slow route calculation",
+			"small screen", "poor mounting", "outdated maps",
+		},
+		bestuses: []string{"auto", "walking", "cycling", "travel", "boating"},
+	},
+	{
+		name:   "mobile phone",
+		brands: []string{"Nokia", "Motorola", "Samsung"},
+		models: map[string][]string{
+			"Nokia":    {"N95", "E71", "6300", "5310"},
+			"Motorola": {"RAZR V3", "KRZR K1", "ROKR E8", "Q9"},
+			"Samsung":  {"SGH A707", "Blackjack II", "Juke", "Glyde"},
+		},
+		pros: []string{
+			"long battery life", "great camera", "loud speaker", "compact",
+			"durable", "good reception", "easy texting", "bright screen",
+			"expandable memory", "bluetooth works well",
+		},
+		cons: []string{
+			"poor camera", "weak reception", "flimsy keypad",
+			"short battery life", "small buttons", "slow menus",
+		},
+		bestuses: []string{"business", "texting", "music", "travel", "photos"},
+	},
+	{
+		name:   "digital camera",
+		brands: []string{"Canon", "Nikon", "Sony"},
+		models: map[string][]string{
+			"Canon": {"PowerShot SD1000", "Rebel XTi", "A590", "PowerShot G9"},
+			"Nikon": {"D40", "Coolpix L18", "D60", "Coolpix P80"},
+			"Sony":  {"Cybershot W120", "H50", "Alpha A200", "Cybershot T70"},
+		},
+		pros: []string{
+			"sharp images", "fast autofocus", "compact", "good low light",
+			"long zoom", "easy controls", "vivid colors", "image stabilization",
+			"quick startup", "great video mode",
+		},
+		cons: []string{
+			"slow flash recycle", "noisy at high iso", "short battery life",
+			"no viewfinder", "bulky", "weak flash",
+		},
+		bestuses: []string{"travel", "family photos", "sports", "landscapes", "parties"},
+	},
+}
+
+var reviewerNames = []string{
+	"alex", "jordan", "casey", "morgan", "taylor", "riley", "sam", "jamie",
+	"drew", "quinn", "avery", "parker", "reese", "rowan", "sage", "blake",
+}
+
+// ProductReviews generates the buzzillions-style corpus:
+//
+//	catalog/product{name, brand, category, price, rating,
+//	                reviews/review{reviewer, stars, pro*, con*, bestuse?}}
+//
+// Each product draws its pros/cons/best-uses from category pools via a
+// product-specific skew profile, so two products of the same category
+// share feature types but differ in value frequencies — exactly the
+// situation DFS construction differentiates.
+func ProductReviews(cfg ReviewsConfig) *xmltree.Node {
+	cfg = cfg.normalized()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	root := xmltree.NewElement("catalog")
+	for _, cat := range reviewCategories {
+		for p := 0; p < cfg.ProductsPerCategory; p++ {
+			brand := cat.brands[p%len(cat.brands)]
+			lineup := cat.models[brand]
+			model := lineup[(p/len(cat.brands))%len(lineup)]
+			prod := root.Elem("product")
+			prod.Leaf("name", brand+" "+model)
+			prod.Leaf("brand", brand)
+			prod.Leaf("category", cat.name)
+			prod.Leaf("price", itoa(40+r.Intn(400)))
+			prod.Leaf("rating", ftoa1(2.5+r.Float64()*2.5))
+
+			proProfile := newProfile(r, cat.pros)
+			conProfile := newProfile(r, cat.cons)
+			useProfile := newProfile(r, cat.bestuses)
+
+			reviews := prod.Elem("reviews")
+			n := cfg.MinReviews + r.Intn(cfg.MaxReviews-cfg.MinReviews+1)
+			for i := 0; i < n; i++ {
+				rev := reviews.Elem("review")
+				rev.Leaf("reviewer", reviewerNames[r.Intn(len(reviewerNames))])
+				rev.Leaf("stars", itoa(1+r.Intn(5)))
+				for _, pro := range proProfile.pickN(r, 1+r.Intn(4)) {
+					rev.Leaf("pro", pro)
+				}
+				if r.Intn(3) > 0 {
+					for _, con := range conProfile.pickN(r, 1+r.Intn(2)) {
+						rev.Leaf("con", con)
+					}
+				}
+				if r.Intn(2) == 0 {
+					rev.Leaf("bestuse", useProfile.pick(r))
+				}
+			}
+		}
+	}
+	return finish(root)
+}
+
+// ReviewQueries returns keyword queries that exercise the Product
+// Reviews corpus (used by examples and smoke tests).
+func ReviewQueries() []string {
+	return []string{
+		"tomtom gps",
+		"garmin gps",
+		"nokia phone",
+		"canon camera",
+		"gps travel",
+	}
+}

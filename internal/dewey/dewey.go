@@ -1,0 +1,177 @@
+// Package dewey implements Dewey (path) labels for nodes of an ordered
+// tree. A Dewey ID encodes the path from the root to a node as the
+// sequence of 0-based child ordinals, so the root is the empty ID and
+// the second child of the root's first child is [0 1].
+//
+// Dewey IDs give constant-time ancestor tests and lowest-common-ancestor
+// computation, and comparing two IDs lexicographically yields document
+// order. They are the node-addressing substrate for the SLCA algorithms
+// in package slca and the inverted index in package index.
+package dewey
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID is a Dewey label: the child-ordinal path from the root to a node.
+// The zero value (nil) is the root. IDs must be treated as immutable;
+// all methods return fresh slices where mutation would otherwise leak.
+type ID []int
+
+// Root returns the Dewey ID of the root node (the empty path).
+func Root() ID { return ID{} }
+
+// New returns an ID with the given components. The slice is copied.
+func New(components ...int) ID {
+	id := make(ID, len(components))
+	copy(id, components)
+	return id
+}
+
+// Child returns the ID of the ord-th child (0-based) of id.
+func (id ID) Child(ord int) ID {
+	child := make(ID, len(id)+1)
+	copy(child, id)
+	child[len(id)] = ord
+	return child
+}
+
+// Parent returns the ID of the parent node and true, or nil and false if
+// id is the root.
+func (id ID) Parent() (ID, bool) {
+	if len(id) == 0 {
+		return nil, false
+	}
+	parent := make(ID, len(id)-1)
+	copy(parent, id[:len(id)-1])
+	return parent, true
+}
+
+// Level returns the depth of the node; the root has level 0.
+func (id ID) Level() int { return len(id) }
+
+// Clone returns an independent copy of id.
+func (id ID) Clone() ID {
+	out := make(ID, len(id))
+	copy(out, id)
+	return out
+}
+
+// Compare orders IDs in document order (preorder). It returns a negative
+// number if id precedes other, zero if they label the same node, and a
+// positive number otherwise. An ancestor precedes its descendants.
+func (id ID) Compare(other ID) int {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if id[i] != other[i] {
+			if id[i] < other[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(id) < len(other):
+		return -1
+	case len(id) > len(other):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether the two IDs label the same node.
+func (id ID) Equal(other ID) bool { return id.Compare(other) == 0 }
+
+// IsAncestorOf reports whether id is a proper ancestor of other.
+func (id ID) IsAncestorOf(other ID) bool {
+	if len(id) >= len(other) {
+		return false
+	}
+	for i := range id {
+		if id[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAncestorOrSelf reports whether id is other or an ancestor of other.
+func (id ID) IsAncestorOrSelf(other ID) bool {
+	return id.Equal(other) || id.IsAncestorOf(other)
+}
+
+// LCA returns the Dewey ID of the lowest common ancestor of id and other.
+func (id ID) LCA(other ID) ID {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	i := 0
+	for i < n && id[i] == other[i] {
+		i++
+	}
+	out := make(ID, i)
+	copy(out, id[:i])
+	return out
+}
+
+// String renders the ID in dotted form, e.g. "0.2.1". The root renders
+// as "/".
+func (id ID) String() string {
+	if len(id) == 0 {
+		return "/"
+	}
+	var b strings.Builder
+	for i, c := range id {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// Parse parses the dotted form produced by String. It accepts "/" (or
+// the empty string) for the root.
+func Parse(s string) (ID, error) {
+	if s == "/" || s == "" {
+		return Root(), nil
+	}
+	parts := strings.Split(s, ".")
+	id := make(ID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("dewey: parse %q: component %d: %w", s, i, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("dewey: parse %q: negative component %d", s, i)
+		}
+		id[i] = v
+	}
+	return id, nil
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of
+// the two IDs, which is also the level of their LCA.
+func CommonPrefixLen(a, b ID) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// SortIDs is a helper ordering for slices of IDs in document order.
+// It reports whether a sorts before b.
+func SortIDs(a, b ID) bool { return a.Compare(b) < 0 }

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/xseek"
+)
+
+func TestBlockOrderAblation(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 3, Movies: 120})
+	eng := xseek.New(root)
+	stats, err := ResultStats(eng, "horror vampire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := BlockOrderAblation(stats, core.Options{SizeBound: 8, Threshold: 0.1}, 5, 42)
+	if res.Trials != 5 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+	if res.Min > res.Baseline || res.Max < res.Baseline {
+		t.Fatalf("baseline %d outside [%d,%d]", res.Baseline, res.Min, res.Max)
+	}
+	if res.Min <= 0 {
+		t.Fatalf("min DoD = %d, expected differentiation", res.Min)
+	}
+	// The fixpoint should be fairly stable across orders: the spread
+	// must stay within 20% of the baseline (a loose sanity band — a
+	// huge spread would mean the algorithm is order-chaotic).
+	if res.Baseline > 0 && float64(res.Max-res.Min) > 0.2*float64(res.Baseline) {
+		t.Fatalf("block order spread too large: min=%d max=%d baseline=%d",
+			res.Min, res.Max, res.Baseline)
+	}
+}

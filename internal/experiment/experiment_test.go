@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/xseek"
+)
+
+func smallMovies(t *testing.T) *Report {
+	t.Helper()
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 120})
+	rep, err := Run(root, dataset.MovieQueries()[:4],
+		[]core.Algorithm{core.AlgSingleSwap, core.AlgMultiSwap},
+		core.Options{SizeBound: 8, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	rep := smallMovies(t)
+	if len(rep.Runs) != 4 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	for _, run := range rep.Runs {
+		if run.NumResults < 2 {
+			t.Fatalf("%s returned %d results", run.ID, run.NumResults)
+		}
+		for _, alg := range rep.Algorithms {
+			if _, ok := run.DoD[alg]; !ok {
+				t.Fatalf("%s missing DoD for %s", run.ID, alg)
+			}
+			if run.Elapsed[alg] <= 0 {
+				t.Fatalf("%s has non-positive time for %s", run.ID, alg)
+			}
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	// The headline result: multi-swap DoD >= single-swap DoD on (at
+	// least nearly) every query, per Figure 4(a).
+	rep := smallMovies(t)
+	worse := 0
+	for _, run := range rep.Runs {
+		if run.DoD[core.AlgMultiSwap] < run.DoD[core.AlgSingleSwap] {
+			worse++
+			t.Logf("%s: multi %d < single %d", run.ID, run.DoD[core.AlgMultiSwap], run.DoD[core.AlgSingleSwap])
+		}
+	}
+	if worse > 1 {
+		t.Fatalf("multi-swap lost on %d/4 queries", worse)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	rep := smallMovies(t)
+	var a, b strings.Builder
+	rep.WriteDoDTable(&a)
+	rep.WriteTimeTable(&b)
+	for _, want := range []string{"QM1", "QM4", "single-swap", "multi-swap"} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("DoD table missing %q:\n%s", want, a.String())
+		}
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("time table missing %q:\n%s", want, b.String())
+		}
+	}
+	if !strings.Contains(b.String(), "s") {
+		t.Fatal("time table has no seconds")
+	}
+}
+
+func TestRunBadQuery(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 50})
+	_, err := Run(root, []string{"zzzznope"}, []core.Algorithm{core.AlgTopK}, core.Options{})
+	if err == nil {
+		t.Fatal("unmatched query should surface an error")
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 2, Movies: 100})
+	eng := xseek.New(root)
+	stats, err := ResultStats(eng, dataset.MovieQueries()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ThresholdSweep(stats, []core.Algorithm{core.AlgMultiSwap}, 6, []float64{0.05, 0.1, 0.5, 2.0})
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Stricter thresholds (larger x) can only shrink the set of
+	// differentiable (type, value) witnesses, so optimal DoD is
+	// non-increasing in x; local search should follow that trend.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DoD[core.AlgMultiSwap] > pts[i-1].DoD[core.AlgMultiSwap]+2 {
+			t.Fatalf("DoD rose sharply with stricter threshold: %v", pts)
+		}
+	}
+	var b strings.Builder
+	WriteSweep(&b, "threshold sweep", "x", pts)
+	if !strings.Contains(b.String(), "0.05") {
+		t.Fatalf("sweep table:\n%s", b.String())
+	}
+}
+
+func TestSizeBoundSweep(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 2, Movies: 100})
+	eng := xseek.New(root)
+	stats, err := ResultStats(eng, dataset.MovieQueries()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := SizeBoundSweep(stats, []core.Algorithm{core.AlgMultiSwap}, 0.1, []int{2, 4, 8, 16})
+	for i := 1; i < len(pts); i++ {
+		// More budget, weakly more differentiation (allow tiny local
+		// search wobble of 1).
+		if pts[i].DoD[core.AlgMultiSwap]+1 < pts[i-1].DoD[core.AlgMultiSwap] {
+			t.Fatalf("DoD fell as L grew: %v", pts)
+		}
+	}
+}

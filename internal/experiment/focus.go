@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/feature"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// FocusRecovery quantifies the demo's Outdoor Retailer claim — that
+// the comparison table lets a user learn each brand's specialty — as a
+// measurable proxy for the companion paper's user study. The retailer
+// generator plants a ground-truth focus (dominant jacket subcategory
+// and dominant product feature) per brand; this experiment builds the
+// brand comparison for the walkthrough query and reports, per
+// algorithm, the fraction of brands whose planted focus values appear
+// in their own DFS.
+type FocusRecovery struct {
+	Brands int
+	// SubcatRate / FeatureRate are in [0,1]: how many brands' focus
+	// subcategory / feature the DFS surfaces.
+	SubcatRate  map[core.Algorithm]float64
+	FeatureRate map[core.Algorithm]float64
+}
+
+// RunFocusRecovery executes the experiment on a fresh retailer corpus.
+func RunFocusRecovery(seed int64, query string, algs []core.Algorithm, opts core.Options) (*FocusRecovery, error) {
+	root := dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed})
+	eng := xseek.New(root)
+	results, err := eng.Search(query)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: focus recovery: %w", err)
+	}
+
+	// Lift product results to their brands, deduplicated.
+	seen := make(map[string]bool)
+	var brands []*xmltree.Node
+	for _, r := range results {
+		for cur := r.Node; cur != nil; cur = cur.Parent {
+			if cur.Tag == "brand" {
+				if key := cur.ID.String(); !seen[key] {
+					seen[key] = true
+					brands = append(brands, cur)
+				}
+				break
+			}
+		}
+	}
+	if len(brands) < 2 {
+		return nil, fmt.Errorf("experiment: focus recovery: only %d brands matched %q", len(brands), query)
+	}
+
+	stats := make([]*feature.Stats, len(brands))
+	labels := make([]string, len(brands))
+	for i, b := range brands {
+		label := b.FirstChildElement("name").Value()
+		labels[i] = label
+		stats[i] = feature.Extract(b, eng.Schema(), label)
+	}
+	truth := make(map[string]dataset.BrandFocus)
+	for _, f := range dataset.BrandFocuses() {
+		truth[f.Brand] = f
+	}
+
+	out := &FocusRecovery{
+		Brands:      len(brands),
+		SubcatRate:  make(map[core.Algorithm]float64),
+		FeatureRate: make(map[core.Algorithm]float64),
+	}
+	for _, alg := range algs {
+		dfss := core.Generate(alg, stats, opts)
+		subcat, feat := 0, 0
+		for i, d := range dfss {
+			spec, ok := truth[labels[i]]
+			if !ok {
+				continue
+			}
+			if dfsShowsValue(d, "subcategory", spec.Subcategory) {
+				subcat++
+			}
+			if dfsShowsValue(d, "feature", spec.Feature) {
+				feat++
+			}
+		}
+		out.SubcatRate[alg] = float64(subcat) / float64(len(brands))
+		out.FeatureRate[alg] = float64(feat) / float64(len(brands))
+	}
+	return out, nil
+}
+
+// dfsShowsValue reports whether the DFS displays the given value under
+// any feature type with the given attribute name.
+func dfsShowsValue(d *core.DFS, attribute, value string) bool {
+	for _, f := range d.Features() {
+		if f.Attribute == attribute && f.Value == value {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteFocusRecovery renders the experiment as an aligned table.
+func WriteFocusRecovery(w io.Writer, title string, r *FocusRecovery) {
+	fmt.Fprintln(w, title)
+	var algs []core.Algorithm
+	for a := range r.SubcatRate {
+		algs = append(algs, a)
+	}
+	sort.Slice(algs, func(i, j int) bool { return algs[i] < algs[j] })
+	rows := [][]string{{"algorithm", "subcategory focus recovered", "feature focus recovered"}}
+	for _, a := range algs {
+		rows = append(rows, []string{
+			string(a),
+			fmt.Sprintf("%.0f%% of %d brands", r.SubcatRate[a]*100, r.Brands),
+			fmt.Sprintf("%.0f%% of %d brands", r.FeatureRate[a]*100, r.Brands),
+		})
+	}
+	writeAligned(w, rows)
+}

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFocusRecovery(t *testing.T) {
+	algs := []core.Algorithm{core.AlgTopK, core.AlgMultiSwap}
+	r, err := RunFocusRecovery(1, "men jackets", algs,
+		core.Options{SizeBound: 12, Threshold: 0.1, Pad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Brands < 3 {
+		t.Fatalf("brands = %d", r.Brands)
+	}
+	for _, alg := range algs {
+		if r.SubcatRate[alg] < 0 || r.SubcatRate[alg] > 1 {
+			t.Fatalf("%s subcat rate = %f", alg, r.SubcatRate[alg])
+		}
+	}
+	// The planted focuses dominate their brands' distributions, so the
+	// multi-swap table must surface the feature focus for most brands
+	// at a 12-feature budget.
+	if r.FeatureRate[core.AlgMultiSwap] < 0.5 {
+		t.Fatalf("multi-swap recovered only %.0f%% of feature focuses",
+			r.FeatureRate[core.AlgMultiSwap]*100)
+	}
+	var b strings.Builder
+	WriteFocusRecovery(&b, "focus recovery", r)
+	if !strings.Contains(b.String(), "multi-swap") || !strings.Contains(b.String(), "% of") {
+		t.Fatalf("table:\n%s", b.String())
+	}
+}
+
+func TestFocusRecoveryBadQuery(t *testing.T) {
+	if _, err := RunFocusRecovery(1, "zzznope", []core.Algorithm{core.AlgTopK}, core.Options{}); err == nil {
+		t.Fatal("bad query should error")
+	}
+}

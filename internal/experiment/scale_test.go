@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/xseek"
+)
+
+func TestScaleSweep(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 200})
+	eng := xseek.New(root)
+	stats, err := ResultStats(eng, "action revenge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) < 10 {
+		t.Fatalf("broad query returned only %d results", len(stats))
+	}
+	algs := []core.Algorithm{core.AlgSingleSwap, core.AlgMultiSwap}
+	pts := ScaleSweep(stats, algs, core.Options{SizeBound: 8, Threshold: 0.1}, []int{2, 5, 10, 10_000})
+	if len(pts) < 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Oversized request clamps to the available results and stops.
+	last := pts[len(pts)-1]
+	if last.Results != len(stats) {
+		t.Fatalf("final point has %d results, want %d", last.Results, len(stats))
+	}
+	// DoD grows with the number of compared results (more pairs).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DoD[core.AlgMultiSwap] < pts[i-1].DoD[core.AlgMultiSwap] {
+			t.Fatalf("DoD shrank as results grew: %v", pts)
+		}
+	}
+	var b strings.Builder
+	WriteScale(&b, "scale", pts)
+	out := b.String()
+	if !strings.Contains(out, "multi-swap DoD") || !strings.Contains(out, "single-swap time") {
+		t.Fatalf("scale table:\n%s", out)
+	}
+}
+
+func TestScaleSweepEmpty(t *testing.T) {
+	var b strings.Builder
+	WriteScale(&b, "empty", nil)
+	if !strings.Contains(b.String(), "empty") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestRichnessSweep(t *testing.T) {
+	algs := []core.Algorithm{core.AlgSingleSwap, core.AlgMultiSwap}
+	pts, err := RichnessSweep(1, "gps", algs, core.Options{SizeBound: 8, Threshold: 0.1}, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// More reviews per product -> richer feature statistics.
+	if pts[1].AvgFeatures <= pts[0].AvgFeatures {
+		t.Fatalf("feature richness did not grow: %.1f -> %.1f", pts[0].AvgFeatures, pts[1].AvgFeatures)
+	}
+	for _, p := range pts {
+		if p.DoD[core.AlgMultiSwap] <= 0 {
+			t.Fatalf("no differentiation at richness %d", p.ReviewsPerProduct)
+		}
+	}
+	var b strings.Builder
+	WriteRichness(&b, "richness", pts)
+	if !strings.Contains(b.String(), "avg features") {
+		t.Fatalf("richness table:\n%s", b.String())
+	}
+	// Empty input renders just the title.
+	b.Reset()
+	WriteRichness(&b, "richness", nil)
+	if !strings.Contains(b.String(), "richness") {
+		t.Fatal("empty richness table missing title")
+	}
+}
+
+func TestRichnessSweepBadQuery(t *testing.T) {
+	if _, err := RichnessSweep(1, "zzznope", []core.Algorithm{core.AlgTopK}, core.Options{}, []int{5}); err == nil {
+		t.Fatal("bad query should error")
+	}
+}

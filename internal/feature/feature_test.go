@@ -1,0 +1,312 @@
+package feature
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// figure1Doc mirrors the paper's Figure 1 result fragments: a product
+// with reviews carrying pro / bestuse features in the plain-leaf form.
+const figure1Doc = `
+<store>
+  <product>
+    <name>TomTom Go 630</name>
+    <rating>4.2</rating>
+    <reviews>
+      <review><pro>easy to read</pro><pro>compact</pro><bestuse>auto</bestuse></review>
+      <review><pro>easy to read</pro><pro>compact</pro></review>
+      <review><pro>easy to read</pro><bestuse>auto</bestuse></review>
+    </reviews>
+  </product>
+  <product>
+    <name>TomTom Go 730</name>
+    <rating>4.1</rating>
+    <reviews>
+      <review><pro>compact</pro><bestuse>fast routing</bestuse></review>
+      <review><pro>easy to setup</pro></review>
+    </reviews>
+  </product>
+</store>`
+
+func extractFirst(t *testing.T) (*Stats, *Stats) {
+	t.Helper()
+	root := xmltree.MustParseString(figure1Doc)
+	schema := xseek.InferSchema(root)
+	prods := root.ChildElements()
+	s1 := Extract(prods[0], schema, "GPS 1")
+	s2 := Extract(prods[1], schema, "GPS 2")
+	return s1, s2
+}
+
+func TestGroupCounts(t *testing.T) {
+	s1, s2 := extractFirst(t)
+	if got := s1.GroupCount("review"); got != 3 {
+		t.Fatalf("s1 review count = %d, want 3", got)
+	}
+	if got := s2.GroupCount("review"); got != 2 {
+		t.Fatalf("s2 review count = %d, want 2", got)
+	}
+	if got := s1.GroupCount("product"); got != 1 {
+		t.Fatalf("s1 product count = %d, want 1", got)
+	}
+	if got := s1.GroupCount("never-seen"); got != 1 {
+		t.Fatalf("unknown entity group = %d, want 1 (no division by zero)", got)
+	}
+}
+
+func TestOccurrenceCounts(t *testing.T) {
+	s1, _ := extractFirst(t)
+	pro := Type{Entity: "review", Attribute: "pro"}
+	if got := s1.Occ(pro, "easy to read"); got != 3 {
+		t.Fatalf("easy to read occ = %d, want 3", got)
+	}
+	if got := s1.Occ(pro, "compact"); got != 2 {
+		t.Fatalf("compact occ = %d, want 2", got)
+	}
+	if got := s1.Occ(pro, "large screen"); got != 0 {
+		t.Fatalf("absent value occ = %d, want 0", got)
+	}
+	name := Type{Entity: "product", Attribute: "name"}
+	if got := s1.Occ(name, "TomTom Go 630"); got != 1 {
+		t.Fatalf("name occ = %d", got)
+	}
+}
+
+func TestRelativeFrequency(t *testing.T) {
+	s1, _ := extractFirst(t)
+	pro := Type{Entity: "review", Attribute: "pro"}
+	if got := s1.Rel(pro, "easy to read"); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("rel(easy to read) = %f, want 1.0", got)
+	}
+	if got := s1.Rel(pro, "compact"); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("rel(compact) = %f, want 0.667", got)
+	}
+}
+
+func TestSignificanceOrdering(t *testing.T) {
+	s1, _ := extractFirst(t)
+	types := s1.TypesOf("review")
+	if len(types) != 2 {
+		t.Fatalf("review types = %v", types)
+	}
+	// pro has 5 total occurrences, bestuse 2.
+	if types[0].Attribute != "pro" || types[1].Attribute != "bestuse" {
+		t.Fatalf("significance order = %v", types)
+	}
+	if s1.TypeTotal(types[0]) != 5 || s1.TypeTotal(types[1]) != 2 {
+		t.Fatalf("totals = %d, %d", s1.TypeTotal(types[0]), s1.TypeTotal(types[1]))
+	}
+}
+
+func TestValueOrdering(t *testing.T) {
+	s1, _ := extractFirst(t)
+	pro := Type{Entity: "review", Attribute: "pro"}
+	vals := s1.ValuesOf(pro)
+	if len(vals) != 2 {
+		t.Fatalf("pro values = %v", vals)
+	}
+	if vals[0].Value != "easy to read" || vals[0].Count != 3 {
+		t.Fatalf("top value = %+v", vals[0])
+	}
+	if vals[1].Value != "compact" || vals[1].Count != 2 {
+		t.Fatalf("second value = %+v", vals[1])
+	}
+}
+
+func TestBooleanLeafEncoding(t *testing.T) {
+	// The Figure 1 wrapper form: pros/pro/compact/yes.
+	doc := `
+<store>
+  <product>
+    <name>X</name>
+    <reviews>
+      <review><pros><pro><compact>yes</compact><bright>no</bright></pro></pros></review>
+      <review><pros><pro><compact>yes</compact></pro></pros></review>
+    </reviews>
+  </product>
+  <product><name>Y</name><reviews><review><pros><pro><compact>yes</compact></pro></pros></review></reviews></product>
+</store>`
+	root := xmltree.MustParseString(doc)
+	schema := xseek.InferSchema(root)
+	s := Extract(root.ChildElements()[0], schema, "X")
+	pro := Type{Entity: "review", Attribute: "pro"}
+	if got := s.Occ(pro, "compact"); got != 2 {
+		t.Fatalf("compact (boolean form) occ = %d, want 2; types=%v", got, s.AllTypes())
+	}
+	// "no" leaves do not produce features.
+	if got := s.Occ(pro, "bright"); got != 0 {
+		t.Fatalf("negated feature counted: %d", got)
+	}
+}
+
+func TestPerInstanceDeduplication(t *testing.T) {
+	doc := `
+<store>
+  <product><name>A</name><reviews>
+    <review><pro>compact</pro><pro>compact</pro></review>
+    <review><pro>compact</pro></review>
+  </reviews></product>
+  <product><name>B</name><reviews><review><pro>light</pro></review></reviews></product>
+</store>`
+	root := xmltree.MustParseString(doc)
+	schema := xseek.InferSchema(root)
+	s := Extract(root.ChildElements()[0], schema, "A")
+	pro := Type{Entity: "review", Attribute: "pro"}
+	if got := s.Occ(pro, "compact"); got != 2 {
+		t.Fatalf("occ = %d, want 2 (one per review instance)", got)
+	}
+}
+
+func TestEntityAttribution(t *testing.T) {
+	s1, _ := extractFirst(t)
+	for _, tp := range s1.AllTypes() {
+		switch tp.Attribute {
+		case "name", "rating":
+			if tp.Entity != "product" {
+				t.Errorf("%s attributed to %s, want product", tp.Attribute, tp.Entity)
+			}
+		case "pro", "bestuse":
+			if tp.Entity != "review" {
+				t.Errorf("%s attributed to %s, want review", tp.Attribute, tp.Entity)
+			}
+		}
+	}
+}
+
+func TestEntitiesSorted(t *testing.T) {
+	s1, _ := extractFirst(t)
+	ents := s1.Entities()
+	for i := 1; i < len(ents); i++ {
+		if ents[i-1] >= ents[i] {
+			t.Fatalf("entities not sorted: %v", ents)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s1, _ := extractFirst(t)
+	// product: name, rating (2 features); review: pro{easy to read,
+	// compact}, bestuse{auto} (3 features) = 5.
+	if got := s1.FeatureCount(); got != 5 {
+		t.Fatalf("FeatureCount = %d, want 5", got)
+	}
+	if got := s1.TypeCount(); got != 4 {
+		t.Fatalf("TypeCount = %d, want 4", got)
+	}
+}
+
+func TestStatLine(t *testing.T) {
+	s1, _ := extractFirst(t)
+	line := s1.StatLine(0)
+	if !strings.Contains(line, "pro: easy to read: 3") {
+		t.Fatalf("StatLine missing row:\n%s", line)
+	}
+	if got := len(strings.Split(s1.StatLine(2), "\n")); got != 2 {
+		t.Fatalf("StatLine(2) rows = %d", got)
+	}
+}
+
+func TestNewStatsFromCounts(t *testing.T) {
+	pro := Type{Entity: "review", Attribute: "pro"}
+	s := NewStatsFromCounts("synthetic",
+		map[string]int{"review": 10},
+		map[Feature]int{
+			{Type: pro, Value: "compact"}: 8,
+			{Type: pro, Value: "bright"}:  3,
+			{Type: pro, Value: "zero"}:    0, // dropped
+		})
+	if got := s.Occ(pro, "compact"); got != 8 {
+		t.Fatalf("occ = %d", got)
+	}
+	if got := s.Rel(pro, "compact"); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("rel = %f", got)
+	}
+	if s.Occ(pro, "zero") != 0 || len(s.ValuesOf(pro)) != 2 {
+		t.Fatalf("zero-count feature should be dropped: %v", s.ValuesOf(pro))
+	}
+	if !s.HasType(pro) {
+		t.Fatal("HasType(pro) = false")
+	}
+	if s.HasType(Type{Entity: "x", Attribute: "y"}) {
+		t.Fatal("HasType of absent type = true")
+	}
+}
+
+func TestDeterministicTieBreaks(t *testing.T) {
+	pro := Type{Entity: "e", Attribute: "a"}
+	for i := 0; i < 20; i++ {
+		s := NewStatsFromCounts("t", map[string]int{"e": 5}, map[Feature]int{
+			{Type: pro, Value: "bbb"}: 2,
+			{Type: pro, Value: "aaa"}: 2,
+			{Type: pro, Value: "ccc"}: 2,
+		})
+		vals := s.ValuesOf(pro)
+		if vals[0].Value != "aaa" || vals[1].Value != "bbb" || vals[2].Value != "ccc" {
+			t.Fatalf("tie break not lexicographic: %v", vals)
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	root := xmltree.MustParseString(figure1Doc)
+	schema := xseek.InferSchema(root)
+	prod := root.ChildElements()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Extract(prod, schema, "bench")
+	}
+}
+
+func TestXMLAttributesBecomeFeatures(t *testing.T) {
+	doc := `
+<store>
+  <product sku="A1" instock="yes">
+    <name>X</name>
+    <reviews>
+      <review verified="true"><pro>compact</pro></review>
+      <review><pro>compact</pro></review>
+    </reviews>
+  </product>
+  <product sku="B2"><name>Y</name></product>
+</store>`
+	root := xmltree.MustParseString(doc)
+	schema := xseek.InferSchema(root)
+	s := Extract(root.ChildElements()[0], schema, "X")
+	sku := Type{Entity: "product", Attribute: "sku"}
+	if got := s.Occ(sku, "A1"); got != 1 {
+		t.Fatalf("sku occ = %d, want 1 (types %v)", got, s.AllTypes())
+	}
+	// Attributes on entity instances attribute to that entity.
+	verified := Type{Entity: "review", Attribute: "verified"}
+	if got := s.Occ(verified, "true"); got != 1 {
+		t.Fatalf("verified occ = %d, want 1", got)
+	}
+	// instock="yes" stays an attribute feature with its literal value.
+	instock := Type{Entity: "product", Attribute: "instock"}
+	if got := s.Occ(instock, "yes"); got != 1 {
+		t.Fatalf("instock occ = %d, want 1", got)
+	}
+}
+
+func TestAttributeOnConnectionNodeAttachesToEntity(t *testing.T) {
+	doc := `
+<store>
+  <product>
+    <name>X</name>
+    <shipping speed="fast"><carrier>ups</carrier></shipping>
+  </product>
+  <product><name>Y</name></product>
+</store>`
+	root := xmltree.MustParseString(doc)
+	schema := xseek.InferSchema(root)
+	s := Extract(root.ChildElements()[0], schema, "X")
+	speed := Type{Entity: "product", Attribute: "speed"}
+	if got := s.Occ(speed, "fast"); got != 1 {
+		t.Fatalf("speed occ = %d; types %v", got, s.AllTypes())
+	}
+}

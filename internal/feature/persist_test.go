@@ -1,0 +1,62 @@
+package feature
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestStatsSaveLoadRoundTrip(t *testing.T) {
+	s1, _ := extractFirst(t)
+	var buf bytes.Buffer
+	if err := s1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != s1.Label {
+		t.Fatalf("label = %q", back.Label)
+	}
+	if !reflect.DeepEqual(back.Entities(), s1.Entities()) {
+		t.Fatalf("entities: %v vs %v", back.Entities(), s1.Entities())
+	}
+	for _, e := range s1.Entities() {
+		if !reflect.DeepEqual(back.TypesOf(e), s1.TypesOf(e)) {
+			t.Fatalf("type order for %s: %v vs %v", e, back.TypesOf(e), s1.TypesOf(e))
+		}
+		for _, tp := range s1.TypesOf(e) {
+			if !reflect.DeepEqual(back.ValuesOf(tp), s1.ValuesOf(tp)) {
+				t.Fatalf("values for %s differ", tp)
+			}
+			if back.GroupCount(tp.Entity) != s1.GroupCount(tp.Entity) {
+				t.Fatalf("group count for %s differs", tp.Entity)
+			}
+		}
+	}
+	if back.FeatureCount() != s1.FeatureCount() || back.TypeCount() != s1.TypeCount() {
+		t.Fatal("counts differ after round trip")
+	}
+}
+
+func TestLoadStatsGarbage(t *testing.T) {
+	if _, err := LoadStats(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage should not load")
+	}
+}
+
+func TestLoadStatsEmpty(t *testing.T) {
+	empty := NewStatsFromCounts("empty", nil, nil)
+	var buf bytes.Buffer
+	if err := empty.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FeatureCount() != 0 || len(back.Entities()) != 0 {
+		t.Fatalf("empty stats round trip: %d features", back.FeatureCount())
+	}
+}

@@ -1,0 +1,182 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// PostingList is the document-ordered list of Dewey IDs of nodes that
+// contain a term. Lists are sorted by dewey.ID.Compare and contain no
+// duplicates.
+type PostingList []dewey.ID
+
+// Index is an inverted index over one XML tree. A node "contains" a
+// term if the term appears in the node's direct text children, in its
+// attribute values, or equals a token of its tag name. Only element
+// nodes are posted; the element owning a text node is what keyword
+// search should return.
+type Index struct {
+	postings map[string]PostingList
+	root     *xmltree.Node
+	terms    int // total term occurrences, for stats
+}
+
+// Build constructs an index over the tree rooted at root. The tree must
+// already carry Dewey IDs (xmltree.Parse assigns them; call AssignIDs
+// after manual construction).
+func Build(root *xmltree.Node) *Index {
+	idx := &Index{
+		postings: make(map[string]PostingList),
+		root:     root,
+	}
+	root.Walk(func(n *xmltree.Node) bool {
+		if n.Kind != xmltree.Element {
+			return true
+		}
+		seen := make(map[string]bool)
+		add := func(term string) {
+			if term == "" || seen[term] {
+				return
+			}
+			seen[term] = true
+			idx.postings[term] = append(idx.postings[term], n.ID)
+			idx.terms++
+		}
+		for _, t := range Tokenize(n.Tag) {
+			add(t)
+		}
+		for _, a := range n.Attrs {
+			for _, t := range Tokenize(a.Value) {
+				add(t)
+			}
+		}
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Text {
+				for _, t := range Tokenize(c.Text) {
+					add(t)
+				}
+			}
+		}
+		return true
+	})
+	// Walk is preorder, which is document order, so lists are already
+	// sorted; keep an explicit sort as a safety net for hand-built
+	// trees whose IDs were assigned out of order.
+	for term, list := range idx.postings {
+		sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
+		idx.postings[term] = list
+	}
+	return idx
+}
+
+// Root returns the tree the index was built over.
+func (idx *Index) Root() *xmltree.Node { return idx.root }
+
+// Lookup returns the posting list for term (already lowercased by
+// Tokenize conventions). The returned slice must not be modified.
+func (idx *Index) Lookup(term string) PostingList {
+	return idx.postings[term]
+}
+
+// DocFreq returns the number of nodes containing term.
+func (idx *Index) DocFreq(term string) int { return len(idx.postings[term]) }
+
+// Vocabulary returns all indexed terms in lexicographic order.
+func (idx *Index) Vocabulary() []string {
+	terms := make([]string, 0, len(idx.postings))
+	for t := range idx.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// Stats summarizes the index.
+type Stats struct {
+	Terms           int // distinct terms
+	Postings        int // total postings
+	IndexedElements int // elements with at least one posting (approximate: distinct IDs not tracked; reported as postings of tag terms)
+}
+
+// Stats returns summary statistics for the index.
+func (idx *Index) Stats() Stats {
+	s := Stats{Terms: len(idx.postings)}
+	for _, l := range idx.postings {
+		s.Postings += len(l)
+	}
+	s.IndexedElements = idx.terms
+	return s
+}
+
+// QueryLists resolves each query term to its posting list. It returns
+// an error listing the terms with empty postings, because SLCA over an
+// absent keyword is defined to be empty and callers usually want to
+// report that to the user instead.
+func (idx *Index) QueryLists(terms []string) ([]PostingList, error) {
+	lists := make([]PostingList, len(terms))
+	var missing []string
+	for i, t := range terms {
+		lists[i] = idx.postings[t]
+		if len(lists[i]) == 0 {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) > 0 {
+		return lists, &NoMatchError{Terms: missing}
+	}
+	return lists, nil
+}
+
+// NoMatchError reports query keywords that match no node.
+type NoMatchError struct {
+	Terms []string
+}
+
+func (e *NoMatchError) Error() string {
+	return fmt.Sprintf("index: no matches for keywords %v", e.Terms)
+}
+
+// gobIndex is the wire form for Save/Load. Dewey IDs flatten to []int.
+type gobIndex struct {
+	Postings map[string][][]int
+	Terms    int
+}
+
+// Save writes the index postings to w with encoding/gob. The tree
+// itself is not persisted; pair Save with the document it indexes.
+func (idx *Index) Save(w io.Writer) error {
+	g := gobIndex{Postings: make(map[string][][]int, len(idx.postings)), Terms: idx.terms}
+	for term, list := range idx.postings {
+		ids := make([][]int, len(list))
+		for i, id := range list {
+			ids[i] = []int(id)
+		}
+		g.Postings[term] = ids
+	}
+	if err := gob.NewEncoder(w).Encode(&g); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads postings written by Save and attaches them to root.
+func Load(r io.Reader, root *xmltree.Node) (*Index, error) {
+	var g gobIndex
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	idx := &Index{postings: make(map[string]PostingList, len(g.Postings)), root: root, terms: g.Terms}
+	for term, ids := range g.Postings {
+		list := make(PostingList, len(ids))
+		for i, id := range ids {
+			list[i] = dewey.ID(id)
+		}
+		idx.postings[term] = list
+	}
+	return idx, nil
+}

@@ -1,0 +1,90 @@
+package index
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+
+	"repro/internal/xmltree"
+)
+
+// TestPropTokenizeWellFormed: tokens are nonempty, lowercase,
+// alphanumeric-only, for arbitrary input strings.
+func TestPropTokenizeWellFormed(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				// Lowercased as far as Unicode allows (some letters,
+				// e.g. math bold capitals, have no lowercase form).
+				if r != unicode.ToLower(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropTokenizeCoversInput: every letter/digit of the input appears
+// in some token (nothing is silently dropped).
+func TestPropTokenizeCoversInput(t *testing.T) {
+	f := func(s string) bool {
+		joined := strings.Join(Tokenize(s), "")
+		count := 0
+		for _, r := range s {
+			if unicode.IsLetter(r) || unicode.IsDigit(r) {
+				count++
+			}
+		}
+		return len([]rune(joined)) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropTokenizeQueryIdempotent: re-tokenizing the joined query
+// terms yields the same terms.
+func TestPropTokenizeQueryIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := TokenizeQuery(s)
+		twice := TokenizeQuery(strings.Join(once, " "))
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPostingsSortedAndUnique: for arbitrary (small) documents,
+// every posting list is strictly increasing in document order.
+func TestPropPostingsSortedAndUnique(t *testing.T) {
+	docs := []string{
+		`<a><b>x y</b><b>x</b><c>y z</c></a>`,
+		`<a><a><a>deep deep</a></a></a>`,
+		`<r><p k="v w">v</p><p>w w v</p></r>`,
+		`<r><x>1 2 3</x><y>3 2 1</y><z>2</z></r>`,
+	}
+	for _, doc := range docs {
+		idx := Build(xmltree.MustParseString(doc))
+		for _, term := range idx.Vocabulary() {
+			list := idx.Lookup(term)
+			for i := 1; i < len(list); i++ {
+				if list[i-1].Compare(list[i]) >= 0 {
+					t.Fatalf("doc %q term %q: postings not strictly sorted: %v", doc, term, list)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package index
+
+import "sort"
+
+// Suggest returns the indexed terms within the given Levenshtein
+// distance of term, most frequent first — the "query cleaning"
+// companion technique the paper lists for a full keyword-search stack.
+// The term itself (distance 0) is excluded; maxDist is clamped to 2
+// (larger radii return junk on natural vocabularies).
+func (idx *Index) Suggest(term string, maxDist int) []string {
+	if maxDist < 1 {
+		maxDist = 1
+	}
+	if maxDist > 2 {
+		maxDist = 2
+	}
+	type cand struct {
+		term string
+		freq int
+		dist int
+	}
+	var out []cand
+	for t, postings := range idx.postings {
+		if t == term {
+			continue
+		}
+		// Cheap length filter before the DP.
+		dl := len(t) - len(term)
+		if dl < -maxDist || dl > maxDist {
+			continue
+		}
+		if d := levenshtein(term, t, maxDist); d <= maxDist {
+			out = append(out, cand{term: t, freq: len(postings), dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dist != out[j].dist {
+			return out[i].dist < out[j].dist
+		}
+		if out[i].freq != out[j].freq {
+			return out[i].freq > out[j].freq
+		}
+		return out[i].term < out[j].term
+	})
+	terms := make([]string, len(out))
+	for i, c := range out {
+		terms[i] = c.term
+	}
+	return terms
+}
+
+// levenshtein computes the edit distance between a and b, giving up
+// early (returning limit+1) once every cell of a DP row exceeds limit.
+func levenshtein(a, b string, limit int) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if v := prev[j] + 1; v < m { // delete
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m { // insert
+				m = v
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > limit {
+			return limit + 1
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

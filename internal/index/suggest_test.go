@@ -1,0 +1,94 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"gps", "gps", 0},
+		{"garmin", "garmen", 1},
+		{"tomtom", "tomtim", 1},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b, 10); got != c.want {
+			t.Errorf("levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinEarlyExit(t *testing.T) {
+	if got := levenshtein("aaaaaaaa", "bbbbbbbb", 2); got != 3 {
+		t.Fatalf("early exit returned %d, want limit+1 = 3", got)
+	}
+}
+
+func suggestIndex(t testing.TB) *Index {
+	t.Helper()
+	doc := `
+<store>
+  <product><name>garmin gps</name></product>
+  <product><name>garmin gps</name></product>
+  <product><name>tomtom gps</name></product>
+  <product><name>gypsum board</name></product>
+</store>`
+	return Build(xmltree.MustParseString(doc))
+}
+
+func TestSuggestTypo(t *testing.T) {
+	idx := suggestIndex(t)
+	got := idx.Suggest("garmen", 1)
+	if !reflect.DeepEqual(got, []string{"garmin"}) {
+		t.Fatalf("Suggest(garmen) = %v", got)
+	}
+}
+
+func TestSuggestOrdersByDistanceThenFrequency(t *testing.T) {
+	idx := suggestIndex(t)
+	got := idx.Suggest("gos", 2)
+	if len(got) == 0 || got[0] != "gps" {
+		t.Fatalf("Suggest(gos) = %v, want gps first", got)
+	}
+}
+
+func TestSuggestExcludesExactTerm(t *testing.T) {
+	idx := suggestIndex(t)
+	for _, s := range idx.Suggest("gps", 2) {
+		if s == "gps" {
+			t.Fatal("suggestion includes the queried term itself")
+		}
+	}
+}
+
+func TestSuggestClampsDistance(t *testing.T) {
+	idx := suggestIndex(t)
+	// maxDist 0 clamps to 1, 99 clamps to 2; both must not panic and
+	// must respect the clamp.
+	if got := idx.Suggest("garmen", 0); len(got) != 1 {
+		t.Fatalf("clamped-low Suggest = %v", got)
+	}
+	for _, s := range idx.Suggest("garmin", 99) {
+		if levenshtein("garmin", s, 10) > 2 {
+			t.Fatalf("suggestion %q beyond clamped distance", s)
+		}
+	}
+}
+
+func BenchmarkSuggest(b *testing.B) {
+	idx := suggestIndex(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = idx.Suggest("garmen", 2)
+	}
+}

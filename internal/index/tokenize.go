@@ -1,0 +1,50 @@
+// Package index implements the keyword-search substrate of XSACT: a
+// tokenizer and an inverted index mapping terms to document-ordered
+// lists of Dewey IDs of the XML nodes whose direct text (or tag name)
+// contains the term. The SLCA algorithms in package slca consume these
+// posting lists.
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase alphanumeric terms. Any rune that is
+// neither a letter nor a digit separates tokens, so "easy-to-read"
+// yields [easy to read] and "4.2" yields [4 2]. Empty input yields nil.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TokenizeQuery tokenizes a keyword query and removes duplicate terms,
+// preserving first-occurrence order. SLCA semantics treat a query as a
+// set of keywords.
+func TokenizeQuery(q string) []string {
+	terms := Tokenize(q)
+	seen := make(map[string]bool, len(terms))
+	out := terms[:0]
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package slca
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+)
+
+// ScanEager computes SLCAs with the Scan Eager algorithm (Xu &
+// Papakonstantinou's merge-based variant): like IndexedLookupEager it
+// walks the smallest posting list, but locates each node's closest
+// left/right neighbours in the other lists with monotonically
+// advancing pointers instead of binary searches. When the driving
+// list is not much smaller than the others, one linear merge beats
+// |S1|·log|S| lookups; the benchmark harness compares all three.
+func ScanEager(lists []index.PostingList) []dewey.ID {
+	if len(lists) == 0 {
+		return nil
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	if len(lists) == 1 {
+		return removeAncestors(dedupe(cloneIDs(lists[0])))
+	}
+	smallest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	others := make([]index.PostingList, 0, len(lists)-1)
+	for i, l := range lists {
+		if i != smallest {
+			others = append(others, l)
+		}
+	}
+	ptrs := make([]int, len(others))
+
+	var out []dewey.ID
+	for _, v := range lists[smallest] {
+		cand := v.Clone()
+		for oi, other := range others {
+			// Advance the pointer to the first element >= cand.
+			p := ptrs[oi]
+			for p < len(other) && other[p].Compare(v) < 0 {
+				p++
+			}
+			ptrs[oi] = p
+			best := dewey.Root()
+			if p < len(other) {
+				if l := cand.LCA(other[p]); l.Level() >= best.Level() {
+					best = l
+				}
+			}
+			if p > 0 {
+				if l := cand.LCA(other[p-1]); l.Level() > best.Level() {
+					best = l
+				}
+			}
+			cand = best
+		}
+		out = append(out, cand)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return removeAncestors(dedupe(out))
+}

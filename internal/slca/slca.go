@@ -1,0 +1,283 @@
+// Package slca computes Smallest Lowest Common Ancestors (SLCAs) of
+// XML keyword queries — the match semantics used by XSeek and hence by
+// XSACT's search-engine substrate.
+//
+// Given posting lists S1..Sk (one per keyword), a node v is an LCA
+// candidate if its subtree contains at least one node from every list;
+// v is an SLCA if additionally no proper descendant of v is also a
+// candidate. Results are returned in document order.
+//
+// Two algorithms are provided: Naive, a simple quadratic-ish scan used
+// as a correctness oracle, and IndexedLookupEager, the classic
+// efficient algorithm that walks the smallest list and probes the
+// others with binary search (Xu & Papakonstantinou, SIGMOD 2005).
+package slca
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+)
+
+// Compute returns the SLCAs of the given posting lists using the
+// efficient algorithm. It is the entry point callers should use.
+func Compute(lists []index.PostingList) []dewey.ID {
+	return IndexedLookupEager(lists)
+}
+
+// Naive computes SLCAs by materializing, for every node in the first
+// list, the LCA closure against all other lists, then removing
+// non-smallest results. It is O(n²) in the worst case and exists as a
+// correctness oracle for tests.
+func Naive(lists []index.PostingList) []dewey.ID {
+	if len(lists) == 0 {
+		return nil
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	if len(lists) == 1 {
+		// SLCA of a single keyword list: the nodes themselves, minus
+		// ancestors of other matches.
+		return removeAncestors(dedupe(cloneIDs(lists[0])))
+	}
+	// For every element of the first list, compute the smallest LCA it
+	// can form with one element from each other list.
+	var candidates []dewey.ID
+	for _, a := range lists[0] {
+		cur := a.Clone()
+		for _, other := range lists[1:] {
+			best := bestLCAWith(cur, other)
+			cur = best
+		}
+		candidates = append(candidates, cur)
+	}
+	return removeAncestors(dedupe(candidates))
+}
+
+// bestLCAWith returns the deepest LCA formable between id and any
+// element of list.
+func bestLCAWith(id dewey.ID, list index.PostingList) dewey.ID {
+	best := dewey.Root()
+	for _, b := range list {
+		l := id.LCA(b)
+		if l.Level() > best.Level() {
+			best = l
+		}
+	}
+	return best
+}
+
+// IndexedLookupEager implements the Indexed Lookup Eager SLCA
+// algorithm. It iterates over the smallest posting list; for each node
+// v it finds, in every other list, the closest match to v's left and
+// right (binary search in document order) and keeps the deeper of the
+// two LCAs. Candidate SLCAs are emitted eagerly and dominated
+// (ancestor) candidates removed on the fly.
+func IndexedLookupEager(lists []index.PostingList) []dewey.ID {
+	if len(lists) == 0 {
+		return nil
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	if len(lists) == 1 {
+		return removeAncestors(dedupe(cloneIDs(lists[0])))
+	}
+	// Walk the smallest list for efficiency.
+	smallest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	others := make([]index.PostingList, 0, len(lists)-1)
+	for i, l := range lists {
+		if i != smallest {
+			others = append(others, l)
+		}
+	}
+
+	var out []dewey.ID
+	push := func(cand dewey.ID) {
+		// Maintain out as a document-ordered list of incomparable
+		// nodes. Candidates arrive roughly in document order of the
+		// driving list, but their LCAs may repeat or nest, so compare
+		// against the current tail.
+		for len(out) > 0 {
+			last := out[len(out)-1]
+			if last.Equal(cand) {
+				return // duplicate
+			}
+			if last.IsAncestorOf(cand) {
+				// cand is smaller (deeper) — it replaces the ancestor.
+				out = out[:len(out)-1]
+				continue
+			}
+			if cand.IsAncestorOf(last) {
+				return // existing result is smaller
+			}
+			break
+		}
+		out = append(out, cand)
+	}
+
+	for _, v := range lists[smallest] {
+		cand := v.Clone()
+		dead := false
+		for _, other := range others {
+			l := closestLCA(cand, other)
+			if l == nil {
+				dead = true
+				break
+			}
+			cand = l
+		}
+		if !dead {
+			push(cand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return removeAncestors(out)
+}
+
+// closestLCA returns the deepest LCA of id with either the closest
+// left or closest right neighbour in list (document order), or nil if
+// the list is empty.
+func closestLCA(id dewey.ID, list index.PostingList) dewey.ID {
+	if len(list) == 0 {
+		return nil
+	}
+	// First position >= id in document order.
+	pos := sort.Search(len(list), func(i int) bool { return list[i].Compare(id) >= 0 })
+	best := dewey.Root()
+	if pos < len(list) {
+		if l := id.LCA(list[pos]); l.Level() >= best.Level() {
+			best = l
+		}
+	}
+	if pos > 0 {
+		if l := id.LCA(list[pos-1]); l.Level() > best.Level() {
+			best = l
+		}
+	}
+	return best
+}
+
+// removeAncestors removes every ID that is a proper ancestor of
+// another ID in the list, leaving only "smallest" (deepest) nodes.
+// Input must be sorted in document order and duplicate-free. In
+// document order a node's descendants immediately follow it, so a node
+// has a descendant in the list iff the next element is one — a single
+// pass over adjacent pairs suffices.
+func removeAncestors(sorted []dewey.ID) []dewey.ID {
+	var out []dewey.ID
+	for i, id := range sorted {
+		if i+1 < len(sorted) && id.IsAncestorOf(sorted[i+1]) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func dedupe(ids []dewey.ID) []dewey.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || !ids[i-1].Equal(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func cloneIDs(ids index.PostingList) []dewey.ID {
+	out := make([]dewey.ID, len(ids))
+	for i, id := range ids {
+		out[i] = id.Clone()
+	}
+	return out
+}
+
+// ELCA computes Exclusive LCAs: nodes v such that v's subtree contains
+// every keyword even after removing the subtrees of v's descendant
+// SLCAs. ELCA is a superset of SLCA and is provided for completeness
+// of the XSeek substrate (some XSeek variants return ELCAs).
+func ELCA(lists []index.PostingList) []dewey.ID {
+	slcas := IndexedLookupEager(lists)
+	if len(slcas) == 0 {
+		return nil
+	}
+	// A node is an ELCA iff, excluding matches under its descendant
+	// SLCAs, it still covers all keywords. Check every ancestor of
+	// every SLCA (small sets in practice).
+	seen := make(map[string]bool)
+	var out []dewey.ID
+	consider := func(v dewey.ID) {
+		key := v.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if isELCA(v, lists, slcas) {
+			out = append(out, v)
+		}
+	}
+	for _, s := range slcas {
+		consider(s)
+		cur := s
+		for {
+			p, ok := cur.Parent()
+			if !ok {
+				break
+			}
+			consider(p)
+			cur = p
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// isELCA reports whether v contains a witness of every keyword that is
+// not under a proper-descendant candidate of v. A node is a candidate
+// iff it contains all keywords, which holds exactly for the
+// ancestors-or-selves of SLCAs; since candidacy is upward closed, a
+// match m under v is excluded iff the child of v on the path to m is
+// itself a candidate (i.e. is an ancestor-or-self of some SLCA).
+func isELCA(v dewey.ID, lists []index.PostingList, slcas []dewey.ID) bool {
+	for _, list := range lists {
+		found := false
+		for _, m := range list {
+			if !v.IsAncestorOrSelf(m) {
+				continue
+			}
+			if m.Equal(v) {
+				found = true // witness at v itself is never excluded
+				break
+			}
+			child := m[:v.Level()+1]
+			excluded := false
+			for _, s := range slcas {
+				if child.IsAncestorOrSelf(s) {
+					excluded = true
+					break
+				}
+			}
+			if !excluded {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

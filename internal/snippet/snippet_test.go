@@ -1,0 +1,109 @@
+package snippet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/feature"
+)
+
+func mkStats(label string) *feature.Stats {
+	pro := feature.Type{Entity: "review", Attribute: "pro"}
+	use := feature.Type{Entity: "review", Attribute: "bestuse"}
+	name := feature.Type{Entity: "product", Attribute: "name"}
+	return feature.NewStatsFromCounts(label,
+		map[string]int{"review": 11, "product": 1},
+		map[feature.Feature]int{
+			{Type: pro, Value: "easy to read"}:   10,
+			{Type: pro, Value: "compact"}:        8,
+			{Type: pro, Value: "large screen"}:   1,
+			{Type: use, Value: "auto"}:           6,
+			{Type: name, Value: "TomTom Go 630"}: 1,
+		})
+}
+
+func TestSizeBound(t *testing.T) {
+	s := Generate(mkStats("GPS 1"), Options{Size: 3})
+	if len(s.Features) != 3 {
+		t.Fatalf("snippet size = %d, want 3", len(s.Features))
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	s := Generate(mkStats("GPS 1"), Options{})
+	if len(s.Features) != 4 {
+		t.Fatalf("default snippet size = %d, want 4", len(s.Features))
+	}
+}
+
+func TestFrequencyRanking(t *testing.T) {
+	s := Generate(mkStats("GPS 1"), Options{Size: 2})
+	if s.Features[0].Value != "easy to read" || s.Features[1].Value != "compact" {
+		t.Fatalf("ranking = %v", s.Features)
+	}
+}
+
+func TestQueryBias(t *testing.T) {
+	// "tomtom" matches only the name feature (count 1); the bias must
+	// lift it above the frequent pros.
+	s := Generate(mkStats("GPS 1"), Options{Size: 2, Query: "tomtom"})
+	if s.Features[0].Value != "TomTom Go 630" {
+		t.Fatalf("query bias failed: %v", s.Features)
+	}
+}
+
+func TestSnippetSmallerThanCorpus(t *testing.T) {
+	s := Generate(mkStats("GPS 1"), Options{Size: 50})
+	if len(s.Features) != 5 {
+		t.Fatalf("oversize bound kept %d features, want all 5", len(s.Features))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Generate(mkStats("GPS 1"), Options{Size: 2})
+	out := s.String()
+	if !strings.HasPrefix(out, "GPS 1:") || !strings.Contains(out, "easy to read") {
+		t.Fatalf("String = %q", out)
+	}
+}
+
+func TestAsSelection(t *testing.T) {
+	s := Generate(mkStats("GPS 1"), Options{Size: 3})
+	sel := s.AsSelection()
+	pro := feature.Type{Entity: "review", Attribute: "pro"}
+	// Top 3 by count: easy to read (10), compact (8), auto (6):
+	// pro depth 2, bestuse depth 1.
+	if sel[pro] != 2 {
+		t.Fatalf("AsSelection = %v", sel)
+	}
+	total := 0
+	for _, d := range sel {
+		total += d
+	}
+	if total != 3 {
+		t.Fatalf("selection size = %d", total)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	pro := feature.Type{Entity: "e", Attribute: "a"}
+	st := feature.NewStatsFromCounts("t", map[string]int{"e": 4},
+		map[feature.Feature]int{
+			{Type: pro, Value: "zzz"}: 2,
+			{Type: pro, Value: "aaa"}: 2,
+		})
+	for i := 0; i < 10; i++ {
+		s := Generate(st, Options{Size: 1})
+		if s.Features[0].Value != "aaa" {
+			t.Fatalf("tie break not deterministic: %v", s.Features)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	st := mkStats("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Generate(st, Options{Size: 4, Query: "tomtom gps"})
+	}
+}

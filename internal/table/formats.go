@@ -1,0 +1,98 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the comparison as a GitHub-flavoured Markdown
+// table (one row per feature type), for READMEs and issue reports.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("| feature |")
+	for _, l := range t.Labels {
+		fmt.Fprintf(&b, " %s |", escapeMarkdown(l))
+	}
+	b.WriteString("\n|---|")
+	for range t.Labels {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", escapeMarkdown(row.Type.String()))
+		for _, c := range row.Cells {
+			if !c.Known {
+				b.WriteString(" *unknown* |")
+				continue
+			}
+			fmt.Fprintf(&b, " %s |", escapeMarkdown(cellText(c)))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown returns the Markdown rendering.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	_ = t.WriteMarkdown(&b)
+	return b.String()
+}
+
+var markdownEscaper = strings.NewReplacer("|", "\\|", "\n", " ")
+
+func escapeMarkdown(s string) string { return markdownEscaper.Replace(s) }
+
+// WriteCSV renders the comparison as RFC-4180-style CSV with a header
+// row, for spreadsheets and downstream analysis. Unknown cells are
+// empty fields; multi-value cells join with "; ".
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRecord := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvField(f))
+		}
+		b.WriteString("\r\n")
+	}
+	writeRecord(append([]string{"feature"}, t.Labels...))
+	for _, row := range t.Rows {
+		fields := []string{row.Type.String()}
+		for _, c := range row.Cells {
+			if !c.Known {
+				fields = append(fields, "")
+				continue
+			}
+			parts := make([]string, len(c.Values))
+			for i, v := range c.Values {
+				if v.Rel >= 0.999 {
+					parts[i] = v.Value
+				} else {
+					parts[i] = fmt.Sprintf("%s (%.0f%%)", v.Value, v.Rel*100)
+				}
+			}
+			fields = append(fields, strings.Join(parts, "; "))
+		}
+		writeRecord(fields)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV returns the CSV rendering.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	_ = t.WriteCSV(&b)
+	return b.String()
+}
+
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

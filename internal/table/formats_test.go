@@ -1,0 +1,91 @@
+package table
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+)
+
+func TestMarkdownRendering(t *testing.T) {
+	out := Build(twoDFSs()).Markdown()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("markdown lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "| feature | GPS 1 | GPS 3 |") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "*unknown*") {
+		t.Fatal("markdown missing unknown marker")
+	}
+	if !strings.Contains(out, "compact (80%)") {
+		t.Fatalf("markdown missing cell:\n%s", out)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tp := feature.Type{Entity: "e", Attribute: "a"}
+	s := feature.NewStatsFromCounts("la|bel",
+		map[string]int{"e": 2},
+		map[feature.Feature]int{{Type: tp, Value: "v|w"}: 2})
+	out := Build([]*core.DFS{{Stats: s, Sel: core.Selection{tp: 1}}}).Markdown()
+	if strings.Contains(out, "| v|w |") || !strings.Contains(out, `la\|bel`) {
+		t.Fatalf("pipes unescaped:\n%s", out)
+	}
+}
+
+func TestCSVParsesBack(t *testing.T) {
+	out := Build(twoDFSs()).CSV()
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not reparse: %v\n%s", err, out)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "feature" || records[0][1] != "GPS 1" {
+		t.Fatalf("header = %v", records[0])
+	}
+	for _, rec := range records {
+		if len(rec) != 3 {
+			t.Fatalf("ragged record: %v", rec)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tp := feature.Type{Entity: "e", Attribute: "a"}
+	s := feature.NewStatsFromCounts(`comma, and "quote"`,
+		map[string]int{"e": 2},
+		map[feature.Feature]int{{Type: tp, Value: "x,y"}: 2})
+	out := Build([]*core.DFS{{Stats: s, Sel: core.Selection{tp: 1}}}).CSV()
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("quoted CSV does not reparse: %v\n%s", err, out)
+	}
+	if records[0][1] != `comma, and "quote"` {
+		t.Fatalf("label mangled: %q", records[0][1])
+	}
+	if records[1][1] != "x,y" {
+		t.Fatalf("value mangled: %q", records[1][1])
+	}
+}
+
+func TestCSVUnknownIsEmptyField(t *testing.T) {
+	out := Build(twoDFSs()).CSV()
+	records, _ := csv.NewReader(strings.NewReader(out)).ReadAll()
+	found := false
+	for _, rec := range records[1:] {
+		for _, f := range rec[1:] {
+			if f == "" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no empty (unknown) field in CSV:\n%s", out)
+	}
+}

@@ -1,0 +1,215 @@
+// Package table renders XSACT comparison tables (the paper's Figure 2
+// and the table shown by the demo UI's "comparison" button): one row
+// per feature type selected in any compared DFS, one column per
+// result, each cell showing the values and their relative frequencies,
+// with "unknown" where a result does not select the type.
+package table
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+)
+
+// Cell is one table cell: the values a DFS shows for a feature type.
+type Cell struct {
+	// Known is false when the result's DFS does not select the type —
+	// the paper's "null means unknown" semantics.
+	Known bool
+	// Values are the shown values with their relative frequencies.
+	Values []CellValue
+}
+
+type CellValue struct {
+	Value string
+	Rel   float64 // relative frequency in [0,1]
+	Count int     // raw occurrence count
+}
+
+// Row is one comparison row: a feature type across all results.
+type Row struct {
+	Type  feature.Type
+	Cells []Cell
+}
+
+// Table is a rendered comparison of several DFSs.
+type Table struct {
+	Labels []string
+	Rows   []Row
+}
+
+// Build assembles the comparison table for a set of DFSs. Rows are
+// ordered by entity, then by maximum significance across results, so
+// the most characteristic types come first.
+func Build(dfss []*core.DFS) *Table {
+	t := &Table{}
+	typeSet := make(map[feature.Type]bool)
+	for _, d := range dfss {
+		t.Labels = append(t.Labels, d.Stats.Label)
+		for tp := range d.Sel {
+			typeSet[tp] = true
+		}
+	}
+	types := make([]feature.Type, 0, len(typeSet))
+	for tp := range typeSet {
+		types = append(types, tp)
+	}
+	maxSig := func(tp feature.Type) int {
+		m := 0
+		for _, d := range dfss {
+			if s := d.Stats.TypeTotal(tp); s > m {
+				m = s
+			}
+		}
+		return m
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if types[i].Entity != types[j].Entity {
+			return types[i].Entity < types[j].Entity
+		}
+		si, sj := maxSig(types[i]), maxSig(types[j])
+		if si != sj {
+			return si > sj
+		}
+		return types[i].Attribute < types[j].Attribute
+	})
+	for _, tp := range types {
+		row := Row{Type: tp}
+		for _, d := range dfss {
+			depth, ok := d.Sel[tp]
+			cell := Cell{Known: ok}
+			if ok {
+				vals := d.Stats.ValuesOf(tp)
+				if depth > len(vals) {
+					depth = len(vals)
+				}
+				for _, vc := range vals[:depth] {
+					cell.Values = append(cell.Values, CellValue{
+						Value: vc.Value,
+						Rel:   d.Stats.Rel(tp, vc.Value),
+						Count: vc.Count,
+					})
+				}
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// cellText renders a cell for the text table.
+func cellText(c Cell) string {
+	if !c.Known {
+		return "unknown"
+	}
+	parts := make([]string, len(c.Values))
+	for i, v := range c.Values {
+		if v.Rel >= 0.999 {
+			parts[i] = v.Value
+		} else {
+			parts[i] = fmt.Sprintf("%s (%.0f%%)", v.Value, v.Rel*100)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// WriteText renders an aligned plain-text comparison table.
+func (t *Table) WriteText(w io.Writer) error {
+	headers := append([]string{"feature"}, t.Labels...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, row := range t.Rows {
+		line := make([]string, len(headers))
+		line[0] = row.Type.String()
+		for ci, c := range row.Cells {
+			line[ci+1] = cellText(c)
+		}
+		for i, s := range line {
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+		cells[ri] = line
+	}
+	var b strings.Builder
+	writeLine := func(parts []string) {
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString("  | ")
+			}
+			b.WriteString(p)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(p)))
+		}
+		b.WriteByte('\n')
+	}
+	writeLine(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeLine(sep)
+	for _, line := range cells {
+		writeLine(line)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text returns the plain-text rendering.
+func (t *Table) Text() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}
+
+// WriteHTML renders the table as a self-contained HTML fragment
+// (<table> element) for the web demo.
+func (t *Table) WriteHTML(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("<table class=\"xsact-comparison\">\n<thead><tr><th>feature</th>")
+	for _, l := range t.Labels {
+		fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(l))
+	}
+	b.WriteString("</tr></thead>\n<tbody>\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "<tr><td>%s</td>", html.EscapeString(row.Type.String()))
+		for _, c := range row.Cells {
+			if !c.Known {
+				b.WriteString(`<td class="unknown">unknown</td>`)
+				continue
+			}
+			b.WriteString("<td>")
+			for i, v := range c.Values {
+				if i > 0 {
+					b.WriteString("<br>")
+				}
+				if v.Rel >= 0.999 {
+					b.WriteString(html.EscapeString(v.Value))
+				} else {
+					fmt.Fprintf(&b, "%s (%.0f%%)", html.EscapeString(v.Value), v.Rel*100)
+				}
+			}
+			b.WriteString("</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody>\n</table>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// HTML returns the HTML rendering.
+func (t *Table) HTML() string {
+	var b strings.Builder
+	_ = t.WriteHTML(&b)
+	return b.String()
+}

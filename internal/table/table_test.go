@@ -1,0 +1,151 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+)
+
+func twoDFSs() []*core.DFS {
+	pro := feature.Type{Entity: "review", Attribute: "pro"}
+	use := feature.Type{Entity: "review", Attribute: "bestuse"}
+	a := feature.NewStatsFromCounts("GPS 1",
+		map[string]int{"review": 10},
+		map[feature.Feature]int{
+			{Type: pro, Value: "compact"}: 8,
+			{Type: use, Value: "auto"}:    6,
+		})
+	b := feature.NewStatsFromCounts("GPS 3",
+		map[string]int{"review": 20},
+		map[feature.Feature]int{
+			{Type: pro, Value: "compact"}: 4,
+		})
+	return []*core.DFS{
+		{Stats: a, Sel: core.Selection{pro: 1, use: 1}},
+		{Stats: b, Sel: core.Selection{pro: 1}},
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	tbl := Build(twoDFSs())
+	if len(tbl.Labels) != 2 || tbl.Labels[0] != "GPS 1" {
+		t.Fatalf("labels = %v", tbl.Labels)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (pro, bestuse)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row.Cells) != 2 {
+			t.Fatalf("row %v has %d cells", row.Type, len(row.Cells))
+		}
+	}
+}
+
+func TestUnknownCell(t *testing.T) {
+	tbl := Build(twoDFSs())
+	var useRow *Row
+	for i := range tbl.Rows {
+		if tbl.Rows[i].Type.Attribute == "bestuse" {
+			useRow = &tbl.Rows[i]
+		}
+	}
+	if useRow == nil {
+		t.Fatal("bestuse row missing")
+	}
+	if !useRow.Cells[0].Known || useRow.Cells[1].Known {
+		t.Fatalf("unknown semantics wrong: %+v", useRow.Cells)
+	}
+}
+
+func TestCellPercentages(t *testing.T) {
+	tbl := Build(twoDFSs())
+	var proRow *Row
+	for i := range tbl.Rows {
+		if tbl.Rows[i].Type.Attribute == "pro" {
+			proRow = &tbl.Rows[i]
+		}
+	}
+	c0 := proRow.Cells[0].Values[0]
+	if c0.Value != "compact" || c0.Count != 8 || c0.Rel < 0.79 || c0.Rel > 0.81 {
+		t.Fatalf("cell = %+v", c0)
+	}
+	c1 := proRow.Cells[1].Values[0]
+	if c1.Rel < 0.19 || c1.Rel > 0.21 {
+		t.Fatalf("cell = %+v", c1)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	out := Build(twoDFSs()).Text()
+	for _, want := range []string{"GPS 1", "GPS 3", "review:pro", "compact (80%)", "compact (20%)", "unknown"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text table missing %q:\n%s", want, out)
+		}
+	}
+	// Aligned: all lines equal length in a fixed-width table? At least
+	// the header separator row exists.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestHTMLRendering(t *testing.T) {
+	out := Build(twoDFSs()).HTML()
+	for _, want := range []string{"<table", "<th>GPS 1</th>", `class="unknown"`, "compact (80%)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTMLEscapes(t *testing.T) {
+	pro := feature.Type{Entity: "e", Attribute: "a"}
+	s := feature.NewStatsFromCounts(`<img src=x>`,
+		map[string]int{"e": 2},
+		map[feature.Feature]int{{Type: pro, Value: `<script>`}: 2})
+	tbl := Build([]*core.DFS{{Stats: s, Sel: core.Selection{pro: 1}}})
+	out := tbl.HTML()
+	if strings.Contains(out, "<script>") || strings.Contains(out, "<img") {
+		t.Fatalf("unescaped HTML:\n%s", out)
+	}
+}
+
+func TestFullFrequencyOmitsPercent(t *testing.T) {
+	name := feature.Type{Entity: "product", Attribute: "name"}
+	s := feature.NewStatsFromCounts("P",
+		map[string]int{"product": 1},
+		map[feature.Feature]int{{Type: name, Value: "TomTom"}: 1})
+	out := Build([]*core.DFS{{Stats: s, Sel: core.Selection{name: 1}}}).Text()
+	if strings.Contains(out, "(100%)") {
+		t.Fatalf("100%% frequencies should render bare:\n%s", out)
+	}
+	if !strings.Contains(out, "TomTom") {
+		t.Fatalf("value missing:\n%s", out)
+	}
+}
+
+func TestRowOrderGroupsEntities(t *testing.T) {
+	pro := feature.Type{Entity: "review", Attribute: "pro"}
+	name := feature.Type{Entity: "product", Attribute: "name"}
+	s := feature.NewStatsFromCounts("P",
+		map[string]int{"product": 1, "review": 5},
+		map[feature.Feature]int{
+			{Type: pro, Value: "compact"}: 5,
+			{Type: name, Value: "X"}:      1,
+		})
+	tbl := Build([]*core.DFS{{Stats: s, Sel: core.Selection{pro: 1, name: 1}}})
+	if tbl.Rows[0].Type.Entity != "product" || tbl.Rows[1].Type.Entity != "review" {
+		t.Fatalf("rows not grouped by entity: %v, %v", tbl.Rows[0].Type, tbl.Rows[1].Type)
+	}
+}
+
+func BenchmarkBuildAndRender(b *testing.B) {
+	dfss := twoDFSs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Build(dfss).Text()
+	}
+}

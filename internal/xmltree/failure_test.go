@@ -1,0 +1,174 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropParseNeverPanics: arbitrary byte soup must produce either a
+// tree or an error, never a panic — the parser fronts untrusted files
+// in cmd/xsact.
+func TestPropParseNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseString(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropParseXMLishNeverPanics: byte soup wrapped in a valid root is
+// more likely to reach deeper parser states.
+func TestPropParseXMLishNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseString("<r>" + string(data) + "</r>")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTruncatedDocuments(t *testing.T) {
+	full := `<store><product><name>TomTom</name><rating>4.2</rating></product></store>`
+	for cut := 1; cut < len(full); cut++ {
+		doc := full[:cut]
+		root, err := ParseString(doc)
+		if err == nil {
+			// A prefix that happens to be well-formed must still be a
+			// coherent tree.
+			if root == nil || root.Tag == "" {
+				t.Fatalf("cut %d: nil/empty tree without error", cut)
+			}
+		}
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	depth := 2000
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<d>")
+	}
+	b.WriteString("x")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</d>")
+	}
+	root, err := ParseString(b.String())
+	if err != nil {
+		t.Fatalf("deep document rejected: %v", err)
+	}
+	n := root
+	for n.FirstChildElement("d") != nil {
+		n = n.FirstChildElement("d")
+	}
+	if n.Depth() != depth-1 {
+		t.Fatalf("depth = %d, want %d", n.Depth(), depth-1)
+	}
+	// Dewey IDs and serialization survive the depth too.
+	if root.NodeAt(n.ID) != n {
+		t.Fatal("deep node unresolvable by ID")
+	}
+	if _, err := ParseString(XMLString(root)); err != nil {
+		t.Fatalf("deep document does not round-trip: %v", err)
+	}
+}
+
+func TestParseManyChildren(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 10000; i++ {
+		b.WriteString("<c>v</c>")
+	}
+	b.WriteString("</r>")
+	root, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 10000 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	last := root.Children[9999]
+	if last.ID[0] != 9999 {
+		t.Fatalf("last child ID = %v", last.ID)
+	}
+}
+
+func TestParseEntitiesAndCDATA(t *testing.T) {
+	root, err := ParseString(`<r><v>a &amp; b &lt;c&gt;</v><w><![CDATA[raw <stuff> here]]></w></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.FirstChildElement("v").Value(); got != "a & b <c>" {
+		t.Fatalf("entity decoding = %q", got)
+	}
+	if got := root.FirstChildElement("w").Value(); got != "raw <stuff> here" {
+		t.Fatalf("CDATA = %q", got)
+	}
+}
+
+func TestParseCommentsAndPIsIgnored(t *testing.T) {
+	root, err := ParseString(`<?xml version="1.0"?><!-- hi --><r><!-- inner --><v>x</v><?pi data?></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.CountNodes() != 3 { // r, v, text
+		t.Fatalf("nodes = %d, want 3", root.CountNodes())
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	root, err := ParseString(`<p>before <b>bold</b> after</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("mixed content children = %d", len(root.Children))
+	}
+	if root.DeepValue() != "before bold after" {
+		t.Fatalf("DeepValue = %q", root.DeepValue())
+	}
+}
+
+func TestParseLimitedDepth(t *testing.T) {
+	doc := "<a><b><c><d>x</d></c></b></a>"
+	if _, err := ParseLimited(strings.NewReader(doc), Limits{MaxDepth: 3}); err == nil {
+		t.Fatal("depth-4 document should exceed MaxDepth 3")
+	}
+	root, err := ParseLimited(strings.NewReader(doc), Limits{MaxDepth: 4})
+	if err != nil {
+		t.Fatalf("depth-4 document within MaxDepth 4: %v", err)
+	}
+	if root.Tag != "a" {
+		t.Fatalf("root = %q", root.Tag)
+	}
+}
+
+func TestParseLimitedNodes(t *testing.T) {
+	doc := "<r><a>1</a><b>2</b><c>3</c></r>" // 7 nodes
+	if _, err := ParseLimited(strings.NewReader(doc), Limits{MaxNodes: 6}); err == nil {
+		t.Fatal("7-node document should exceed MaxNodes 6")
+	}
+	if _, err := ParseLimited(strings.NewReader(doc), Limits{MaxNodes: 7}); err != nil {
+		t.Fatalf("7-node document within MaxNodes 7: %v", err)
+	}
+}
+
+func TestParseLimitedZeroMeansUnlimited(t *testing.T) {
+	doc := "<a><b><c>x</c></b></a>"
+	if _, err := ParseLimited(strings.NewReader(doc), Limits{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Limits bounds resource use when parsing untrusted documents. Zero
+// fields are unlimited.
+type Limits struct {
+	// MaxDepth caps element nesting; beyond it parsing fails instead
+	// of building a tree whose recursive traversals would blow the
+	// stack.
+	MaxDepth int
+	// MaxNodes caps the total number of tree nodes (elements + text).
+	MaxNodes int
+}
+
+// Parse reads an XML document from r and returns its root element as a
+// DOM-style tree with Dewey IDs assigned. Whitespace-only text is
+// dropped; comments, processing instructions and directives are
+// ignored. Multiple root elements or content outside the root are
+// rejected. No resource limits are applied; use ParseLimited for
+// untrusted input.
+func Parse(r io.Reader) (*Node, error) {
+	return ParseLimited(r, Limits{})
+}
+
+// ParseLimited is Parse with resource limits enforced during parsing.
+func ParseLimited(r io.Reader, lim Limits) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	nodes := 0
+	count := func() error {
+		nodes++
+		if lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+			return fmt.Errorf("xmltree: parse: document exceeds %d nodes", lim.MaxNodes)
+		}
+		return nil
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if lim.MaxDepth > 0 && len(stack) >= lim.MaxDepth {
+				return nil, fmt.Errorf("xmltree: parse: nesting exceeds depth %d", lim.MaxDepth)
+			}
+			if err := count(); err != nil {
+				return nil, err
+			}
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements (%q after %q)", t.Name.Local, root.Tag)
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AppendChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unexpected end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: character data %q outside root element", truncate(text, 24))
+			}
+			if err := count(); err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1].AppendText(text)
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// ignored: they carry no queryable content
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unclosed element %q", stack[len(stack)-1].Tag)
+	}
+	root.AssignIDs(nil)
+	return root, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(doc string) (*Node, error) {
+	return Parse(strings.NewReader(doc))
+}
+
+// MustParseString parses doc and panics on error. Intended for tests
+// and package-level fixtures only.
+func MustParseString(doc string) *Node {
+	n, err := ParseString(doc)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// WriteXML serializes n's subtree as XML to w. Elements with only text
+// children render on one line; containers indent their children by two
+// spaces per level. The output round-trips through Parse.
+func WriteXML(w io.Writer, n *Node) error {
+	sw := &stickyWriter{w: w}
+	writeNode(sw, n, 0)
+	return sw.err
+}
+
+// XMLString returns the serialized form of n's subtree.
+func XMLString(n *Node) string {
+	var b strings.Builder
+	// strings.Builder never errors.
+	_ = WriteXML(&b, n)
+	return b.String()
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) writeString(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func writeNode(w *stickyWriter, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Kind == Text {
+		w.writeString(indent)
+		w.writeString(escapeText(n.Text))
+		w.writeString("\n")
+		return
+	}
+	w.writeString(indent)
+	w.writeString("<")
+	w.writeString(n.Tag)
+	for _, a := range n.Attrs {
+		w.writeString(" ")
+		w.writeString(a.Name)
+		w.writeString(`="`)
+		w.writeString(escapeAttr(a.Value))
+		w.writeString(`"`)
+	}
+	if len(n.Children) == 0 {
+		w.writeString("/>\n")
+		return
+	}
+	if n.IsLeafElement() {
+		w.writeString(">")
+		w.writeString(escapeText(n.Value()))
+		w.writeString("</")
+		w.writeString(n.Tag)
+		w.writeString(">\n")
+		return
+	}
+	w.writeString(">\n")
+	for _, c := range n.Children {
+		writeNode(w, c, depth+1)
+	}
+	w.writeString(indent)
+	w.writeString("</")
+	w.writeString(n.Tag)
+	w.writeString(">\n")
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,169 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Select evaluates a small XPath-like path expression against n and
+// returns the matching nodes in document order. Supported syntax:
+//
+//	tag          child elements with that tag
+//	*            any child element
+//	//tag        descendants-or-self with that tag (at segment start
+//	             or between segments)
+//	tag[i]       the i-th (1-based) match of the segment
+//	@attr        final segment: nodes having the attribute (value via
+//	             Node.Attr)
+//
+// Examples: "product/name", "//review/pro", "product[2]//pro",
+// "product/@sku". It is deliberately a subset — enough for tooling
+// and tests without an XPath engine dependency.
+func (n *Node) Select(path string) ([]*Node, error) {
+	if n == nil {
+		return nil, fmt.Errorf("xmltree: Select on nil node")
+	}
+	path = strings.TrimSpace(path)
+	if path == "" {
+		return nil, fmt.Errorf("xmltree: empty path")
+	}
+	segs, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := []*Node{n}
+	for _, seg := range segs {
+		var next []*Node
+		for _, c := range cur {
+			next = append(next, seg.apply(c)...)
+		}
+		if seg.index > 0 {
+			if seg.index > len(next) {
+				next = nil
+			} else {
+				next = next[seg.index-1 : seg.index]
+			}
+		}
+		cur = dedupeNodes(next)
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+// SelectFirst returns the first match of Select, or nil.
+func (n *Node) SelectFirst(path string) (*Node, error) {
+	all, err := n.Select(path)
+	if err != nil || len(all) == 0 {
+		return nil, err
+	}
+	return all[0], nil
+}
+
+type pathSeg struct {
+	tag   string // "*" = any element; "@x" = attribute test
+	deep  bool   // // prefix: search descendants
+	index int    // 1-based [i] filter; 0 = all
+}
+
+func parsePath(path string) ([]pathSeg, error) {
+	// Mark descendant steps so a plain split on "/" suffices:
+	// "a//b" -> segments ["a", "\x00b"], "//a" -> ["\x00a"].
+	norm := strings.ReplaceAll(path, "//", "/\x00")
+	norm = strings.TrimPrefix(norm, "/")
+	var segs []pathSeg
+	for _, part := range strings.Split(norm, "/") {
+		deep := strings.HasPrefix(part, "\x00")
+		segs = append(segs, makeSeg(strings.TrimPrefix(part, "\x00"), deep))
+	}
+	for i, s := range segs {
+		if s.tag == "" {
+			return nil, fmt.Errorf("xmltree: path %q has an empty segment", path)
+		}
+		if strings.HasPrefix(s.tag, "@") && i != len(segs)-1 {
+			return nil, fmt.Errorf("xmltree: attribute segment %q must be last", s.tag)
+		}
+		if s.index < 0 {
+			return nil, fmt.Errorf("xmltree: bad index in path %q", path)
+		}
+	}
+	return segs, nil
+}
+
+func makeSeg(token string, deep bool) pathSeg {
+	seg := pathSeg{deep: deep}
+	if i := strings.Index(token, "["); i >= 0 && strings.HasSuffix(token, "]") {
+		idx := 0
+		numeric := true
+		for _, r := range token[i+1 : len(token)-1] {
+			if r < '0' || r > '9' {
+				numeric = false
+				break
+			}
+			idx = idx*10 + int(r-'0')
+		}
+		if numeric && idx > 0 {
+			seg.index = idx
+			token = token[:i]
+		} else {
+			seg.index = -1 // flagged invalid; parsePath rejects
+		}
+	}
+	seg.tag = token
+	return seg
+}
+
+func (s pathSeg) apply(n *Node) []*Node {
+	if strings.HasPrefix(s.tag, "@") {
+		name := s.tag[1:]
+		var out []*Node
+		check := func(m *Node) {
+			if _, ok := m.Attr(name); ok {
+				out = append(out, m)
+			}
+		}
+		if s.deep {
+			n.Walk(func(m *Node) bool {
+				if m.Kind == Element {
+					check(m)
+				}
+				return true
+			})
+		} else {
+			check(n)
+		}
+		return out
+	}
+	match := func(m *Node) bool {
+		return m.Kind == Element && (s.tag == "*" || m.Tag == s.tag)
+	}
+	var out []*Node
+	if s.deep {
+		n.Walk(func(m *Node) bool {
+			if match(m) {
+				out = append(out, m)
+			}
+			return true
+		})
+		return out
+	}
+	for _, c := range n.Children {
+		if match(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func dedupeNodes(nodes []*Node) []*Node {
+	seen := make(map[*Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

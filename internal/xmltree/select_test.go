@@ -1,0 +1,130 @@
+package xmltree
+
+import "testing"
+
+const selectDoc = `
+<store>
+  <product sku="A1">
+    <name>Go 630</name>
+    <reviews>
+      <review><pro>compact</pro><pro>bright</pro></review>
+      <review><pro>compact</pro></review>
+    </reviews>
+  </product>
+  <product sku="B2">
+    <name>Go 730</name>
+    <reviews>
+      <review><pro>fast</pro></review>
+    </reviews>
+  </product>
+</store>`
+
+func sel(t *testing.T, path string) []*Node {
+	t.Helper()
+	root := MustParseString(selectDoc)
+	out, err := root.Select(path)
+	if err != nil {
+		t.Fatalf("Select(%q): %v", path, err)
+	}
+	return out
+}
+
+func TestSelectChild(t *testing.T) {
+	if got := sel(t, "product"); len(got) != 2 {
+		t.Fatalf("product -> %d nodes", len(got))
+	}
+	if got := sel(t, "product/name"); len(got) != 2 || got[0].Value() != "Go 630" {
+		t.Fatalf("product/name -> %v", got)
+	}
+}
+
+func TestSelectDescendant(t *testing.T) {
+	if got := sel(t, "//pro"); len(got) != 4 {
+		t.Fatalf("//pro -> %d nodes", len(got))
+	}
+	if got := sel(t, "product//pro"); len(got) != 4 {
+		t.Fatalf("product//pro -> %d nodes", len(got))
+	}
+	if got := sel(t, "//review/pro"); len(got) != 4 {
+		t.Fatalf("//review/pro -> %d nodes", len(got))
+	}
+}
+
+func TestSelectWildcard(t *testing.T) {
+	if got := sel(t, "product/*"); len(got) != 4 { // 2x name + 2x reviews
+		t.Fatalf("product/* -> %d nodes", len(got))
+	}
+}
+
+func TestSelectIndex(t *testing.T) {
+	got := sel(t, "product[2]/name")
+	if len(got) != 1 || got[0].Value() != "Go 730" {
+		t.Fatalf("product[2]/name -> %v", got)
+	}
+	if got := sel(t, "product[9]"); got != nil {
+		t.Fatalf("out-of-range index -> %v", got)
+	}
+	// Index over a descendant axis picks from the flattened match list.
+	got = sel(t, "//pro[3]")
+	if len(got) != 1 || got[0].Value() != "compact" {
+		t.Fatalf("//pro[3] -> %v", got)
+	}
+}
+
+func TestSelectAttribute(t *testing.T) {
+	got := sel(t, "//@sku")
+	if len(got) != 2 || got[0].Tag != "product" {
+		t.Fatalf("//@sku -> %v", got)
+	}
+	first, err := MustParseString(selectDoc).SelectFirst("product/@sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := first.Attr("sku"); v != "A1" {
+		t.Fatalf("first sku = %q", v)
+	}
+}
+
+func TestSelectNoMatch(t *testing.T) {
+	if got := sel(t, "zebra"); got != nil {
+		t.Fatalf("zebra -> %v", got)
+	}
+	first, err := MustParseString(selectDoc).SelectFirst("zebra")
+	if err != nil || first != nil {
+		t.Fatalf("SelectFirst(zebra) = %v, %v", first, err)
+	}
+}
+
+func TestSelectDocumentOrderAndDedup(t *testing.T) {
+	got := sel(t, "//pro")
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID.Compare(got[i].ID) >= 0 {
+			t.Fatal("selection not in document order")
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	root := MustParseString(selectDoc)
+	for _, bad := range []string{"", "  ", "a/", "a//", "//", "a//@x/y", "a[x]", "a[0]"} {
+		if _, err := root.Select(bad); err == nil {
+			t.Errorf("Select(%q) should error", bad)
+		}
+	}
+	var nilNode *Node
+	if _, err := nilNode.Select("a"); err == nil {
+		t.Error("Select on nil node should error")
+	}
+}
+
+func TestSelectOnSubtree(t *testing.T) {
+	root := MustParseString(selectDoc)
+	prod := root.ChildElements()[0]
+	got, err := prod.Select("//pro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("subtree //pro -> %d, want 3", len(got))
+	}
+}

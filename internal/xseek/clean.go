@@ -1,0 +1,84 @@
+package xseek
+
+import (
+	"repro/internal/index"
+	"repro/internal/slca"
+)
+
+// CleanQuery maps each query keyword to the closest indexed term:
+// keywords already in the vocabulary pass through; unmatched keywords
+// are replaced by their best spelling suggestion (edit distance ≤ 2);
+// keywords with no suggestion are kept as-is (Search will then report
+// them via NoMatchError). The returned slice preserves keyword order.
+// This is the paper's "query cleaning" companion technique.
+func (e *Engine) CleanQuery(query string) []string {
+	terms := index.TokenizeQuery(query)
+	out := make([]string, len(terms))
+	for i, t := range terms {
+		if e.idx.DocFreq(t) > 0 {
+			out[i] = t
+			continue
+		}
+		if sugg := e.idx.Suggest(t, 2); len(sugg) > 0 {
+			out[i] = sugg[0]
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}
+
+// SearchCleaned cleans the query first and then searches, returning
+// the corrected keywords alongside the results so a UI can display
+// "showing results for ...".
+func (e *Engine) SearchCleaned(query string) ([]*Result, []string, error) {
+	cleaned := e.CleanQuery(query)
+	joined := ""
+	for i, t := range cleaned {
+		if i > 0 {
+			joined += " "
+		}
+		joined += t
+	}
+	res, err := e.Search(joined)
+	return res, cleaned, err
+}
+
+// SearchELCA runs the query under Exclusive LCA semantics instead of
+// SLCA: ancestors that contain all keywords through witnesses outside
+// their candidate descendants are also returned. ELCA is a superset of
+// SLCA; some XSeek variants prefer it for recall.
+func (e *Engine) SearchELCA(query string) ([]*Result, error) {
+	terms := index.TokenizeQuery(query)
+	if len(terms) == 0 {
+		return nil, errEmptyQuery
+	}
+	lists, err := e.idx.QueryLists(terms)
+	if err != nil {
+		return nil, err
+	}
+	matches := slca.ELCA(lists)
+	var out []*Result
+	seen := make(map[string]bool)
+	for _, m := range matches {
+		matchNode := e.root.NodeAt(m)
+		if matchNode == nil {
+			continue
+		}
+		resultRoot := e.schema.NearestEntity(matchNode)
+		if resultRoot == nil {
+			resultRoot = matchNode
+		}
+		key := resultRoot.ID.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, &Result{
+			Node:  resultRoot,
+			Match: matchNode,
+			Label: e.labelFor(resultRoot),
+		})
+	}
+	return out, nil
+}

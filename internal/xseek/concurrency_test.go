@@ -1,0 +1,42 @@
+package xseek
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestConcurrentSearches: an Engine is read-only after construction,
+// so any number of goroutines may search it concurrently. Run with
+// -race to verify.
+func TestConcurrentSearches(t *testing.T) {
+	root := dataset.ProductReviews(dataset.ReviewsConfig{Seed: 9, ProductsPerCategory: 4, MinReviews: 5, MaxReviews: 10})
+	eng := New(root)
+	queries := []string{"tomtom gps", "garmin gps", "nokia phone", "canon camera", "gps travel"}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := eng.Search(q); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := eng.SearchRanked(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

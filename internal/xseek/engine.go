@@ -1,0 +1,131 @@
+package xseek
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/slca"
+	"repro/internal/xmltree"
+)
+
+// errEmptyQuery is returned when a query tokenizes to no keywords.
+var errEmptyQuery = fmt.Errorf("xseek: empty query")
+
+// Engine is an XSeek-style keyword search engine over one XML document:
+// an inverted index, a schema summary, and SLCA + return-node logic.
+type Engine struct {
+	root   *xmltree.Node
+	idx    *index.Index
+	schema *Schema
+}
+
+// New builds an engine (index + schema summary) over root. The tree
+// must carry Dewey IDs (xmltree.Parse assigns them).
+func New(root *xmltree.Node) *Engine {
+	return &Engine{
+		root:   root,
+		idx:    index.Build(root),
+		schema: InferSchema(root),
+	}
+}
+
+// Root returns the document the engine searches.
+func (e *Engine) Root() *xmltree.Node { return e.root }
+
+// Schema returns the inferred schema summary.
+func (e *Engine) Schema() *Schema { return e.schema }
+
+// Index returns the underlying inverted index.
+func (e *Engine) Index() *index.Index { return e.idx }
+
+// Result is one search result: the entity subtree that contains an
+// SLCA match, as XSeek's return-node inference dictates.
+type Result struct {
+	// Node is the result's root: the nearest entity ancestor-or-self
+	// of the SLCA (or the SLCA itself when no entity encloses it).
+	Node *xmltree.Node
+	// Match is the SLCA node that triggered this result.
+	Match *xmltree.Node
+	// Label is a short human identifier: the value of the entity's
+	// first name-like attribute, falling back to tag + Dewey ID.
+	Label string
+}
+
+// ID returns the Dewey ID of the result root.
+func (r *Result) ID() dewey.ID { return r.Node.ID }
+
+// Search runs a keyword query and returns results in document order.
+// Distinct SLCAs falling in the same entity are merged into one
+// result. A query with no matches returns an empty slice and the
+// index.NoMatchError describing the missing keywords.
+func (e *Engine) Search(query string) ([]*Result, error) {
+	terms := index.TokenizeQuery(query)
+	if len(terms) == 0 {
+		return nil, errEmptyQuery
+	}
+	lists, err := e.idx.QueryLists(terms)
+	if err != nil {
+		return nil, err
+	}
+	matches := slca.Compute(lists)
+	var out []*Result
+	seen := make(map[string]bool)
+	for _, m := range matches {
+		matchNode := e.root.NodeAt(m)
+		if matchNode == nil {
+			return nil, fmt.Errorf("xseek: internal: SLCA %v not in tree", m)
+		}
+		resultRoot := e.schema.NearestEntity(matchNode)
+		if resultRoot == nil {
+			resultRoot = matchNode
+		}
+		key := resultRoot.ID.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, &Result{
+			Node:  resultRoot,
+			Match: matchNode,
+			Label: e.labelFor(resultRoot),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node.ID.Compare(out[j].Node.ID) < 0 })
+	return out, nil
+}
+
+// nameLikeTags are attribute tags that make good result labels, in
+// preference order.
+var nameLikeTags = []string{"name", "title", "id", "brand", "label"}
+
+func (e *Engine) labelFor(n *xmltree.Node) string {
+	for _, tag := range nameLikeTags {
+		if c := n.FirstChildElement(tag); c != nil && c.IsLeafElement() {
+			if v := c.Value(); v != "" {
+				return v
+			}
+		}
+	}
+	return fmt.Sprintf("%s@%s", n.Tag, n.ID)
+}
+
+// DescribeResult renders a one-line, depth-limited summary of a result
+// for listings (product name + first few attribute values), mirroring
+// the result list of the demo UI.
+func DescribeResult(r *Result, maxParts int) string {
+	parts := []string{r.Label}
+	for _, c := range r.Node.ChildElements() {
+		if len(parts) >= maxParts {
+			break
+		}
+		if c.IsLeafElement() {
+			if v := c.Value(); v != "" && v != r.Label {
+				parts = append(parts, c.Tag+"="+v)
+			}
+		}
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,66 @@
+package xseek
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+)
+
+// RankedResult is a search result with a relevance score. XSACT's demo
+// lists results before the user ticks the ones to compare; ranking
+// puts the most relevant first, as the paper's "result ranking"
+// companion technique does.
+type RankedResult struct {
+	*Result
+	// Score is a TF-IDF-style relevance score: higher is better.
+	Score float64
+}
+
+// SearchRanked runs Search and orders the results by relevance:
+// for each query term, the number of matching elements inside the
+// result subtree (term frequency), dampened logarithmically and
+// weighted by the term's inverse document frequency in the corpus.
+// Ties keep document order, so ranking is deterministic.
+func (e *Engine) SearchRanked(query string) ([]*RankedResult, error) {
+	results, err := e.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	terms := index.TokenizeQuery(query)
+	total := e.root.CountNodes()
+
+	out := make([]*RankedResult, len(results))
+	for i, r := range results {
+		score := 0.0
+		for _, t := range terms {
+			postings := e.idx.Lookup(t)
+			tf := countUnder(postings, r.Node.ID)
+			if tf == 0 {
+				continue
+			}
+			idf := math.Log(float64(total+1) / float64(len(postings)+1))
+			score += (1 + math.Log(float64(tf))) * idf
+		}
+		out[i] = &RankedResult{Result: r, Score: score}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
+// countUnder returns how many posting IDs fall inside the subtree
+// rooted at root. Descendants form a contiguous block in document
+// order, so two binary searches bound the range.
+func countUnder(postings index.PostingList, root dewey.ID) int {
+	lo := sort.Search(len(postings), func(i int) bool {
+		return postings[i].Compare(root) >= 0
+	})
+	hi := sort.Search(len(postings), func(i int) bool {
+		return postings[i].Compare(root) > 0 && !root.IsAncestorOrSelf(postings[i])
+	})
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,116 @@
+package xseek
+
+import (
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+func TestCountUnder(t *testing.T) {
+	postings := index.PostingList{
+		dewey.New(0, 0), dewey.New(0, 1), dewey.New(0, 1, 2),
+		dewey.New(1), dewey.New(2, 0),
+	}
+	cases := []struct {
+		root dewey.ID
+		want int
+	}{
+		{dewey.New(0), 3},
+		{dewey.New(0, 1), 2},
+		{dewey.New(1), 1},
+		{dewey.New(2), 1},
+		{dewey.New(3), 0},
+		{dewey.Root(), 5},
+	}
+	for _, c := range cases {
+		if got := countUnder(postings, c.root); got != c.want {
+			t.Errorf("countUnder(%v) = %d, want %d", c.root, got, c.want)
+		}
+	}
+}
+
+func TestSearchRankedOrdersByRelevance(t *testing.T) {
+	// Product B mentions "gps" three times, product A once; B must
+	// rank first even though A precedes it in document order.
+	doc := `
+<store>
+  <product><name>A gps</name><blurb>solid unit</blurb></product>
+  <product><name>B gps</name><blurb>gps with gps antenna</blurb></product>
+  <product><name>C radio</name></product>
+</store>`
+	e := New(xmltree.MustParseString(doc))
+	ranked, err := e.SearchRanked("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("results = %d", len(ranked))
+	}
+	if ranked[0].Label != "B gps" {
+		t.Fatalf("top result = %q, want B", ranked[0].Label)
+	}
+	if ranked[0].Score <= ranked[1].Score {
+		t.Fatalf("scores not descending: %f, %f", ranked[0].Score, ranked[1].Score)
+	}
+}
+
+func TestSearchRankedStableOnTies(t *testing.T) {
+	doc := `
+<store>
+  <product><name>A gps</name></product>
+  <product><name>B gps</name></product>
+</store>`
+	e := New(xmltree.MustParseString(doc))
+	ranked, err := e.SearchRanked("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Label != "A gps" || ranked[1].Label != "B gps" {
+		t.Fatalf("tie break lost document order: %q, %q", ranked[0].Label, ranked[1].Label)
+	}
+}
+
+func TestSearchRankedRareTermWeighsMore(t *testing.T) {
+	// Both products match "gps"; only one matches the rarer "marine".
+	// With equal term frequencies, the marine product's extra rare
+	// term must outweigh the common one.
+	doc := `
+<store>
+  <product><name>A gps</name><blurb>gps gps unit</blurb></product>
+  <product><name>B gps marine</name></product>
+  <product><name>C gps</name></product>
+  <product><name>D gps</name></product>
+</store>`
+	e := New(xmltree.MustParseString(doc))
+	ranked, err := e.SearchRanked("gps marine")
+	if err == nil {
+		// All terms matched somewhere; B is the only result containing
+		// both, but SLCA semantics may surface others. B must be top.
+		if ranked[0].Label != "B gps marine" {
+			t.Fatalf("top = %q, want B", ranked[0].Label)
+		}
+		return
+	}
+	t.Fatalf("unexpected error: %v", err)
+}
+
+func TestSearchRankedPropagatesErrors(t *testing.T) {
+	e := New(xmltree.MustParseString(`<r><x>a</x><x>b</x></r>`))
+	if _, err := e.SearchRanked("missing-term"); err == nil {
+		t.Fatal("want error for unmatched keyword")
+	}
+}
+
+func BenchmarkSearchRanked(b *testing.B) {
+	root := xmltree.MustParseString(shopDoc)
+	e := New(root)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SearchRanked("tomtom"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package xseek implements an XSeek-style keyword search engine for
+// XML (Liu & Chen, SIGMOD 2007 / VLDB 2008): SLCA-based matching plus
+// inference of the result's meaningful return information. It supplies
+// XSACT's "Search Engine" and "Entity Identifier" boxes (Figure 3 of
+// the demo paper).
+//
+// The entity identifier reasons over a schema summary inferred from
+// the data, in the spirit of the Entity-Relationship model:
+//
+//   - a node type is a *-node if some parent instance has two or more
+//     children of that tag — multiple instances indicate an entity set;
+//   - a non-*-node leaf carrying a value denotes an attribute;
+//   - remaining nodes are connection nodes (structural glue).
+package xseek
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Category classifies a node type per the XSeek entity model.
+type Category int
+
+const (
+	// ConnectionNode is structural glue (e.g. a <reviews> wrapper).
+	ConnectionNode Category = iota
+	// EntityNode denotes an instance of an entity set (a *-node).
+	EntityNode
+	// AttributeNode denotes a property of an entity (a valued leaf).
+	AttributeNode
+)
+
+// String returns a human-readable category name.
+func (c Category) String() string {
+	switch c {
+	case EntityNode:
+		return "entity"
+	case AttributeNode:
+		return "attribute"
+	default:
+		return "connection"
+	}
+}
+
+// typeInfo aggregates evidence about one node type (identified by its
+// root-to-node tag path) across the whole document.
+type typeInfo struct {
+	path      string
+	tag       string
+	instances int
+	// maxSiblings is the maximum number of same-tag children observed
+	// under any single parent instance; >1 marks a *-node.
+	maxSiblings int
+	// leafInstances counts instances that are leaf elements.
+	leafInstances int
+}
+
+// Schema is a schema summary inferred from one document. It maps each
+// node-type path to a category. Paths use the xmltree.Node.Path form
+// ("products/product/name").
+type Schema struct {
+	types map[string]*typeInfo
+}
+
+// InferSchema builds the schema summary for the tree rooted at root.
+func InferSchema(root *xmltree.Node) *Schema {
+	s := &Schema{types: make(map[string]*typeInfo)}
+	var visit func(n *xmltree.Node, path string)
+	visit = func(n *xmltree.Node, path string) {
+		info := s.types[path]
+		if info == nil {
+			info = &typeInfo{path: path, tag: n.Tag}
+			s.types[path] = info
+		}
+		info.instances++
+		if n.IsLeafElement() {
+			info.leafInstances++
+		}
+		counts := make(map[string]int)
+		for _, c := range n.Children {
+			if c.Kind != xmltree.Element {
+				continue
+			}
+			counts[c.Tag]++
+		}
+		for _, c := range n.Children {
+			if c.Kind != xmltree.Element {
+				continue
+			}
+			childPath := path + "/" + c.Tag
+			visit(c, childPath)
+			ci := s.types[childPath]
+			if counts[c.Tag] > ci.maxSiblings {
+				ci.maxSiblings = counts[c.Tag]
+			}
+		}
+	}
+	visit(root, root.Tag)
+	return s
+}
+
+// CategoryOf returns the category of the node type at the given path.
+// Unknown paths are connection nodes.
+func (s *Schema) CategoryOf(path string) Category {
+	info := s.types[path]
+	if info == nil {
+		return ConnectionNode
+	}
+	if info.maxSiblings > 1 {
+		return EntityNode
+	}
+	// Non-repeating leaf elements carry values: attributes.
+	if info.leafInstances > 0 {
+		return AttributeNode
+	}
+	return ConnectionNode
+}
+
+// CategoryOfNode classifies a concrete node via its path.
+func (s *Schema) CategoryOfNode(n *xmltree.Node) Category {
+	if n == nil || n.Kind != xmltree.Element {
+		return ConnectionNode
+	}
+	return s.CategoryOf(n.Path())
+}
+
+// IsEntity reports whether the node is an entity instance.
+func (s *Schema) IsEntity(n *xmltree.Node) bool {
+	return s.CategoryOfNode(n) == EntityNode
+}
+
+// NearestEntity returns the closest ancestor-or-self of n that is an
+// entity instance, or nil if none exists (then the document root acts
+// as the conceptual entity).
+func (s *Schema) NearestEntity(n *xmltree.Node) *xmltree.Node {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Kind == xmltree.Element && s.IsEntity(cur) {
+			return cur
+		}
+	}
+	return nil
+}
+
+// Paths returns every known node-type path in lexicographic order.
+func (s *Schema) Paths() []string {
+	out := make([]string, 0, len(s.types))
+	for p := range s.types {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instances returns how many instances of the node type at path were
+// observed.
+func (s *Schema) Instances(path string) int {
+	if info := s.types[path]; info != nil {
+		return info.instances
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package xseek
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/index"
+)
+
+// DatabaseScore rates how well one corpus can answer a keyword query —
+// the "database selection" companion technique the paper lists for a
+// full keyword-search stack. Coverage counts the query keywords the
+// corpus contains at all; Score adds a CORI-style sum of dampened
+// document frequencies so that, among corpora covering equally many
+// keywords, the one where the terms are better represented wins.
+type DatabaseScore struct {
+	Name     string
+	Coverage int // query keywords present in the corpus
+	Score    float64
+}
+
+// ScoreDatabases rates every named engine against the query and
+// returns the scores best-first (higher coverage, then higher score,
+// then name for determinism).
+func ScoreDatabases(engines map[string]*Engine, query string) []DatabaseScore {
+	terms := index.TokenizeQuery(query)
+	out := make([]DatabaseScore, 0, len(engines))
+	for name, eng := range engines {
+		s := DatabaseScore{Name: name}
+		total := eng.root.CountNodes()
+		for _, t := range terms {
+			df := eng.idx.DocFreq(t)
+			if df == 0 {
+				continue
+			}
+			s.Coverage++
+			// Dampened df normalized by corpus size: frequent-in-
+			// corpus terms signal topical fit without letting one
+			// giant corpus dominate on raw counts.
+			s.Score += math.Log1p(float64(df)) / math.Log1p(float64(total))
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Coverage != b.Coverage {
+			return a.Coverage > b.Coverage
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// SelectDatabase returns the best-scoring engine for the query, or
+// ("", nil) when no corpus contains any query keyword.
+func SelectDatabase(engines map[string]*Engine, query string) (string, *Engine) {
+	scores := ScoreDatabases(engines, query)
+	if len(scores) == 0 || scores[0].Coverage == 0 {
+		return "", nil
+	}
+	return scores[0].Name, engines[scores[0].Name]
+}

@@ -1,0 +1,83 @@
+package xseek
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xmltree"
+)
+
+func threeEngines(t *testing.T) map[string]*Engine {
+	t.Helper()
+	return map[string]*Engine{
+		"reviews":  New(dataset.ProductReviews(dataset.ReviewsConfig{Seed: 1, ProductsPerCategory: 4, MinReviews: 5, MaxReviews: 10})),
+		"retailer": New(dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: 1, ProductsPerBrand: 20})),
+		"movies":   New(dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 80})),
+	}
+}
+
+func TestSelectDatabaseRoutesByTopic(t *testing.T) {
+	engines := threeEngines(t)
+	cases := map[string]string{
+		"tomtom gps":     "reviews",
+		"rain jackets":   "retailer",
+		"horror vampire": "movies",
+		"marmot":         "retailer",
+	}
+	for query, want := range cases {
+		name, eng := SelectDatabase(engines, query)
+		if name != want || eng == nil {
+			t.Errorf("SelectDatabase(%q) = %q, want %q", query, name, want)
+		}
+	}
+}
+
+func TestSelectDatabaseNoMatch(t *testing.T) {
+	engines := threeEngines(t)
+	name, eng := SelectDatabase(engines, "xyzzyplugh")
+	if name != "" || eng != nil {
+		t.Fatalf("no-match selection = %q, %v", name, eng)
+	}
+}
+
+func TestScoreDatabasesOrdering(t *testing.T) {
+	engines := threeEngines(t)
+	scores := ScoreDatabases(engines, "tomtom gps travel")
+	if len(scores) != 3 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	for i := 1; i < len(scores); i++ {
+		a, b := scores[i-1], scores[i]
+		if a.Coverage < b.Coverage {
+			t.Fatalf("not ordered by coverage: %+v before %+v", a, b)
+		}
+		if a.Coverage == b.Coverage && a.Score < b.Score {
+			t.Fatalf("not ordered by score: %+v before %+v", a, b)
+		}
+	}
+	if scores[0].Name != "reviews" {
+		t.Fatalf("top corpus = %q", scores[0].Name)
+	}
+}
+
+func TestScoreDatabasesCoverageBeatsScore(t *testing.T) {
+	// A corpus matching both keywords must outrank one matching only
+	// the (locally very frequent) first keyword.
+	both := New(xmltree.MustParseString(`<r><x>alpha beta</x></r>`))
+	one := New(xmltree.MustParseString(`<r><x>alpha</x><x>alpha</x><x>alpha</x><x>alpha</x></r>`))
+	scores := ScoreDatabases(map[string]*Engine{"both": both, "one": one}, "alpha beta")
+	if scores[0].Name != "both" {
+		t.Fatalf("coverage should dominate: %+v", scores)
+	}
+}
+
+func TestScoreDatabasesDeterministicTies(t *testing.T) {
+	a := New(xmltree.MustParseString(`<r><x>alpha</x></r>`))
+	b := New(xmltree.MustParseString(`<r><x>alpha</x></r>`))
+	for i := 0; i < 10; i++ {
+		scores := ScoreDatabases(map[string]*Engine{"bbb": b, "aaa": a}, "alpha")
+		if scores[0].Name != "aaa" {
+			t.Fatalf("tie break not by name: %+v", scores)
+		}
+	}
+}

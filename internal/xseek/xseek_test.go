@@ -1,0 +1,213 @@
+package xseek
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+const shopDoc = `
+<store>
+  <product>
+    <name>TomTom Go 630</name>
+    <rating>4.2</rating>
+    <reviews>
+      <review><pro>compact</pro><pro>easy to read</pro><bestuse>auto</bestuse></review>
+      <review><pro>compact</pro></review>
+    </reviews>
+  </product>
+  <product>
+    <name>TomTom Go 730</name>
+    <rating>4.1</rating>
+    <reviews>
+      <review><pro>acquire satellites quickly</pro></review>
+    </reviews>
+  </product>
+  <product>
+    <name>Garmin Nuvi</name>
+    <rating>3.9</rating>
+  </product>
+</store>`
+
+func shopTree(t *testing.T) *xmltree.Node {
+	t.Helper()
+	root, err := xmltree.ParseString(shopDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestSchemaCategories(t *testing.T) {
+	root := shopTree(t)
+	s := InferSchema(root)
+	cases := map[string]Category{
+		"store":                                ConnectionNode,
+		"store/product":                        EntityNode,
+		"store/product/name":                   AttributeNode,
+		"store/product/rating":                 AttributeNode,
+		"store/product/reviews":                ConnectionNode,
+		"store/product/reviews/review":         EntityNode,
+		"store/product/reviews/review/pro":     EntityNode, // repeats within a review
+		"store/product/reviews/review/bestuse": AttributeNode,
+	}
+	for path, want := range cases {
+		if got := s.CategoryOf(path); got != want {
+			t.Errorf("CategoryOf(%s) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestSchemaUnknownPathIsConnection(t *testing.T) {
+	s := InferSchema(shopTree(t))
+	if got := s.CategoryOf("no/such/path"); got != ConnectionNode {
+		t.Fatalf("unknown path category = %v", got)
+	}
+}
+
+func TestSchemaInstances(t *testing.T) {
+	s := InferSchema(shopTree(t))
+	if got := s.Instances("store/product"); got != 3 {
+		t.Fatalf("product instances = %d, want 3", got)
+	}
+	if got := s.Instances("store/product/reviews/review"); got != 3 {
+		t.Fatalf("review instances = %d, want 3", got)
+	}
+}
+
+func TestNearestEntity(t *testing.T) {
+	root := shopTree(t)
+	s := InferSchema(root)
+	name := root.Children[0].FirstChildElement("name")
+	ent := s.NearestEntity(name)
+	if ent == nil || ent.Tag != "product" {
+		t.Fatalf("NearestEntity(name) = %v", ent)
+	}
+	// A review's bestuse belongs to the review entity.
+	bestuse := root.FindAll("bestuse")[0]
+	if got := s.NearestEntity(bestuse); got == nil || got.Tag != "review" {
+		t.Fatalf("NearestEntity(bestuse) = %v", got)
+	}
+	// The store root has no entity ancestor.
+	if got := s.NearestEntity(root); got != nil {
+		t.Fatalf("NearestEntity(store) = %v, want nil", got)
+	}
+}
+
+func TestSearchReturnsEntities(t *testing.T) {
+	e := New(shopTree(t))
+	res, err := e.Search("tomtom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	if res[0].Node.Tag != "product" || res[1].Node.Tag != "product" {
+		t.Fatalf("result tags: %s, %s", res[0].Node.Tag, res[1].Node.Tag)
+	}
+	if res[0].Label != "TomTom Go 630" || res[1].Label != "TomTom Go 730" {
+		t.Fatalf("labels: %q, %q", res[0].Label, res[1].Label)
+	}
+}
+
+func TestSearchMergesSLCAsWithinOneEntity(t *testing.T) {
+	e := New(shopTree(t))
+	// "compact" matches two <pro> nodes in product 1 (distinct SLCAs),
+	// both inside the same product entity — and their nearest entity is
+	// the <pro>?? pro repeats so pro is an entity itself. Each match IS
+	// a pro entity, so we get two results rooted at pro nodes... those
+	// are distinct entities. Use a query matching name+rating instead.
+	res, err := e.Search("tomtom 630")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		for _, r := range res {
+			t.Logf("result: %s %s", r.Node.Tag, r.Label)
+		}
+		t.Fatalf("got %d results, want 1", len(res))
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	e := New(shopTree(t))
+	_, err := e.Search("tomtom unicornium")
+	var nm *index.NoMatchError
+	if !errors.As(err, &nm) {
+		t.Fatalf("err = %v, want NoMatchError", err)
+	}
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	e := New(shopTree(t))
+	if _, err := e.Search("  ... "); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
+
+func TestSearchDocumentOrder(t *testing.T) {
+	e := New(shopTree(t))
+	res, err := e.Search("tomtom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Node.ID.Compare(res[i].Node.ID) >= 0 {
+			t.Fatal("results not in document order")
+		}
+	}
+}
+
+func TestLabelFallback(t *testing.T) {
+	root := xmltree.MustParseString(`<r><thing><w>alpha</w></thing><thing><w>beta</w></thing></r>`)
+	e := New(root)
+	res, err := e.Search("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if !strings.Contains(res[0].Label, "thing@") {
+		t.Fatalf("fallback label = %q", res[0].Label)
+	}
+}
+
+func TestDescribeResult(t *testing.T) {
+	e := New(shopTree(t))
+	res, err := e.Search("garmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := DescribeResult(res[0], 4)
+	if !strings.Contains(desc, "Garmin Nuvi") || !strings.Contains(desc, "rating=3.9") {
+		t.Fatalf("DescribeResult = %q", desc)
+	}
+}
+
+func TestResultID(t *testing.T) {
+	e := New(shopTree(t))
+	res, err := e.Search("garmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Root().NodeAt(res[0].ID()); got != res[0].Node {
+		t.Fatal("Result.ID does not resolve to the result node")
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	root := xmltree.MustParseString(shopDoc)
+	e := New(root)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search("tomtom"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package xsact
+
+// Stress test at the paper's stated data scale: "a product can have
+// hundreds of reviews ... and a brand can have hundreds of products",
+// and the demo claim that comparison tables are generated "in a short
+// period of time" despite that. Skipped with -short.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/feature"
+	"repro/internal/xseek"
+)
+
+func TestStressHundredsOfReviews(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	root := dataset.ProductReviews(dataset.ReviewsConfig{
+		Seed:                99,
+		ProductsPerCategory: 10,
+		MinReviews:          200,
+		MaxReviews:          400,
+	})
+	eng := xseek.New(root)
+	results, err := eng.Search("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 10 {
+		t.Fatalf("results = %d", len(results))
+	}
+	start := time.Now()
+	stats := make([]*feature.Stats, len(results))
+	for i, r := range results {
+		stats[i] = feature.Extract(r.Node, eng.Schema(), r.Label)
+	}
+	extractTime := time.Since(start)
+
+	start = time.Now()
+	dfss := core.MultiSwap(stats, core.Options{SizeBound: 10, Threshold: 0.1, Pad: true})
+	genTime := time.Since(start)
+
+	for _, d := range dfss {
+		if err := d.Validate(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dod := core.TotalDoD(dfss, 0.1); dod <= 0 {
+		t.Fatalf("no differentiation at scale: DoD = %d", dod)
+	}
+	// "Short period of time": generous CI-safe bound, far above what
+	// the run actually needs but catching quadratic blowups.
+	if genTime > 5*time.Second {
+		t.Fatalf("DFS generation took %v over hundreds-of-reviews corpus", genTime)
+	}
+	t.Logf("extract=%v generate=%v over %d results", extractTime, genTime, len(results))
+}
+
+func TestStressHundredsOfProductsPerBrand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	doc := FromTree(dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: 99, ProductsPerBrand: 300}))
+	products, err := doc.Search("men jackets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var brands []*Result
+	for _, p := range products {
+		brands = append(brands, p.Lift("brand"))
+	}
+	brands = Dedupe(brands)
+	if len(brands) < 4 {
+		t.Fatalf("brands = %d", len(brands))
+	}
+	start := time.Now()
+	cmp, err := Compare(brands, CompareOptions{SizeBound: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("brand comparison took %v at 300 products/brand", elapsed)
+	}
+	if cmp.DoD <= 0 {
+		t.Fatal("no differentiation across big brands")
+	}
+}
