@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/feature"
 	"repro/internal/index"
@@ -230,6 +231,71 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		}
 		_ = cmp.Text()
 	}
+}
+
+// BenchmarkCompareCached contrasts the first (cold) Compare over a
+// result set against repeated (warm) Compares of the same results
+// through the engine's feature-stats and DFS caches. The warm path
+// must be at least 2× faster — it skips re-extraction and
+// re-optimization entirely, paying only for table assembly.
+func BenchmarkCompareCached(b *testing.B) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := CompareOptions{SizeBound: 8}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Fresh serving caches over the shared index: every Compare
+			// is a first Compare.
+			fresh := &Document{root: doc.root, eng: engine.FromXseek(doc.eng.Xseek(), engine.Config{})}
+			results, err := fresh.Search("tomtom gps")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := Compare(results[:2], opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		results, err := doc.Search("tomtom gps")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Compare(results[:2], opts); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Compare(results[:2], opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineBuildParallel contrasts serial engine construction
+// (index build + schema inference in one walk) against the fanned-out
+// path used by engine.New — the startup cost of a dataset.
+func BenchmarkEngineBuildParallel(b *testing.B) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 300})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = xseek.New(root)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = xseek.NewParallel(root)
+		}
+	})
 }
 
 // BenchmarkSnippetGeneration measures the eXtract-style baseline

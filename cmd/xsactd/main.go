@@ -3,6 +3,10 @@
 // checkboxes, a size-bound field, and a "Compare" button that renders
 // the comparison table.
 //
+// Each dataset's corpus and serving engine are built lazily on the
+// first request that touches them, then shared — with their query,
+// feature-stats, and DFS caches — across all subsequent requests.
+//
 // Usage:
 //
 //	xsactd [-addr :8080] [-seed 1]

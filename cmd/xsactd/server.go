@@ -7,10 +7,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/feature"
+	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/table"
 	"repro/internal/xmltree"
@@ -32,22 +33,52 @@ func sameKeywords(query string, cleaned []string) bool {
 	return true
 }
 
-// server holds one search engine per dataset.
+// lazyEngine defers corpus generation and engine construction to the
+// first request that needs the dataset, then shares the one engine —
+// and all its caches — across every later request.
+type lazyEngine struct {
+	once  sync.Once
+	build func() *xmltree.Node
+	eng   *engine.Engine
+}
+
+func (l *lazyEngine) get() *engine.Engine {
+	l.once.Do(func() { l.eng = engine.New(l.build()) })
+	return l.eng
+}
+
+// server holds one lazily-built, shared serving engine per dataset.
 type server struct {
-	engines map[string]*xseek.Engine
-	order   []string
+	datasets map[string]*lazyEngine
+	order    []string
 }
 
 func newServer(seed int64) (*server, error) {
-	s := &server{engines: make(map[string]*xseek.Engine)}
-	add := func(name string, eng *xseek.Engine) {
-		s.engines[name] = eng
+	s := &server{datasets: make(map[string]*lazyEngine)}
+	add := func(name string, build func() *xmltree.Node) {
+		s.datasets[name] = &lazyEngine{build: build}
 		s.order = append(s.order, name)
 	}
-	add("Product Reviews", xseek.New(dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})))
-	add("Outdoor Retailer", xseek.New(dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed})))
-	add("Movies", xseek.New(dataset.Movies(dataset.MoviesConfig{Seed: seed})))
+	add("Product Reviews", func() *xmltree.Node {
+		return dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})
+	})
+	add("Outdoor Retailer", func() *xmltree.Node {
+		return dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed})
+	})
+	add("Movies", func() *xmltree.Node {
+		return dataset.Movies(dataset.MoviesConfig{Seed: seed})
+	})
 	return s, nil
+}
+
+// engineFor returns the shared engine of a dataset, building it on
+// first use. Unknown names return nil.
+func (s *server) engineFor(name string) *engine.Engine {
+	l, ok := s.datasets[name]
+	if !ok {
+		return nil
+	}
+	return l.get()
 }
 
 func (s *server) routes() http.Handler {
@@ -107,16 +138,22 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) renderResults(w http.ResponseWriter, ds, query string) {
 	if ds == autoDataset {
-		name, eng := xseek.SelectDatabase(s.engines, query)
-		if eng == nil {
+		// Database selection needs every corpus's vocabulary, so this is
+		// the one path that forces all engines to exist.
+		engines := make(map[string]*xseek.Engine, len(s.datasets))
+		for name, l := range s.datasets {
+			engines[name] = l.get().Xseek()
+		}
+		name, sel := xseek.SelectDatabase(engines, query)
+		if sel == nil {
 			fmt.Fprintf(w, "<p>no dataset contains keywords of %s</p>", html.EscapeString(query))
 			return
 		}
 		ds = name
 		fmt.Fprintf(w, "<p>auto-selected dataset <b>%s</b></p>", html.EscapeString(ds))
 	}
-	eng, ok := s.engines[ds]
-	if !ok {
+	eng := s.engineFor(ds)
+	if eng == nil {
 		fmt.Fprintf(w, "<p>unknown dataset %s</p>", html.EscapeString(ds))
 		return
 	}
@@ -149,8 +186,8 @@ algorithm: <select name="alg"><option>multi-swap</option><option>single-swap</op
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	ds := r.FormValue("dataset")
 	query := r.FormValue("q")
-	eng, ok := s.engines[ds]
-	if !ok {
+	eng := s.engineFor(ds)
+	if eng == nil {
 		http.Error(w, "unknown dataset", http.StatusBadRequest)
 		return
 	}
@@ -176,8 +213,8 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	ds := r.FormValue("dataset")
 	query := r.FormValue("q")
-	eng, ok := s.engines[ds]
-	if !ok {
+	eng := s.engineFor(ds)
+	if eng == nil {
 		http.Error(w, "unknown dataset", http.StatusBadRequest)
 		return
 	}
@@ -194,22 +231,23 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	alg := core.Algorithm(r.FormValue("alg"))
 
-	var stats []*feature.Stats
+	var selected []*xseek.Result
 	for _, v := range r.Form["sel"] {
 		idx, err := strconv.Atoi(v)
 		if err != nil || idx < 0 || idx >= len(results) {
 			http.Error(w, "bad selection", http.StatusBadRequest)
 			return
 		}
-		res := results[idx]
-		stats = append(stats, feature.Extract(res.Node, eng.Schema(), res.Label))
+		selected = append(selected, results[idx])
 	}
-	if len(stats) < 2 {
+	if len(selected) < 2 {
 		http.Error(w, "select at least two results to compare", http.StatusBadRequest)
 		return
 	}
 
-	dfss := core.Generate(alg, stats, core.Options{SizeBound: bound, Pad: true})
+	// Feature stats and the generated DFS set come from the engine's
+	// caches, so repeating a comparison does no re-extraction.
+	dfss := eng.Generate(alg, selected, core.Options{SizeBound: bound, Pad: true})
 	if dfss == nil {
 		http.Error(w, "unknown algorithm", http.StatusBadRequest)
 		return

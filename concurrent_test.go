@@ -1,0 +1,143 @@
+package xsact
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearchAndCompare drives one shared Document from many
+// goroutines mixing Search, Compare, Snippet, and SnippetDoD — the
+// serving pattern cmd/xsactd puts the facade under. Run with -race;
+// the assertions also check cross-goroutine result coherence.
+func TestConcurrentSearchAndCompare(t *testing.T) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := doc.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) < 2 {
+		t.Fatalf("need >= 2 results, got %d", len(baseline))
+	}
+	want, err := Compare(baseline[:2], CompareOptions{SizeBound: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"tomtom gps", "garmin gps", "camera"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				q := queries[(g+iter)%len(queries)]
+				results, err := doc.Search(q)
+				if err != nil {
+					errs <- fmt.Errorf("search %q: %w", q, err)
+					return
+				}
+				if len(results) < 2 {
+					continue
+				}
+				cmp, err := Compare(results[:2], CompareOptions{SizeBound: 8})
+				if err != nil {
+					errs <- fmt.Errorf("compare %q: %w", q, err)
+					return
+				}
+				if cmp.Text() == "" {
+					errs <- fmt.Errorf("compare %q: empty table", q)
+					return
+				}
+				if q == "tomtom gps" && cmp.DoD != want.DoD {
+					errs <- fmt.Errorf("compare %q: DoD %d, want %d", q, cmp.DoD, want.DoD)
+					return
+				}
+				_ = results[0].Snippet(q, 4)
+				if _, err := SnippetDoD(results[:2], q, 4); err != nil {
+					errs <- fmt.Errorf("snippet DoD %q: %w", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareDoesNotReextract asserts the engine-layer guarantee the
+// caches exist for: a second Compare over the same results performs
+// zero feature extractions — both the stats and the DFS set come back
+// from cache.
+func TestCompareDoesNotReextract(t *testing.T) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := doc.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("need >= 2 results, got %d", len(results))
+	}
+	first, err := Compare(results[:2], CompareOptions{SizeBound: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := doc.Engine().Metrics()
+	if afterFirst.StatsMisses == 0 {
+		t.Fatal("cold Compare should have extracted stats")
+	}
+	second, err := Compare(results[:2], CompareOptions{SizeBound: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterSecond := doc.Engine().Metrics()
+	if afterSecond.StatsMisses != afterFirst.StatsMisses {
+		t.Fatalf("second Compare re-extracted: %d -> %d misses",
+			afterFirst.StatsMisses, afterSecond.StatsMisses)
+	}
+	if afterSecond.DFSHits != afterFirst.DFSHits+1 {
+		t.Fatalf("second Compare missed the DFS cache: %+v -> %+v", afterFirst, afterSecond)
+	}
+	if first.DoD != second.DoD || first.Text() != second.Text() {
+		t.Fatal("cached comparison differs from the cold one")
+	}
+	// Snippet over the same result also rides the stats cache.
+	before := doc.Engine().Metrics()
+	_ = results[0].Snippet("tomtom gps", 4)
+	if m := doc.Engine().Metrics(); m.StatsMisses != before.StatsMisses {
+		t.Fatal("Snippet re-extracted cached stats")
+	}
+}
+
+// TestRepeatedSearchServedFromCache pins the query LRU behavior at the
+// facade level.
+func TestRepeatedSearchServedFromCache(t *testing.T) {
+	doc, err := BuiltinDataset("movies", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := doc.Search("horror vampire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := doc.Search("horror vampire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("cached search returned %d results, want %d", len(b), len(a))
+	}
+	if m := doc.Engine().Metrics(); m.QueryHits == 0 {
+		t.Fatalf("repeated search should hit the cache: %+v", m)
+	}
+}

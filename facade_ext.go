@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/feature"
 	"repro/internal/table"
 	"repro/internal/xseek"
 )
@@ -81,7 +80,7 @@ func (l *Library) Names() []string {
 func (l *Library) Search(query string) (string, []*Result, error) {
 	engines := make(map[string]*xseek.Engine, len(l.docs))
 	for name, d := range l.docs {
-		engines[name] = d.eng
+		engines[name] = d.eng.Xseek()
 	}
 	name, _ := xseek.SelectDatabase(engines, query)
 	if name == "" {
@@ -99,14 +98,11 @@ func CompareInteresting(results []*Result, opts CompareOptions) (*Comparison, er
 	if len(results) < 2 {
 		return nil, fmt.Errorf("xsact: comparison needs at least 2 results, got %d", len(results))
 	}
-	doc := results[0].doc
-	stats := make([]*feature.Stats, len(results))
-	for i, r := range results {
-		if r.doc != doc {
-			return nil, fmt.Errorf("xsact: results from different documents")
-		}
-		stats[i] = feature.Extract(r.res.Node, doc.eng.Schema(), r.Label)
+	doc, inner, err := sameDocResults(results)
+	if err != nil {
+		return nil, err
 	}
+	stats := doc.eng.StatsForResults(inner)
 	copts := core.Options{SizeBound: opts.SizeBound, Threshold: opts.Threshold}
 	dfss := core.WeightedGreedy(stats, copts, core.ContrastInterest(stats))
 	x := opts.Threshold

@@ -15,6 +15,19 @@ func MultiSwap(stats []*feature.Stats, opts Options) []*DFS {
 	for _, d := range dfss {
 		pad(d, opts.SizeBound) // same valid starting summary as SingleSwap
 	}
+	multiSwapAscend(dfss, opts)
+	if opts.Pad {
+		for _, d := range dfss {
+			pad(d, opts.SizeBound)
+		}
+	}
+	return dfss
+}
+
+// multiSwapAscend runs the block-coordinate ascent to its fixpoint.
+// It is inherently sequential across results: each step conditions on
+// every other result's current selection.
+func multiSwapAscend(dfss []*DFS, opts Options) {
 	rounds := 0
 	for {
 		improved := false
@@ -34,12 +47,6 @@ func MultiSwap(stats []*feature.Stats, opts Options) []*DFS {
 			break
 		}
 	}
-	if opts.Pad {
-		for _, d := range dfss {
-			pad(d, opts.SizeBound)
-		}
-	}
-	return dfss
 }
 
 // optimalSelection computes, exactly, a valid selection for result i

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/feature"
+	"repro/internal/xseek"
+)
+
+func movieStats(t testing.TB, query string) []*feature.Stats {
+	t.Helper()
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 60})
+	eng := xseek.New(root)
+	results, err := eng.Search(query)
+	if err != nil {
+		t.Fatalf("search %q: %v", query, err)
+	}
+	stats := make([]*feature.Stats, len(results))
+	for i, r := range results {
+		stats[i] = feature.Extract(r.Node, eng.Schema(), r.Label)
+	}
+	return stats
+}
+
+// TestGenerateParallelMatchesSerial demands bit-identical selections
+// from the pooled and the serial generator for every algorithm — the
+// ascent is sequential in both, and padding is per-result
+// deterministic, so parallelism must not change the output.
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	stats := movieStats(t, "horror vampire")
+	if len(stats) < 2 {
+		t.Fatalf("need >= 2 results, got %d", len(stats))
+	}
+	opts := Options{SizeBound: 8, Threshold: 0.10, Pad: true}
+	for _, alg := range Algorithms() {
+		serial := Generate(alg, stats, opts)
+		par := GenerateParallel(alg, stats, opts)
+		if len(serial) != len(par) {
+			t.Fatalf("%s: %d DFSs vs %d", alg, len(par), len(serial))
+		}
+		for i := range serial {
+			if len(serial[i].Sel) != len(par[i].Sel) {
+				t.Fatalf("%s: DFS %d selects %d types, want %d", alg, i, len(par[i].Sel), len(serial[i].Sel))
+			}
+			for typ, depth := range serial[i].Sel {
+				if par[i].Sel[typ] != depth {
+					t.Fatalf("%s: DFS %d type %s depth = %d, want %d", alg, i, typ, par[i].Sel[typ], depth)
+				}
+			}
+		}
+		if a, b := TotalDoD(serial, opts.Threshold), TotalDoD(par, opts.Threshold); a != b {
+			t.Fatalf("%s: DoD %d vs %d", alg, b, a)
+		}
+	}
+}
+
+// TestGenerateParallelUnknownAlgorithm mirrors Generate's nil return.
+func TestGenerateParallelUnknownAlgorithm(t *testing.T) {
+	stats := movieStats(t, "horror vampire")
+	if GenerateParallel(Algorithm("bogus"), stats, Options{}) != nil {
+		t.Fatal("unknown algorithm should return nil")
+	}
+}
+
+// TestForEachParallelCoversAllIndices exercises the pool helper's
+// chunking across worker counts, including the serial degenerate case.
+func TestForEachParallelCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		hits := make([]int, 37)
+		ForEachParallel(len(hits), workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}

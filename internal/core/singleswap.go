@@ -19,6 +19,18 @@ func SingleSwap(stats []*feature.Stats, opts Options) []*DFS {
 	for _, d := range dfss {
 		pad(d, opts.SizeBound) // top-fill start: the valid significance summary
 	}
+	singleSwapAscend(dfss, opts)
+	if opts.Pad {
+		for _, d := range dfss {
+			pad(d, opts.SizeBound)
+		}
+	}
+	return dfss
+}
+
+// singleSwapAscend cycles first-improving moves over the results until
+// none helps. Sequential across results, like multiSwapAscend.
+func singleSwapAscend(dfss []*DFS, opts Options) {
 	rounds := 0
 	for {
 		improved := false
@@ -32,12 +44,6 @@ func SingleSwap(stats []*feature.Stats, opts Options) []*DFS {
 			break
 		}
 	}
-	if opts.Pad {
-		for _, d := range dfss {
-			pad(d, opts.SizeBound)
-		}
-	}
-	return dfss
 }
 
 // typeDelta returns the change in Σ_j DoD(D_i, D_j) caused by moving

@@ -1,0 +1,253 @@
+// Package engine is XSACT's concurrent query-serving layer: one
+// Engine per corpus owns every piece of per-document derived state —
+// the inverted index, the inferred schema, a feature-statistics cache
+// keyed by result subtree, a bounded LRU of query → SLCA results, and
+// a bounded LRU of generated DFS sets — and is safe for any number of
+// concurrent readers.
+//
+// The layers above plumb through it instead of recomputing:
+//
+//	facade (xsact.Document)  ─┐
+//	HTTP server (cmd/xsactd) ─┼→ engine.Engine ─→ xseek / index / slca
+//	                          │        │
+//	                          │        └→ feature (cached) → core (pooled) → table
+//
+// Construction fans the index build and schema inference out over the
+// root's subtrees (xseek.NewParallel); query serving reuses cached
+// search results and feature stats, so repeated Compare/Snippet calls
+// over the same results never re-extract the same subtree twice.
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// Config bounds the engine's caches. Zero values select defaults; a
+// negative capacity disables that cache.
+type Config struct {
+	// QueryCacheSize bounds the query → results LRU. Default 256.
+	QueryCacheSize int
+	// DFSCacheSize bounds the (results, algorithm, options) → DFS-set
+	// LRU. Default 128.
+	DFSCacheSize int
+}
+
+func (c Config) normalized() Config {
+	if c.QueryCacheSize == 0 {
+		c.QueryCacheSize = 256
+	}
+	if c.DFSCacheSize == 0 {
+		c.DFSCacheSize = 128
+	}
+	return c
+}
+
+// Metrics is a point-in-time snapshot of the engine's cache counters.
+type Metrics struct {
+	QueryHits, QueryMisses int64 // query → results LRU
+	StatsHits, StatsMisses int64 // feature-stats cache (misses = extractions)
+	DFSHits, DFSMisses     int64 // DFS-set LRU (misses = generations)
+}
+
+// Engine is a concurrency-safe serving engine over one corpus.
+type Engine struct {
+	x *xseek.Engine
+
+	mu      sync.RWMutex              // guards stats
+	stats   map[string]*feature.Stats // result-root Dewey ID + label → stats
+	queryMu sync.Mutex
+	queries *lru // normalized query → []*xseek.Result
+	dfsMu   sync.Mutex
+	dfs     *lru // selection key → []*core.DFS
+
+	queryHits, queryMisses atomic.Int64
+	statsHits, statsMisses atomic.Int64
+	dfsHits, dfsMisses     atomic.Int64
+}
+
+// New builds an engine over root with default cache bounds, using the
+// parallel index + schema construction path.
+func New(root *xmltree.Node) *Engine {
+	return NewWithConfig(root, Config{})
+}
+
+// NewWithConfig is New with explicit cache bounds.
+func NewWithConfig(root *xmltree.Node, cfg Config) *Engine {
+	return FromXseek(xseek.NewParallel(root), cfg)
+}
+
+// FromXseek wraps an already-built search engine (e.g. one whose index
+// was loaded from disk) in the serving layer.
+func FromXseek(x *xseek.Engine, cfg Config) *Engine {
+	cfg = cfg.normalized()
+	return &Engine{
+		x:       x,
+		stats:   make(map[string]*feature.Stats),
+		queries: newLRU(cfg.QueryCacheSize),
+		dfs:     newLRU(cfg.DFSCacheSize),
+	}
+}
+
+// Root returns the corpus the engine serves.
+func (e *Engine) Root() *xmltree.Node { return e.x.Root() }
+
+// Schema returns the inferred schema summary.
+func (e *Engine) Schema() *xseek.Schema { return e.x.Schema() }
+
+// Index returns the underlying inverted index.
+func (e *Engine) Index() *index.Index { return e.x.Index() }
+
+// Xseek returns the wrapped search engine, for callers (database
+// selection, experiments) that operate below the serving layer.
+func (e *Engine) Xseek() *xseek.Engine { return e.x }
+
+// Metrics returns a snapshot of the cache counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		QueryHits: e.queryHits.Load(), QueryMisses: e.queryMisses.Load(),
+		StatsHits: e.statsHits.Load(), StatsMisses: e.statsMisses.Load(),
+		DFSHits: e.dfsHits.Load(), DFSMisses: e.dfsMisses.Load(),
+	}
+}
+
+// queryKey normalizes a query to its token sequence so "Tomtom  GPS"
+// and "tomtom gps" share one cache slot.
+func queryKey(query string) string {
+	return strings.Join(index.TokenizeQuery(query), " ")
+}
+
+// Search runs a keyword query through the query LRU: a hit returns the
+// cached result slice (shared and immutable — callers must not modify
+// it), a miss delegates to xseek and caches on success.
+func (e *Engine) Search(query string) ([]*xseek.Result, error) {
+	key := queryKey(query)
+	e.queryMu.Lock()
+	v, ok := e.queries.get(key)
+	e.queryMu.Unlock()
+	if ok {
+		e.queryHits.Add(1)
+		return v.([]*xseek.Result), nil
+	}
+	e.queryMisses.Add(1)
+	rs, err := e.x.Search(query)
+	if err != nil {
+		return rs, err
+	}
+	e.queryMu.Lock()
+	e.queries.put(key, rs)
+	e.queryMu.Unlock()
+	return rs, nil
+}
+
+// SearchCleaned spell-corrects the query against the corpus vocabulary
+// and then searches through the cache, returning the corrected
+// keywords alongside the results.
+func (e *Engine) SearchCleaned(query string) ([]*xseek.Result, []string, error) {
+	cleaned := e.x.CleanQuery(query)
+	rs, err := e.Search(strings.Join(cleaned, " "))
+	return rs, cleaned, err
+}
+
+// SearchRanked searches through the cache and orders the cached
+// results by TF-IDF relevance. Ranking re-scores on every call (it is
+// cheap relative to SLCA); only the underlying result set is cached.
+func (e *Engine) SearchRanked(query string) ([]*xseek.RankedResult, error) {
+	results, err := e.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.x.RankResults(results, query), nil
+}
+
+// Stats returns the feature statistics of the result subtree rooted at
+// node, computing them on first use and serving every later request
+// for the same subtree from the cache. Stats are immutable after
+// construction, so the cached pointer is shared freely.
+func (e *Engine) Stats(node *xmltree.Node, label string) *feature.Stats {
+	key := node.ID.String() + "\x00" + label
+	e.mu.RLock()
+	s := e.stats[key]
+	e.mu.RUnlock()
+	if s != nil {
+		e.statsHits.Add(1)
+		return s
+	}
+	e.statsMisses.Add(1)
+	s = feature.Extract(node, e.x.Schema(), label)
+	e.mu.Lock()
+	if prior := e.stats[key]; prior != nil {
+		s = prior // another goroutine raced us; keep one canonical copy
+	} else {
+		e.stats[key] = s
+	}
+	e.mu.Unlock()
+	return s
+}
+
+// StatsForResults extracts (or recalls) the feature statistics of each
+// result, fanning cold extractions out over a worker pool.
+func (e *Engine) StatsForResults(results []*xseek.Result) []*feature.Stats {
+	out := make([]*feature.Stats, len(results))
+	core.ForEachParallel(len(results), 0, func(i int) {
+		out[i] = e.Stats(results[i].Node, results[i].Label)
+	})
+	return out
+}
+
+// selectionKey identifies a (results, algorithm, options) combination
+// for the DFS cache.
+func selectionKey(results []*xseek.Result, alg core.Algorithm, opts core.Options) string {
+	var b strings.Builder
+	b.WriteString(string(alg))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(opts.SizeBound))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(opts.Threshold, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(opts.MaxRounds))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatBool(opts.Pad))
+	for _, r := range results {
+		b.WriteByte('|')
+		b.WriteString(r.Node.ID.String())
+	}
+	return b.String()
+}
+
+// Generate produces the Differentiation Feature Sets for a set of
+// results: feature stats come from the cache (cold ones extracted in
+// parallel), DFS generation runs its per-result phases on a worker
+// pool, and the finished DFS set is memoized in a bounded LRU so a
+// repeated comparison of the same results is served without
+// re-optimization. The returned slice and its DFSs are shared and must
+// be treated as read-only. Unknown algorithms return nil, matching
+// core.Generate.
+func (e *Engine) Generate(alg core.Algorithm, results []*xseek.Result, opts core.Options) []*core.DFS {
+	key := selectionKey(results, alg, opts)
+	e.dfsMu.Lock()
+	v, ok := e.dfs.get(key)
+	e.dfsMu.Unlock()
+	if ok {
+		e.dfsHits.Add(1)
+		return v.([]*core.DFS)
+	}
+	e.dfsMisses.Add(1)
+	stats := e.StatsForResults(results)
+	dfss := core.GenerateParallel(alg, stats, opts)
+	if dfss == nil {
+		return nil
+	}
+	e.dfsMu.Lock()
+	e.dfs.put(key, dfss)
+	e.dfsMu.Unlock()
+	return dfss
+}

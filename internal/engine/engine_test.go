@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/xseek"
+)
+
+func reviewsEngine(t testing.TB) *Engine {
+	t.Helper()
+	return New(dataset.ProductReviews(dataset.ReviewsConfig{Seed: 1}))
+}
+
+func TestSearchMatchesXseek(t *testing.T) {
+	root := dataset.ProductReviews(dataset.ReviewsConfig{Seed: 1})
+	e := New(root)
+	want, err := xseek.New(root).Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node || got[i].Label != want[i].Label {
+			t.Fatalf("result %d: %q vs %q", i, got[i].Label, want[i].Label)
+		}
+	}
+}
+
+func TestSearchQueryCache(t *testing.T) {
+	e := reviewsEngine(t)
+	first, err := e.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different surface forms of the same token sequence share a slot.
+	second, err := e.Search("  Tomtom   GPS ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("cache hit should return the shared result slice")
+	}
+	m := e.Metrics()
+	if m.QueryMisses != 1 || m.QueryHits != 1 {
+		t.Fatalf("metrics = %+v, want 1 miss + 1 hit", m)
+	}
+}
+
+func TestSearchErrorNotCached(t *testing.T) {
+	e := reviewsEngine(t)
+	for i := 0; i < 2; i++ {
+		if _, err := e.Search("zzznope"); err == nil {
+			t.Fatal("expected no-match error")
+		}
+	}
+	m := e.Metrics()
+	if m.QueryHits != 0 || m.QueryMisses != 2 {
+		t.Fatalf("failed searches must not populate the cache: %+v", m)
+	}
+	if _, err := e.Search(""); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
+
+func TestStatsCache(t *testing.T) {
+	e := reviewsEngine(t)
+	results, err := e.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("need >= 2 results, got %d", len(results))
+	}
+	a := e.Stats(results[0].Node, results[0].Label)
+	b := e.Stats(results[0].Node, results[0].Label)
+	if a != b {
+		t.Fatal("second Stats call must return the cached pointer")
+	}
+	m := e.Metrics()
+	if m.StatsMisses != 1 || m.StatsHits != 1 {
+		t.Fatalf("metrics = %+v, want 1 extraction + 1 hit", m)
+	}
+}
+
+func TestStatsForResultsCachesEachSubtree(t *testing.T) {
+	e := reviewsEngine(t)
+	results, err := e.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.StatsForResults(results)
+	before := e.Metrics()
+	if before.StatsMisses != int64(len(results)) {
+		t.Fatalf("cold extraction count = %d, want %d", before.StatsMisses, len(results))
+	}
+	second := e.StatsForResults(results)
+	after := e.Metrics()
+	if after.StatsMisses != before.StatsMisses {
+		t.Fatalf("warm StatsForResults re-extracted: %d -> %d misses", before.StatsMisses, after.StatsMisses)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("result %d stats not shared", i)
+		}
+	}
+}
+
+func TestGenerateCachedAndEquivalent(t *testing.T) {
+	e := reviewsEngine(t)
+	results, err := e.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{SizeBound: 8, Pad: true}
+	cold := e.Generate(core.AlgMultiSwap, results, opts)
+	if cold == nil {
+		t.Fatal("Generate returned nil for known algorithm")
+	}
+	// Equivalent to the uncached core path.
+	want := core.Generate(core.AlgMultiSwap, e.StatsForResults(results), opts)
+	if a, b := core.TotalDoD(cold, core.DefaultThreshold), core.TotalDoD(want, core.DefaultThreshold); a != b {
+		t.Fatalf("engine DoD %d, core DoD %d", a, b)
+	}
+	before := e.Metrics()
+	warm := e.Generate(core.AlgMultiSwap, results, opts)
+	after := e.Metrics()
+	if &warm[0] != &cold[0] {
+		t.Fatal("repeated Generate must return the memoized DFS set")
+	}
+	if after.DFSHits != before.DFSHits+1 || after.StatsMisses != before.StatsMisses {
+		t.Fatalf("warm Generate should hit the DFS cache without re-extraction: %+v -> %+v", before, after)
+	}
+	// A different bound is a different cache entry, not a stale hit.
+	other := e.Generate(core.AlgMultiSwap, results, core.Options{SizeBound: 4, Pad: true})
+	if len(other) > 0 && len(cold) > 0 && other[0].Sel.Size() == cold[0].Sel.Size() && cold[0].Sel.Size() > 4 {
+		t.Fatal("options must participate in the DFS cache key")
+	}
+	if e.Generate(core.Algorithm("bogus"), results, opts) != nil {
+		t.Fatal("unknown algorithm should return nil")
+	}
+}
+
+func TestSearchCleanedRoutesThroughCache(t *testing.T) {
+	e := reviewsEngine(t)
+	_, cleaned, err := e.SearchCleaned("tomtim gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleaned) != 2 || cleaned[0] != "tomtom" {
+		t.Fatalf("cleaned = %v", cleaned)
+	}
+	// The corrected query now sits in the cache under its token key.
+	if _, err := e.Search("tomtom gps"); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Metrics(); m.QueryHits != 1 {
+		t.Fatalf("cleaned search should prime the query cache: %+v", m)
+	}
+}
+
+func TestSearchRankedAgainstXseek(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 40})
+	e := New(root)
+	want, err := xseek.New(root).SearchRanked("horror vampire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.SearchRanked("horror vampire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d ranked results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Label != want[i].Label || got[i].Score != want[i].Score {
+			t.Fatalf("rank %d: (%q, %g) vs (%q, %g)", i, got[i].Label, got[i].Score, want[i].Label, want[i].Score)
+		}
+	}
+}
+
+// TestConcurrentServing hammers one shared engine from many goroutines
+// mixing search, stats extraction, and DFS generation. Run under
+// -race; correctness here is the absence of data races plus coherent
+// results.
+func TestConcurrentServing(t *testing.T) {
+	e := reviewsEngine(t)
+	queries := []string{"tomtom gps", "garmin gps", "camera", "tomtom gps"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := queries[g%len(queries)]
+			for iter := 0; iter < 5; iter++ {
+				results, err := e.Search(q)
+				if err != nil {
+					errs <- fmt.Errorf("search %q: %w", q, err)
+					return
+				}
+				if len(results) < 2 {
+					continue
+				}
+				dfss := e.Generate(core.AlgSingleSwap, results[:2], core.Options{SizeBound: 6, Pad: true})
+				if dfss == nil || len(dfss) != 2 {
+					errs <- fmt.Errorf("generate %q returned %d DFSs", q, len(dfss))
+					return
+				}
+				if core.TotalDoD(dfss, core.DefaultThreshold) < 0 {
+					errs <- fmt.Errorf("negative DoD")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// 16 goroutines × 5 iterations over 3 distinct queries: the steady
+	// state must be cache hits (concurrent first misses may duplicate).
+	m := e.Metrics()
+	if m.QueryHits == 0 {
+		t.Fatalf("concurrent serving never hit the query cache: %+v", m)
+	}
+}

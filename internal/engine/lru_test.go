@@ -1,0 +1,47 @@
+package engine
+
+import "testing"
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.put("c", 3) // evicts b: a was touched more recently
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUUpdateRefreshes(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("a", 10) // refresh, not insert
+	c.put("c", 3)  // evicts b
+	if v, ok := c.get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("a = %v, %v; want refreshed value", v, ok)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestLRUZeroCapacityStoresNothing(t *testing.T) {
+	c := newLRU(0)
+	c.put("a", 1)
+	if _, ok := c.get("a"); ok || c.len() != 0 {
+		t.Fatal("zero-capacity LRU must stay empty")
+	}
+}

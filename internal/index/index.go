@@ -34,36 +34,7 @@ func Build(root *xmltree.Node) *Index {
 		postings: make(map[string]PostingList),
 		root:     root,
 	}
-	root.Walk(func(n *xmltree.Node) bool {
-		if n.Kind != xmltree.Element {
-			return true
-		}
-		seen := make(map[string]bool)
-		add := func(term string) {
-			if term == "" || seen[term] {
-				return
-			}
-			seen[term] = true
-			idx.postings[term] = append(idx.postings[term], n.ID)
-			idx.terms++
-		}
-		for _, t := range Tokenize(n.Tag) {
-			add(t)
-		}
-		for _, a := range n.Attrs {
-			for _, t := range Tokenize(a.Value) {
-				add(t)
-			}
-		}
-		for _, c := range n.Children {
-			if c.Kind == xmltree.Text {
-				for _, t := range Tokenize(c.Text) {
-					add(t)
-				}
-			}
-		}
-		return true
-	})
+	idx.indexSubtree(root)
 	// Walk is preorder, which is document order, so lists are already
 	// sorted; keep an explicit sort as a safety net for hand-built
 	// trees whose IDs were assigned out of order.
@@ -72,6 +43,45 @@ func Build(root *xmltree.Node) *Index {
 		idx.postings[term] = list
 	}
 	return idx
+}
+
+// indexNode posts the terms of a single element node.
+func (idx *Index) indexNode(n *xmltree.Node) {
+	if n.Kind != xmltree.Element {
+		return
+	}
+	seen := make(map[string]bool)
+	add := func(term string) {
+		if term == "" || seen[term] {
+			return
+		}
+		seen[term] = true
+		idx.postings[term] = append(idx.postings[term], n.ID)
+		idx.terms++
+	}
+	for _, t := range Tokenize(n.Tag) {
+		add(t)
+	}
+	for _, a := range n.Attrs {
+		for _, t := range Tokenize(a.Value) {
+			add(t)
+		}
+	}
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			for _, t := range Tokenize(c.Text) {
+				add(t)
+			}
+		}
+	}
+}
+
+// indexSubtree posts every element in root's subtree in document order.
+func (idx *Index) indexSubtree(root *xmltree.Node) {
+	root.Walk(func(n *xmltree.Node) bool {
+		idx.indexNode(n)
+		return true
+	})
 }
 
 // Root returns the tree the index was built over.

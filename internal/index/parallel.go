@@ -1,0 +1,85 @@
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/xmltree"
+)
+
+// BuildParallel constructs the same index as Build but fans the walk
+// out over the root's child subtrees: each worker indexes a contiguous
+// chunk of children into a private posting map, and the partials are
+// merged in child order. Child subtrees are disjoint, contiguous
+// blocks of document order, so concatenating per-term lists chunk by
+// chunk (after the root's own postings) preserves the Dewey sort
+// without a global re-sort. workers <= 0 selects GOMAXPROCS.
+//
+// Small trees fall back to the serial Build — the fan-out only pays
+// for itself on corpora with many root children.
+func BuildParallel(root *xmltree.Node, workers int) *Index {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	kids := root.Children
+	if workers == 1 || len(kids) < 2*workers {
+		return Build(root)
+	}
+
+	// Root node itself: its postings precede every descendant's.
+	idx := &Index{postings: make(map[string]PostingList), root: root}
+	idx.indexNode(root)
+
+	// Chunk children evenly; each chunk builds a private partial index.
+	chunks := splitChunks(len(kids), workers)
+	partials := make([]*Index, len(chunks))
+	var wg sync.WaitGroup
+	for ci, ch := range chunks {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			p := &Index{postings: make(map[string]PostingList)}
+			for _, c := range kids[lo:hi] {
+				p.indexSubtree(c)
+			}
+			partials[ci] = p
+		}(ci, ch[0], ch[1])
+	}
+	wg.Wait()
+
+	// Merge in chunk order: per-term lists concatenate sorted.
+	for _, p := range partials {
+		for term, list := range p.postings {
+			idx.postings[term] = append(idx.postings[term], list...)
+		}
+		idx.terms += p.terms
+	}
+	// Same safety net as Build for hand-built trees whose IDs were
+	// assigned out of order: the check is linear, the sort only runs
+	// when a violation is found.
+	for term, list := range idx.postings {
+		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 }) {
+			sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
+			idx.postings[term] = list
+		}
+	}
+	return idx
+}
+
+// splitChunks divides [0, n) into at most k contiguous, non-empty
+// [lo, hi) ranges of near-equal size.
+func splitChunks(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestBuildParallelMatchesBuild checks the fan-out/merge construction
+// against the serial walk term by term and posting by posting.
+func TestBuildParallelMatchesBuild(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 7, Movies: 120})
+	serial := Build(root)
+	for _, workers := range []int{1, 2, 3, 8} {
+		par := BuildParallel(root, workers)
+		if got, want := len(par.postings), len(serial.postings); got != want {
+			t.Fatalf("workers=%d: %d terms, want %d", workers, got, want)
+		}
+		for term, want := range serial.postings {
+			got := par.Lookup(term)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: term %q has %d postings, want %d", workers, term, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Compare(want[i]) != 0 {
+					t.Fatalf("workers=%d: term %q posting %d = %v, want %v", workers, term, i, got[i], want[i])
+				}
+			}
+		}
+		if par.terms != serial.terms {
+			t.Fatalf("workers=%d: terms counter %d, want %d", workers, par.terms, serial.terms)
+		}
+	}
+}
+
+// TestBuildParallelPostingsSorted verifies the merged lists come out in
+// document order without the serial path's safety-net sort.
+func TestBuildParallelPostingsSorted(t *testing.T) {
+	root := dataset.ProductReviews(dataset.ReviewsConfig{Seed: 3})
+	idx := BuildParallel(root, 4)
+	for term, list := range idx.postings {
+		for i := 1; i < len(list); i++ {
+			if list[i-1].Compare(list[i]) >= 0 {
+				t.Fatalf("term %q postings out of order at %d: %v >= %v", term, i, list[i-1], list[i])
+			}
+		}
+	}
+}
+
+// TestBuildParallelSmallTreeFallsBack covers the serial fallback on
+// trees too small to shard.
+func TestBuildParallelSmallTreeFallsBack(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 2})
+	serial := Build(root)
+	par := BuildParallel(root, 8)
+	if len(par.postings) != len(serial.postings) {
+		t.Fatalf("fallback index differs: %d terms vs %d", len(par.postings), len(serial.postings))
+	}
+}

@@ -1,6 +1,8 @@
 package xseek
 
 import (
+	"strings"
+
 	"repro/internal/index"
 	"repro/internal/slca"
 )
@@ -33,14 +35,7 @@ func (e *Engine) CleanQuery(query string) []string {
 // "showing results for ...".
 func (e *Engine) SearchCleaned(query string) ([]*Result, []string, error) {
 	cleaned := e.CleanQuery(query)
-	joined := ""
-	for i, t := range cleaned {
-		if i > 0 {
-			joined += " "
-		}
-		joined += t
-	}
-	res, err := e.Search(joined)
+	res, err := e.Search(strings.Join(cleaned, " "))
 	return res, cleaned, err
 }
 

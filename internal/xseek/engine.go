@@ -101,7 +101,11 @@ func (e *Engine) Search(query string) ([]*Result, error) {
 // preference order.
 var nameLikeTags = []string{"name", "title", "id", "brand", "label"}
 
-func (e *Engine) labelFor(n *xmltree.Node) string {
+// LabelFor returns a short human identifier for an entity subtree: the
+// value of its first name-like attribute, falling back to tag + Dewey
+// ID. It is the single labelling rule shared by search results and the
+// facade's Lift.
+func LabelFor(n *xmltree.Node) string {
 	for _, tag := range nameLikeTags {
 		if c := n.FirstChildElement(tag); c != nil && c.IsLeafElement() {
 			if v := c.Value(); v != "" {
@@ -111,6 +115,8 @@ func (e *Engine) labelFor(n *xmltree.Node) string {
 	}
 	return fmt.Sprintf("%s@%s", n.Tag, n.ID)
 }
+
+func (e *Engine) labelFor(n *xmltree.Node) string { return LabelFor(n) }
 
 // DescribeResult renders a one-line, depth-limited summary of a result
 // for listings (product name + first few attribute values), mirroring

@@ -1,0 +1,102 @@
+package xseek
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// NewParallel builds the same engine as New but constructs the
+// inverted index and the schema summary concurrently, each internally
+// fanned out over the root's child subtrees. The result is
+// indistinguishable from New's; only the startup latency differs.
+func NewParallel(root *xmltree.Node) *Engine {
+	e := &Engine{root: root}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		e.idx = index.BuildParallel(root, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		e.schema = InferSchemaParallel(root, 0)
+	}()
+	wg.Wait()
+	return e
+}
+
+// InferSchemaParallel builds the same schema summary as InferSchema by
+// visiting the root's child subtrees in parallel chunks and merging
+// the per-chunk evidence. Child subtrees only share node-type paths,
+// never parent/child sibling counts, so the merge is: sum instance
+// tallies, max sibling maxima, then apply the root-level sibling
+// counts (owned by the root, not by any chunk) on top.
+// workers <= 0 selects GOMAXPROCS.
+func InferSchemaParallel(root *xmltree.Node, workers int) *Schema {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	kids := root.ChildElements()
+	if workers == 1 || len(kids) < 2*workers {
+		return InferSchema(root)
+	}
+
+	chunks := make([]*Schema, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(kids)/workers, (w+1)*len(kids)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := &Schema{types: make(map[string]*typeInfo)}
+			for _, c := range kids[lo:hi] {
+				local.visit(c, root.Tag+"/"+c.Tag)
+			}
+			chunks[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	s := &Schema{types: make(map[string]*typeInfo)}
+	// The root's own evidence, which no chunk observed.
+	rootInfo := &typeInfo{path: root.Tag, tag: root.Tag, instances: 1}
+	if root.IsLeafElement() {
+		rootInfo.leafInstances = 1
+	}
+	s.types[root.Tag] = rootInfo
+	for _, local := range chunks {
+		if local == nil {
+			continue
+		}
+		for path, info := range local.types {
+			dst := s.types[path]
+			if dst == nil {
+				s.types[path] = info
+				continue
+			}
+			dst.instances += info.instances
+			dst.leafInstances += info.leafInstances
+			if info.maxSiblings > dst.maxSiblings {
+				dst.maxSiblings = info.maxSiblings
+			}
+		}
+	}
+	// Sibling counts among the root's direct children.
+	counts := make(map[string]int)
+	for _, c := range kids {
+		counts[c.Tag]++
+	}
+	for tag, n := range counts {
+		ci := s.types[root.Tag+"/"+tag]
+		if ci != nil && n > ci.maxSiblings {
+			ci.maxSiblings = n
+		}
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package xseek
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestInferSchemaParallelMatchesSerial checks the merged schema agrees
+// with the serial one on every node-type path, instance tally, and
+// category.
+func TestInferSchemaParallelMatchesSerial(t *testing.T) {
+	root := dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: 5})
+	serial := InferSchema(root)
+	for _, workers := range []int{1, 2, 3, 8} {
+		par := InferSchemaParallel(root, workers)
+		sp, pp := serial.Paths(), par.Paths()
+		if len(sp) != len(pp) {
+			t.Fatalf("workers=%d: %d paths, want %d", workers, len(pp), len(sp))
+		}
+		for i, p := range sp {
+			if pp[i] != p {
+				t.Fatalf("workers=%d: path %d = %q, want %q", workers, i, pp[i], p)
+			}
+			if got, want := par.Instances(p), serial.Instances(p); got != want {
+				t.Fatalf("workers=%d: %q instances = %d, want %d", workers, p, got, want)
+			}
+			if got, want := par.CategoryOf(p), serial.CategoryOf(p); got != want {
+				t.Fatalf("workers=%d: %q category = %v, want %v", workers, p, got, want)
+			}
+		}
+	}
+}
+
+// TestNewParallelSearchEquivalence runs the same queries through a
+// serially- and a parallel-built engine and demands identical results.
+func TestNewParallelSearchEquivalence(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 2, Movies: 80})
+	serial := New(root)
+	par := NewParallel(root)
+	for _, q := range dataset.MovieQueries() {
+		a, errA := serial.Search(q)
+		b, errB := par.Search(q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("query %q: error mismatch: %v vs %v", q, errA, errB)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d results vs %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Node != b[i].Node || a[i].Label != b[i].Label {
+				t.Fatalf("query %q: result %d differs: %s vs %s", q, i, a[i].Label, b[i].Label)
+			}
+		}
+	}
+}
+
+// TestLabelForFallback covers the tag@dewey fallback for unlabelled
+// subtrees (shared by search results and the facade's Lift).
+func TestLabelForFallback(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 3})
+	if got := LabelFor(root); got == "" {
+		t.Fatal("LabelFor returned empty label")
+	}
+}

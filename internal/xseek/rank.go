@@ -28,6 +28,14 @@ func (e *Engine) SearchRanked(query string) ([]*RankedResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.RankResults(results, query), nil
+}
+
+// RankResults scores and orders an already-computed result set for a
+// query — the scoring half of SearchRanked, split out so callers that
+// cache search results (the serving engine) can rank without repeating
+// the SLCA search.
+func (e *Engine) RankResults(results []*Result, query string) []*RankedResult {
 	terms := index.TokenizeQuery(query)
 	total := e.root.CountNodes()
 
@@ -46,7 +54,7 @@ func (e *Engine) SearchRanked(query string) ([]*RankedResult, error) {
 		out[i] = &RankedResult{Result: r, Score: score}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
-	return out, nil
+	return out
 }
 
 // countUnder returns how many posting IDs fall inside the subtree

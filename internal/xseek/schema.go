@@ -66,38 +66,40 @@ type Schema struct {
 // InferSchema builds the schema summary for the tree rooted at root.
 func InferSchema(root *xmltree.Node) *Schema {
 	s := &Schema{types: make(map[string]*typeInfo)}
-	var visit func(n *xmltree.Node, path string)
-	visit = func(n *xmltree.Node, path string) {
-		info := s.types[path]
-		if info == nil {
-			info = &typeInfo{path: path, tag: n.Tag}
-			s.types[path] = info
+	s.visit(root, root.Tag)
+	return s
+}
+
+// visit folds the subtree rooted at n (whose root-to-n tag path is
+// path) into the schema's evidence.
+func (s *Schema) visit(n *xmltree.Node, path string) {
+	info := s.types[path]
+	if info == nil {
+		info = &typeInfo{path: path, tag: n.Tag}
+		s.types[path] = info
+	}
+	info.instances++
+	if n.IsLeafElement() {
+		info.leafInstances++
+	}
+	counts := make(map[string]int)
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
 		}
-		info.instances++
-		if n.IsLeafElement() {
-			info.leafInstances++
+		counts[c.Tag]++
+	}
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
 		}
-		counts := make(map[string]int)
-		for _, c := range n.Children {
-			if c.Kind != xmltree.Element {
-				continue
-			}
-			counts[c.Tag]++
-		}
-		for _, c := range n.Children {
-			if c.Kind != xmltree.Element {
-				continue
-			}
-			childPath := path + "/" + c.Tag
-			visit(c, childPath)
-			ci := s.types[childPath]
-			if counts[c.Tag] > ci.maxSiblings {
-				ci.maxSiblings = counts[c.Tag]
-			}
+		childPath := path + "/" + c.Tag
+		s.visit(c, childPath)
+		ci := s.types[childPath]
+		if counts[c.Tag] > ci.maxSiblings {
+			ci.maxSiblings = counts[c.Tag]
 		}
 	}
-	visit(root, root.Tag)
-	return s
 }
 
 // CategoryOf returns the category of the node type at the given path.

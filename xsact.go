@@ -23,17 +23,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/feature"
+	"repro/internal/engine"
 	"repro/internal/snippet"
 	"repro/internal/table"
 	"repro/internal/xmltree"
 	"repro/internal/xseek"
 )
 
-// Document is a parsed, indexed XML corpus ready for search.
+// Engine exposes the document's serving engine for callers that need
+// cache metrics or lower-level access (benchmarks, the HTTP server).
+func (d *Document) Engine() *engine.Engine { return d.eng }
+
+// Document is a parsed, indexed XML corpus ready for search. It is a
+// thin wrapper over the concurrent serving engine (internal/engine):
+// searches, feature statistics, and generated DFS sets are cached
+// there, and every method is safe for concurrent use.
 type Document struct {
 	root *xmltree.Node
-	eng  *xseek.Engine
+	eng  *engine.Engine
 }
 
 // Parse reads an XML document and builds the search engine (inverted
@@ -57,7 +64,7 @@ func ParseString(s string) (*Document, error) {
 
 // FromTree wraps an already-built tree (e.g. from a generator).
 func FromTree(root *xmltree.Node) *Document {
-	return &Document{root: root, eng: xseek.New(root)}
+	return &Document{root: root, eng: engine.New(root)}
 }
 
 // BuiltinDataset loads one of the synthetic corpora: "reviews"
@@ -109,7 +116,7 @@ func (r *Result) Describe() string { return xseek.DescribeResult(r.res, 4) }
 // Snippet returns the eXtract-style frequency snippet of the result —
 // the baseline XSACT improves upon. Size 0 means 4 features.
 func (r *Result) Snippet(query string, size int) string {
-	stats := feature.Extract(r.res.Node, r.doc.eng.Schema(), r.Label)
+	stats := r.doc.eng.Stats(r.res.Node, r.Label)
 	return snippet.Generate(stats, snippet.Options{Size: size, Query: query}).String()
 }
 
@@ -121,20 +128,11 @@ func (r *Result) Snippet(query string, size int) string {
 func (r *Result) Lift(tag string) *Result {
 	for cur := r.res.Node.Parent; cur != nil; cur = cur.Parent {
 		if cur.Kind == xmltree.Element && cur.Tag == tag {
-			lifted := &xseek.Result{Node: cur, Match: r.res.Match, Label: labelOf(cur)}
+			lifted := &xseek.Result{Node: cur, Match: r.res.Match, Label: xseek.LabelFor(cur)}
 			return &Result{doc: r.doc, res: lifted, Label: lifted.Label}
 		}
 	}
 	return r
-}
-
-func labelOf(n *xmltree.Node) string {
-	for _, tag := range []string{"name", "title", "id", "brand", "label"} {
-		if c := n.FirstChildElement(tag); c != nil && c.IsLeafElement() && c.Value() != "" {
-			return c.Value()
-		}
-	}
-	return n.Tag + "@" + n.ID.String()
 }
 
 // Dedupe removes results that share the same subtree root (useful
@@ -164,17 +162,31 @@ func SnippetDoD(results []*Result, query string, size int) (int, error) {
 	if len(results) < 2 {
 		return 0, fmt.Errorf("xsact: snippet DoD needs at least 2 results, got %d", len(results))
 	}
-	doc := results[0].doc
+	doc, inner, err := sameDocResults(results)
+	if err != nil {
+		return 0, err
+	}
+	stats := doc.eng.StatsForResults(inner)
 	dfss := make([]*core.DFS, len(results))
-	for i, r := range results {
-		if r.doc != doc {
-			return 0, fmt.Errorf("xsact: results from different documents")
-		}
-		stats := feature.Extract(r.res.Node, doc.eng.Schema(), r.Label)
-		sn := snippet.Generate(stats, snippet.Options{Size: size, Query: query})
-		dfss[i] = &core.DFS{Stats: stats, Sel: core.Selection(sn.AsSelection())}
+	for i, s := range stats {
+		sn := snippet.Generate(s, snippet.Options{Size: size, Query: query})
+		dfss[i] = &core.DFS{Stats: s, Sel: core.Selection(sn.AsSelection())}
 	}
 	return core.TotalDoD(dfss, core.DefaultThreshold), nil
+}
+
+// sameDocResults checks that all results come from one Document and
+// unwraps them to the engine's result type.
+func sameDocResults(results []*Result) (*Document, []*xseek.Result, error) {
+	doc := results[0].doc
+	inner := make([]*xseek.Result, len(results))
+	for i, r := range results {
+		if r.doc != doc {
+			return nil, nil, fmt.Errorf("xsact: results from different documents")
+		}
+		inner[i] = r.res
+	}
+	return doc, inner, nil
 }
 
 // CompareOptions configures Compare.
@@ -203,20 +215,16 @@ func Compare(results []*Result, opts CompareOptions) (*Comparison, error) {
 	if len(results) < 2 {
 		return nil, fmt.Errorf("xsact: comparison needs at least 2 results, got %d", len(results))
 	}
-	doc := results[0].doc
-	stats := make([]*feature.Stats, len(results))
-	for i, r := range results {
-		if r.doc != doc {
-			return nil, fmt.Errorf("xsact: results from different documents")
-		}
-		stats[i] = feature.Extract(r.res.Node, doc.eng.Schema(), r.Label)
+	doc, inner, err := sameDocResults(results)
+	if err != nil {
+		return nil, err
 	}
 	alg := core.Algorithm(opts.Algorithm)
 	if opts.Algorithm == "" {
 		alg = core.AlgMultiSwap
 	}
 	copts := core.Options{SizeBound: opts.SizeBound, Threshold: opts.Threshold, Pad: true}
-	dfss := core.Generate(alg, stats, copts)
+	dfss := doc.eng.Generate(alg, inner, copts)
 	if dfss == nil {
 		return nil, fmt.Errorf("xsact: unknown algorithm %q", opts.Algorithm)
 	}
@@ -228,8 +236,8 @@ func Compare(results []*Result, opts CompareOptions) (*Comparison, error) {
 		tbl: table.Build(dfss),
 		DoD: core.TotalDoD(dfss, x),
 	}
-	for _, s := range stats {
-		cmp.Labels = append(cmp.Labels, s.Label)
+	for _, d := range dfss {
+		cmp.Labels = append(cmp.Labels, d.Stats.Label)
 	}
 	return cmp, nil
 }
