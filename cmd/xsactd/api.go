@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/snippet"
+	"repro/internal/table"
+	"repro/internal/xseek"
+)
+
+// The /api/v1/* endpoints mirror the HTML UI over JSON so load
+// generators and programmatic clients can drive the server: search and
+// compare resolve through exactly the same engine calls (and the same
+// request validation, for compare) as their HTML counterparts, so a
+// result index obtained from /api/v1/search selects the same result
+// the HTML checkbox with that value does.
+
+// writeJSON writes v as the JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONError writes the uniform error envelope.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// apiResult is one search result in wire form. Index is the selection
+// handle /api/v1/compare and /api/v1/snippet accept.
+type apiResult struct {
+	Index       int    `json:"index"`
+	ID          string `json:"id"`
+	Label       string `json:"label"`
+	Description string `json:"description"`
+}
+
+type searchResponse struct {
+	Dataset string      `json:"dataset"`
+	Query   string      `json:"query"`
+	Cleaned []string    `json:"cleaned"`
+	Missing []string    `json:"missing,omitempty"`
+	Results []apiResult `json:"results"`
+}
+
+// apiSearch serves GET /api/v1/search?dataset=...&q=... — dataset may
+// be omitted (first dataset) or "Any (auto-select)" for database
+// selection. A query whose keywords match nothing is a well-formed
+// 200 response with empty results and the missing keywords listed.
+func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
+	query := r.FormValue("q")
+	if query == "" {
+		writeJSONError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	ds, eng, herr := s.resolveEngine(r.FormValue("dataset"), query)
+	if herr != nil {
+		writeJSONError(w, herr.status, herr.msg)
+		return
+	}
+	results, cleaned, err := eng.SearchCleaned(query)
+	resp := searchResponse{Dataset: ds, Query: query, Cleaned: cleaned, Results: []apiResult{}}
+	if err != nil {
+		var noMatch *index.NoMatchError
+		if !errors.As(err, &noMatch) {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp.Missing = noMatch.Terms
+	}
+	for i, res := range results {
+		resp.Results = append(resp.Results, apiResult{
+			Index:       i,
+			ID:          res.Node.ID.String(),
+			Label:       res.Label,
+			Description: xseek.DescribeResult(res, 4),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type apiCellValue struct {
+	Value string  `json:"value"`
+	Rel   float64 `json:"rel"`
+	Count int     `json:"count"`
+}
+
+type apiCell struct {
+	Known  bool           `json:"known"`
+	Values []apiCellValue `json:"values,omitempty"`
+}
+
+type apiRow struct {
+	Entity    string    `json:"entity"`
+	Attribute string    `json:"attribute"`
+	Cells     []apiCell `json:"cells"`
+}
+
+type compareResponse struct {
+	Dataset   string   `json:"dataset"`
+	Query     string   `json:"query"`
+	Algorithm string   `json:"algorithm"`
+	SizeBound int      `json:"size_bound"`
+	DoD       int      `json:"dod"`
+	Labels    []string `json:"labels"`
+	Rows      []apiRow `json:"rows"`
+}
+
+// apiCompare serves GET /api/v1/compare with the HTML compare page's
+// parameters (dataset, q, sel indices, L, alg) and returns the
+// comparison table as structured rows.
+func (s *server) apiCompare(w http.ResponseWriter, r *http.Request) {
+	in, herr := s.resolveCompare(r)
+	if herr != nil {
+		writeJSONError(w, herr.status, herr.msg)
+		return
+	}
+	dfss, herr := in.generate()
+	if herr != nil {
+		writeJSONError(w, herr.status, herr.msg)
+		return
+	}
+	tbl := table.Build(dfss)
+	resp := compareResponse{
+		Dataset:   in.dataset,
+		Query:     in.query,
+		Algorithm: string(in.alg),
+		SizeBound: in.bound,
+		DoD:       core.TotalDoD(dfss, core.DefaultThreshold),
+		Labels:    tbl.Labels,
+		Rows:      []apiRow{},
+	}
+	for _, row := range tbl.Rows {
+		out := apiRow{Entity: row.Type.Entity, Attribute: row.Type.Attribute}
+		for _, cell := range row.Cells {
+			c := apiCell{Known: cell.Known}
+			for _, v := range cell.Values {
+				c.Values = append(c.Values, apiCellValue{Value: v.Value, Rel: v.Rel, Count: v.Count})
+			}
+			out.Cells = append(out.Cells, c)
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type apiFeature struct {
+	Entity    string `json:"entity"`
+	Attribute string `json:"attribute"`
+	Value     string `json:"value"`
+}
+
+type snippetResponse struct {
+	Dataset  string       `json:"dataset"`
+	Query    string       `json:"query"`
+	Index    int          `json:"index"`
+	Label    string       `json:"label"`
+	Features []apiFeature `json:"features"`
+}
+
+// apiSnippet serves GET /api/v1/snippet?dataset=...&q=...&idx=N[&size=K]
+// — the eXtract-style frequency snippet of one search result, the
+// baseline XSACT's coordinated tables improve upon.
+func (s *server) apiSnippet(w http.ResponseWriter, r *http.Request) {
+	in, herr := s.resolveResult(r)
+	if herr != nil {
+		writeJSONError(w, herr.status, herr.msg)
+		return
+	}
+	size, _ := strconv.Atoi(r.FormValue("size"))
+	// Bias with the corrected keywords — the ones the result actually
+	// answers — so a typo query still boosts the matching features.
+	biasQuery := strings.Join(in.cleaned, " ")
+	sn := snippet.Generate(in.eng.Stats(in.res.Node, in.res.Label), snippet.Options{Size: size, Query: biasQuery})
+	resp := snippetResponse{Dataset: in.dataset, Query: in.query, Index: in.idx, Label: sn.Label, Features: []apiFeature{}}
+	for _, f := range sn.Features {
+		resp.Features = append(resp.Features, apiFeature{Entity: f.Entity, Attribute: f.Attribute, Value: f.Value})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// datasetMetrics reports one dataset's serving state. Engines are
+// built lazily, so unbuilt datasets show built=false instead of being
+// forced into existence by a monitoring probe.
+type datasetMetrics struct {
+	Built  bool            `json:"built"`
+	Engine *engine.Metrics `json:"engine,omitempty"`
+	Index  *index.Stats    `json:"index,omitempty"`
+}
+
+type metricsResponse struct {
+	Datasets map[string]datasetMetrics `json:"datasets"`
+}
+
+// apiMetrics serves GET /api/v1/metrics: per-dataset cache counters
+// and index statistics for every engine built so far.
+func (s *server) apiMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := metricsResponse{Datasets: make(map[string]datasetMetrics, len(s.datasets))}
+	for name, l := range s.datasets {
+		dm := datasetMetrics{}
+		if eng := l.peek(); eng != nil {
+			dm.Built = true
+			m := eng.Metrics()
+			st := eng.Index().Stats()
+			dm.Engine = &m
+			dm.Index = &st
+		}
+		resp.Datasets[name] = dm
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,437 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/xmltree"
+)
+
+// newTestServerFor serves an already-constructed server (testServer
+// always builds a fresh one with no snapshot dir).
+func newTestServerFor(t *testing.T, s *server) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(s.routes())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestLazyEngineRecoversFromPanic is the regression test for the
+// sync.Once poisoning: a panic during the first build must not
+// condemn every later request to a nil engine.
+func TestLazyEngineRecoversFromPanic(t *testing.T) {
+	calls := 0
+	l := &lazyEngine{build: func() *engine.Engine {
+		calls++
+		if calls == 1 {
+			panic("transient build failure")
+		}
+		return engine.New(dataset.ProductReviews(dataset.ReviewsConfig{Seed: 2, ProductsPerCategory: 1}))
+	}}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first get should propagate the build panic")
+			}
+		}()
+		l.get()
+	}()
+
+	eng := l.get()
+	if eng == nil {
+		t.Fatal("second get returned nil: the failed build poisoned the slot")
+	}
+	if l.get() != eng {
+		t.Fatal("later gets must share the one built engine")
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2 (one failure + one retry)", calls)
+	}
+}
+
+// captureLog redirects the standard logger during fn and returns what
+// it wrote.
+func captureLog(t *testing.T, fn func()) string {
+	t.Helper()
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	defer log.SetOutput(os.Stderr)
+	fn()
+	return buf.String()
+}
+
+// TestSnapshotLifecycle drives buildEngine through the full snapshot
+// cycle: fresh build writes the file, the next startup loads it
+// instead of rebuilding, and a corrupt file falls back to a rebuild
+// that replaces it.
+func TestSnapshotLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	gen := func() *xmltree.Node {
+		return dataset.ProductReviews(dataset.ReviewsConfig{Seed: 5})
+	}
+
+	var first *engine.Engine
+	out := captureLog(t, func() { first = buildEngine("Product Reviews", "reviews", 5, dir, gen) })
+	if !strings.Contains(out, "wrote snapshot") {
+		t.Fatalf("first build should write a snapshot, log:\n%s", out)
+	}
+	path := filepath.Join(dir, "reviews-seed5.snap")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+
+	var second *engine.Engine
+	out = captureLog(t, func() { second = buildEngine("Product Reviews", "reviews", 5, dir, gen) })
+	if !strings.Contains(out, "loaded from snapshot") {
+		t.Fatalf("second startup should load the snapshot, log:\n%s", out)
+	}
+	want, err := first.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot-loaded engine: %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Label != want[i].Label {
+			t.Fatalf("result %d: %q vs %q", i, got[i].Label, want[i].Label)
+		}
+	}
+
+	// A different seed must not accept this snapshot's file name
+	// collision — and a corrupt file must cost only a rebuild.
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var third *engine.Engine
+	out = captureLog(t, func() { third = buildEngine("Product Reviews", "reviews", 5, dir, gen) })
+	if !strings.Contains(out, "rebuilding") || !strings.Contains(out, "wrote snapshot") {
+		t.Fatalf("corrupt snapshot should rebuild and rewrite, log:\n%s", out)
+	}
+	if rs, err := third.Search("tomtom gps"); err != nil || len(rs) != len(want) {
+		t.Fatalf("rebuilt engine broken: %d results, err %v", len(rs), err)
+	}
+}
+
+// TestServerSecondStartupFromSnapshot exercises the lifecycle through
+// the real server plumbing: two servers sharing a snapshot dir must
+// serve identical JSON, the second from disk.
+func TestServerSecondStartupFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	serve := func() (string, string) {
+		s, err := newServer(1, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := newTestServerFor(t, s)
+		var logOut string
+		var body string
+		logOut = captureLog(t, func() {
+			_, body = get(t, srv.URL+"/api/v1/search?dataset=Movies&q=horror+vampire")
+		})
+		return body, logOut
+	}
+	firstBody, firstLog := serve()
+	if !strings.Contains(firstLog, "wrote snapshot") {
+		t.Fatalf("first server should snapshot after building, log:\n%s", firstLog)
+	}
+	secondBody, secondLog := serve()
+	if !strings.Contains(secondLog, "loaded from snapshot") {
+		t.Fatalf("second server should start from the snapshot, log:\n%s", secondLog)
+	}
+	if secondBody != firstBody {
+		t.Fatalf("snapshot-served response differs:\n%s\nvs\n%s", secondBody, firstBody)
+	}
+}
+
+func decodeJSON[T any](t *testing.T, body string) T {
+	t.Helper()
+	var v T
+	dec := json.NewDecoder(strings.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		t.Fatalf("response is not well-formed JSON: %v\n%s", err, body)
+	}
+	return v
+}
+
+func TestAPISearch(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/api/v1/search?dataset=Product+Reviews&q=tomtim+gps")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	resp := decodeJSON[searchResponse](t, body)
+	if resp.Dataset != "Product Reviews" || len(resp.Results) == 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if len(resp.Cleaned) != 2 || resp.Cleaned[0] != "tomtom" {
+		t.Fatalf("typo not cleaned: %v", resp.Cleaned)
+	}
+	for i, r := range resp.Results {
+		if r.Index != i || r.Label == "" || r.ID == "" {
+			t.Fatalf("result %d malformed: %+v", i, r)
+		}
+	}
+
+	// Parity with the HTML path: same result count.
+	_, page := get(t, srv.URL+"/?dataset=Product+Reviews&q=tomtim+gps")
+	m := regexp.MustCompile(`<h2>(\d+) results</h2>`).FindStringSubmatch(page)
+	if m == nil || m[1] != fmt.Sprint(len(resp.Results)) {
+		t.Fatalf("JSON returned %d results, HTML header %v", len(resp.Results), m)
+	}
+}
+
+func TestAPISearchNoMatch(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/api/v1/search?dataset=Movies&q=zzznope")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	resp := decodeJSON[searchResponse](t, body)
+	if len(resp.Results) != 0 || len(resp.Missing) == 0 {
+		t.Fatalf("no-match response = %+v", resp)
+	}
+}
+
+func TestAPISearchErrors(t *testing.T) {
+	srv := testServer(t)
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"dataset=Nope&q=x", http.StatusBadRequest},
+		{"dataset=Movies", http.StatusBadRequest},
+		{"dataset=" + url.QueryEscape(autoDataset) + "&q=xyzzyplugh", http.StatusNotFound},
+	} {
+		code, body := get(t, srv.URL+"/api/v1/search?"+tc.query)
+		if code != tc.want {
+			t.Fatalf("%s: status = %d, want %d", tc.query, code, tc.want)
+		}
+		if !strings.Contains(body, `"error"`) {
+			t.Fatalf("%s: error not JSON-enveloped: %s", tc.query, body)
+		}
+	}
+}
+
+func TestAPISearchAutoSelect(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/api/v1/search?dataset="+url.QueryEscape(autoDataset)+"&q=horror+vampire")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	resp := decodeJSON[searchResponse](t, body)
+	if resp.Dataset != "Movies" {
+		t.Fatalf("auto-select routed to %q, want Movies", resp.Dataset)
+	}
+}
+
+func TestAPICompare(t *testing.T) {
+	srv := testServer(t)
+	params := url.Values{
+		"dataset": {"Product Reviews"},
+		"q":       {"tomtom gps"},
+		"L":       {"8"},
+		"alg":     {"multi-swap"},
+		"sel":     {"0", "1"},
+	}
+	code, body := get(t, srv.URL+"/api/v1/compare?"+params.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	resp := decodeJSON[compareResponse](t, body)
+	if resp.Algorithm != "multi-swap" || resp.SizeBound != 8 {
+		t.Fatalf("response header = %+v", resp)
+	}
+	if len(resp.Labels) != 2 || len(resp.Rows) == 0 {
+		t.Fatalf("table shape: %d labels, %d rows", len(resp.Labels), len(resp.Rows))
+	}
+	known := 0
+	for _, row := range resp.Rows {
+		if len(row.Cells) != 2 {
+			t.Fatalf("row %s:%s has %d cells, want 2", row.Entity, row.Attribute, len(row.Cells))
+		}
+		for _, c := range row.Cells {
+			if c.Known {
+				known++
+				if len(c.Values) == 0 {
+					t.Fatalf("known cell in %s:%s has no values", row.Entity, row.Attribute)
+				}
+			}
+		}
+	}
+	if known == 0 {
+		t.Fatal("comparison table has no known cells")
+	}
+
+	// Parity with the HTML path: identical total DoD.
+	_, page := get(t, srv.URL+"/compare?"+params.Encode())
+	m := regexp.MustCompile(`total DoD = (\d+)`).FindStringSubmatch(page)
+	if m == nil || m[1] != fmt.Sprint(resp.DoD) {
+		t.Fatalf("JSON DoD %d, HTML %v", resp.DoD, m)
+	}
+}
+
+func TestAPICompareErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []url.Values{
+		{"dataset": {"Nope"}, "q": {"x"}, "sel": {"0", "1"}},
+		{"dataset": {"Product Reviews"}, "q": {"tomtom gps"}, "sel": {"0"}},
+		{"dataset": {"Product Reviews"}, "q": {"tomtom gps"}, "sel": {"0", "9999"}},
+		{"dataset": {"Product Reviews"}, "q": {"tomtom gps"}, "sel": {"0", "1"}, "alg": {"bogus"}},
+	}
+	for i, params := range cases {
+		code, body := get(t, srv.URL+"/api/v1/compare?"+params.Encode())
+		if code != http.StatusBadRequest {
+			t.Fatalf("case %d: status = %d, want 400", i, code)
+		}
+		if !strings.Contains(body, `"error"`) {
+			t.Fatalf("case %d: error not JSON-enveloped: %s", i, body)
+		}
+	}
+}
+
+// TestCompareClampsSizeBound is the regression test for unbounded
+// user-supplied table sizes: absurd L values clamp to maxSizeBound on
+// both the HTML and JSON paths.
+func TestCompareClampsSizeBound(t *testing.T) {
+	srv := testServer(t)
+	params := url.Values{
+		"dataset": {"Product Reviews"},
+		"q":       {"tomtom gps"},
+		"L":       {"999999"},
+		"alg":     {"top-k"},
+		"sel":     {"0", "1"},
+	}
+	code, body := get(t, srv.URL+"/compare?"+params.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, fmt.Sprintf("L=%d", maxSizeBound)) {
+		t.Fatalf("HTML compare did not clamp L, body header: %.200s", body)
+	}
+	code, jsonBody := get(t, srv.URL+"/api/v1/compare?"+params.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("api status = %d", code)
+	}
+	if resp := decodeJSON[compareResponse](t, jsonBody); resp.SizeBound != maxSizeBound {
+		t.Fatalf("API size_bound = %d, want clamp to %d", resp.SizeBound, maxSizeBound)
+	}
+}
+
+func TestAPISnippet(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/api/v1/snippet?dataset=Product+Reviews&q=tomtom+gps&idx=0&size=5")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	resp := decodeJSON[snippetResponse](t, body)
+	if resp.Label == "" || len(resp.Features) == 0 || len(resp.Features) > 5 {
+		t.Fatalf("snippet response = %+v", resp)
+	}
+	for _, f := range resp.Features {
+		if f.Entity == "" || f.Attribute == "" {
+			t.Fatalf("malformed feature %+v", f)
+		}
+	}
+	for _, idx := range []string{"-1", "9999", "x"} {
+		code, _ := get(t, srv.URL+"/api/v1/snippet?dataset=Product+Reviews&q=tomtom+gps&idx="+idx)
+		if code != http.StatusBadRequest {
+			t.Fatalf("idx %q: status = %d, want 400", idx, code)
+		}
+	}
+}
+
+// TestAPIDatasetDefaults: compare and snippet accept the same dataset
+// spellings search does — omitted (first dataset) and auto-select.
+func TestAPIDatasetDefaults(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/api/v1/compare?q=tomtom+gps&sel=0&sel=1")
+	if code != http.StatusOK {
+		t.Fatalf("compare without dataset: status = %d: %s", code, body)
+	}
+	if resp := decodeJSON[compareResponse](t, body); resp.Dataset != "Product Reviews" {
+		t.Fatalf("compare defaulted to %q", resp.Dataset)
+	}
+	code, body = get(t, srv.URL+"/api/v1/snippet?q=tomtom+gps&idx=0")
+	if code != http.StatusOK {
+		t.Fatalf("snippet without dataset: status = %d: %s", code, body)
+	}
+	code, body = get(t, srv.URL+"/api/v1/compare?dataset="+url.QueryEscape(autoDataset)+"&q=horror+vampire&sel=0&sel=1")
+	if code != http.StatusOK {
+		t.Fatalf("compare with auto-select: status = %d: %s", code, body)
+	}
+	if resp := decodeJSON[compareResponse](t, body); resp.Dataset != "Movies" {
+		t.Fatalf("auto-select compare routed to %q", resp.Dataset)
+	}
+}
+
+// TestAPISnippetBiasUsesCleanedQuery: a typo query must produce the
+// same snippet as its corrected form — bias runs on the keywords the
+// result actually answers.
+func TestAPISnippetBiasUsesCleanedQuery(t *testing.T) {
+	srv := testServer(t)
+	_, typo := get(t, srv.URL+"/api/v1/snippet?dataset=Product+Reviews&q=tomtim&idx=0&size=4")
+	_, exact := get(t, srv.URL+"/api/v1/snippet?dataset=Product+Reviews&q=tomtom&idx=0&size=4")
+	a := decodeJSON[snippetResponse](t, typo)
+	b := decodeJSON[snippetResponse](t, exact)
+	if a.Label != b.Label || len(a.Features) != len(b.Features) {
+		t.Fatalf("typo snippet diverges: %+v vs %+v", a, b)
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			t.Fatalf("feature %d: %+v vs %+v (bias not using cleaned query?)", i, a.Features[i], b.Features[i])
+		}
+	}
+}
+
+func TestAPIMetrics(t *testing.T) {
+	srv := testServer(t)
+	// Before any traffic the probe must not force engine builds.
+	code, body := get(t, srv.URL+"/api/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	resp := decodeJSON[metricsResponse](t, body)
+	if len(resp.Datasets) != 3 {
+		t.Fatalf("metrics cover %d datasets, want 3", len(resp.Datasets))
+	}
+	for name, dm := range resp.Datasets {
+		if dm.Built {
+			t.Fatalf("metrics probe built engine %q", name)
+		}
+	}
+
+	// After one search + one repeat, the dataset reports cache traffic.
+	get(t, srv.URL+"/api/v1/search?dataset=Movies&q=horror")
+	get(t, srv.URL+"/api/v1/search?dataset=Movies&q=horror")
+	_, body = get(t, srv.URL+"/api/v1/metrics")
+	resp = decodeJSON[metricsResponse](t, body)
+	movies := resp.Datasets["Movies"]
+	if !movies.Built || movies.Engine == nil || movies.Index == nil {
+		t.Fatalf("Movies metrics after traffic = %+v", movies)
+	}
+	if movies.Engine.QueryHits < 1 || movies.Engine.QueryMisses < 1 {
+		t.Fatalf("query counters = %+v", movies.Engine)
+	}
+	if movies.Index.IndexedElements <= 0 || movies.Index.IndexedElements >= movies.Index.Postings {
+		t.Fatalf("index stats implausible: %+v", movies.Index)
+	}
+}

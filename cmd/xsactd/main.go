@@ -1,15 +1,20 @@
 // Command xsactd serves XSACT's web demo (the paper's Figure 5): a
 // search box over the built-in datasets, a result list with
 // checkboxes, a size-bound field, and a "Compare" button that renders
-// the comparison table.
+// the comparison table. A versioned JSON API (/api/v1/search,
+// /api/v1/compare, /api/v1/snippet, /api/v1/metrics) exposes the same
+// pipeline to programmatic clients and load generators.
 //
 // Each dataset's corpus and serving engine are built lazily on the
 // first request that touches them, then shared — with their query,
 // feature-stats, and DFS caches — across all subsequent requests.
+// With -snapshot-dir, an engine's derived state (inverted index +
+// inferred schema) is reloaded from disk when a valid snapshot exists
+// and written back after a fresh build, so restarts skip the rebuild.
 //
 // Usage:
 //
-//	xsactd [-addr :8080] [-seed 1]
+//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR]
 package main
 
 import (
@@ -22,12 +27,13 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		seed = flag.Int64("seed", 1, "dataset seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", 1, "dataset seed")
+		snapshotDir = flag.String("snapshot-dir", "", "directory for engine snapshots (empty = rebuild on every start)")
 	)
 	flag.Parse()
 
-	srv, err := newServer(*seed)
+	srv, err := newServer(*seed, *snapshotDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsactd:", err)
 		os.Exit(1)

@@ -1,18 +1,24 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"html"
+	"io/fs"
+	"log"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/persist"
 	"repro/internal/table"
 	"repro/internal/xmltree"
 	"repro/internal/xseek"
@@ -36,15 +42,37 @@ func sameKeywords(query string, cleaned []string) bool {
 // lazyEngine defers corpus generation and engine construction to the
 // first request that needs the dataset, then shares the one engine —
 // and all its caches — across every later request.
+//
+// It deliberately uses a mutex rather than sync.Once: a panic inside
+// once.Do consumes the Once, so every later request would receive a
+// nil engine and crash on dereference. Here a panicking build unwinds
+// through the unlock and leaves eng nil, and the next request simply
+// retries the build.
 type lazyEngine struct {
-	once  sync.Once
-	build func() *xmltree.Node
-	eng   *engine.Engine
+	mu    sync.Mutex // serializes builds only; eng is read lock-free
+	build func() *engine.Engine
+	eng   atomic.Pointer[engine.Engine]
 }
 
 func (l *lazyEngine) get() *engine.Engine {
-	l.once.Do(func() { l.eng = engine.New(l.build()) })
-	return l.eng
+	if eng := l.eng.Load(); eng != nil {
+		return eng
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if eng := l.eng.Load(); eng != nil {
+		return eng // another request built it while we waited
+	}
+	eng := l.build()
+	l.eng.Store(eng)
+	return eng
+}
+
+// peek returns the engine if it has been built, without forcing — or
+// waiting on — a build: the metrics endpoint must not stall behind an
+// in-flight engine construction.
+func (l *lazyEngine) peek() *engine.Engine {
+	return l.eng.Load()
 }
 
 // server holds one lazily-built, shared serving engine per dataset.
@@ -53,22 +81,59 @@ type server struct {
 	order    []string
 }
 
-func newServer(seed int64) (*server, error) {
+// newServer assembles the dataset table. When snapshotDir is non-empty
+// each engine build first tries to reload its derived state from
+// <snapshotDir>/<slug>-seed<seed>.snap, and writes that file back
+// after a fresh build, so the second server startup skips index
+// construction and schema inference entirely.
+func newServer(seed int64, snapshotDir string) (*server, error) {
 	s := &server{datasets: make(map[string]*lazyEngine)}
-	add := func(name string, build func() *xmltree.Node) {
-		s.datasets[name] = &lazyEngine{build: build}
+	add := func(name, slug string, gen func() *xmltree.Node) {
+		s.datasets[name] = &lazyEngine{build: func() *engine.Engine {
+			return buildEngine(name, slug, seed, snapshotDir, gen)
+		}}
 		s.order = append(s.order, name)
 	}
-	add("Product Reviews", func() *xmltree.Node {
+	add("Product Reviews", "reviews", func() *xmltree.Node {
 		return dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})
 	})
-	add("Outdoor Retailer", func() *xmltree.Node {
+	add("Outdoor Retailer", "retailer", func() *xmltree.Node {
 		return dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed})
 	})
-	add("Movies", func() *xmltree.Node {
+	add("Movies", "movies", func() *xmltree.Node {
 		return dataset.Movies(dataset.MoviesConfig{Seed: seed})
 	})
 	return s, nil
+}
+
+// buildEngine generates the corpus and produces its serving engine,
+// serving the derived state from a snapshot when one is present and
+// valid. Snapshot failures are never fatal — a bad file just costs a
+// rebuild (and is replaced by a fresh snapshot afterwards).
+func buildEngine(name, slug string, seed int64, dir string, gen func() *xmltree.Node) *engine.Engine {
+	root := gen()
+	if dir == "" {
+		return engine.New(root)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.snap", slug, seed))
+	// persist.Load verifies the snapshot's corpus fingerprint against
+	// the freshly generated root, which deterministically encodes
+	// dataset and seed — no separate identity check needed here.
+	eng, _, err := persist.LoadFile(path, root, engine.Config{})
+	if err == nil {
+		log.Printf("xsactd: %s: engine loaded from snapshot %s", name, path)
+		return eng
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		log.Printf("xsactd: %s: snapshot %s unusable (%v); rebuilding", name, path, err)
+	}
+	built := engine.New(root)
+	if err := persist.SaveFile(path, built, persist.Meta{CorpusName: name, Seed: seed}); err != nil {
+		log.Printf("xsactd: %s: writing snapshot %s failed: %v", name, path, err)
+	} else {
+		log.Printf("xsactd: %s: wrote snapshot %s", name, path)
+	}
+	return built
 }
 
 // engineFor returns the shared engine of a dataset, building it on
@@ -86,6 +151,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/", s.handleSearch)
 	mux.HandleFunc("/compare", s.handleCompare)
 	mux.HandleFunc("/result", s.handleResult)
+	mux.HandleFunc("/api/v1/search", s.apiSearch)
+	mux.HandleFunc("/api/v1/compare", s.apiCompare)
+	mux.HandleFunc("/api/v1/snippet", s.apiSnippet)
+	mux.HandleFunc("/api/v1/metrics", s.apiMetrics)
 	return mux
 }
 
@@ -136,16 +205,36 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, pageFoot)
 }
 
-func (s *server) renderResults(w http.ResponseWriter, ds, query string) {
-	if ds == autoDataset {
-		// Database selection needs every corpus's vocabulary, so this is
-		// the one path that forces all engines to exist.
+// resolveDataset maps a request's dataset choice to a concrete
+// dataset name: empty selects the first dataset, the auto entry runs
+// database selection over every corpus's vocabulary (the one path
+// that forces all engines to exist), anything else passes through.
+// It returns "" when auto-selection finds no covering corpus. Both
+// the HTML and JSON search paths route through it, so they always
+// agree on which corpus serves a query.
+func (s *server) resolveDataset(ds, query string) string {
+	switch ds {
+	case "":
+		return s.order[0]
+	case autoDataset:
 		engines := make(map[string]*xseek.Engine, len(s.datasets))
 		for name, l := range s.datasets {
 			engines[name] = l.get().Xseek()
 		}
 		name, sel := xseek.SelectDatabase(engines, query)
 		if sel == nil {
+			return ""
+		}
+		return name
+	default:
+		return ds
+	}
+}
+
+func (s *server) renderResults(w http.ResponseWriter, ds, query string) {
+	if ds == autoDataset {
+		name := s.resolveDataset(ds, query)
+		if name == "" {
 			fmt.Fprintf(w, "<p>no dataset contains keywords of %s</p>", html.EscapeString(query))
 			return
 		}
@@ -181,84 +270,168 @@ algorithm: <select name="alg"><option>multi-swap</option><option>single-swap</op
 	fmt.Fprint(w, `</form>`)
 }
 
+// resolveEngine maps a dataset choice (including omitted and the auto
+// entry) to its serving engine via resolveDataset, so every endpoint
+// accepts the same dataset spellings the search paths do.
+func (s *server) resolveEngine(ds, query string) (string, *engine.Engine, *httpError) {
+	ds = s.resolveDataset(ds, query)
+	if ds == "" {
+		return "", nil, &httpError{http.StatusNotFound, "no dataset contains the query keywords"}
+	}
+	eng := s.engineFor(ds)
+	if eng == nil {
+		return "", nil, &httpError{http.StatusBadRequest, "unknown dataset"}
+	}
+	return ds, eng, nil
+}
+
+// resultInput is a fully validated single-result request. The HTML
+// detail page and the JSON snippet endpoint both resolve through it,
+// so an index obtained from either search path names the same result
+// in both.
+type resultInput struct {
+	dataset string
+	query   string
+	cleaned []string // the spell-corrected keywords the results answer
+	eng     *engine.Engine
+	idx     int
+	res     *xseek.Result
+}
+
+// resolveResult parses and validates the dataset/q/idx parameters,
+// mirroring the search handlers' query resolution exactly.
+func (s *server) resolveResult(r *http.Request) (*resultInput, *httpError) {
+	in := &resultInput{query: r.FormValue("q")}
+	var herr *httpError
+	in.dataset, in.eng, herr = s.resolveEngine(r.FormValue("dataset"), in.query)
+	if herr != nil {
+		return nil, herr
+	}
+	results, cleaned, err := in.eng.SearchCleaned(in.query)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	in.cleaned = cleaned
+	in.idx, err = strconv.Atoi(r.FormValue("idx"))
+	if err != nil || in.idx < 0 || in.idx >= len(results) {
+		return nil, &httpError{http.StatusBadRequest, "bad result index"}
+	}
+	in.res = results[in.idx]
+	return in, nil
+}
+
 // handleResult shows one result's full subtree — the demo's "click the
 // name of the result and the entire result will be shown".
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
-	ds := r.FormValue("dataset")
-	query := r.FormValue("q")
-	eng := s.engineFor(ds)
-	if eng == nil {
-		http.Error(w, "unknown dataset", http.StatusBadRequest)
+	in, herr := s.resolveResult(r)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.status)
 		return
 	}
-	results, _, err := eng.SearchCleaned(query)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	idx, err := strconv.Atoi(r.FormValue("idx"))
-	if err != nil || idx < 0 || idx >= len(results) {
-		http.Error(w, "bad result index", http.StatusBadRequest)
-		return
-	}
-	res := results[idx]
 	fmt.Fprint(w, pageHead)
-	fmt.Fprintf(w, "<h2>%s</h2><pre>%s</pre>", html.EscapeString(res.Label),
-		html.EscapeString(xmltree.XMLString(res.Node)))
+	fmt.Fprintf(w, "<h2>%s</h2><pre>%s</pre>", html.EscapeString(in.res.Label),
+		html.EscapeString(xmltree.XMLString(in.res.Node)))
 	fmt.Fprintf(w, `<p><a href="/?dataset=%s&q=%s">back to results</a></p>`,
-		url.QueryEscape(ds), url.QueryEscape(query))
+		url.QueryEscape(in.dataset), url.QueryEscape(in.query))
 	fmt.Fprint(w, pageFoot)
 }
 
-func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	ds := r.FormValue("dataset")
-	query := r.FormValue("q")
-	eng := s.engineFor(ds)
-	if eng == nil {
-		http.Error(w, "unknown dataset", http.StatusBadRequest)
-		return
-	}
-	// Must mirror renderResults' search exactly so the checkbox
-	// indices resolve to the same results.
-	results, _, err := eng.SearchCleaned(query)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	bound, err := strconv.Atoi(strings.TrimSpace(r.FormValue("L")))
-	if err != nil || bound < 1 {
-		bound = core.DefaultSizeBound
-	}
-	alg := core.Algorithm(r.FormValue("alg"))
+// maxSizeBound caps the user-supplied table size bound L. Accepting
+// unbounded values would let a single request demand arbitrarily large
+// tables (and pollute the DFS cache with them); bounds beyond this are
+// clamped rather than rejected.
+const maxSizeBound = 50
 
-	var selected []*xseek.Result
+// httpError carries an HTTP status alongside a message through the
+// request-resolution helpers shared by the HTML and JSON handlers.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// compareInput is a fully validated comparison request. Both the HTML
+// and the JSON compare handlers resolve through it, so checkbox/index
+// selections bind to exactly the results the search path produced.
+type compareInput struct {
+	dataset  string
+	query    string
+	eng      *engine.Engine
+	selected []*xseek.Result
+	bound    int
+	alg      core.Algorithm
+}
+
+// resolveCompare parses and validates the dataset/q/L/alg/sel request
+// parameters. The search must mirror the search handlers' exactly so
+// the selection indices resolve to the same results.
+func (s *server) resolveCompare(r *http.Request) (*compareInput, *httpError) {
+	in := &compareInput{query: r.FormValue("q")}
+	var herr *httpError
+	in.dataset, in.eng, herr = s.resolveEngine(r.FormValue("dataset"), in.query)
+	if herr != nil {
+		return nil, herr
+	}
+	results, _, err := in.eng.SearchCleaned(in.query)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	in.bound, err = strconv.Atoi(strings.TrimSpace(r.FormValue("L")))
+	if err != nil || in.bound < 1 {
+		in.bound = core.DefaultSizeBound
+	}
+	if in.bound > maxSizeBound {
+		in.bound = maxSizeBound
+	}
+	in.alg = core.Algorithm(r.FormValue("alg"))
+	if in.alg == "" {
+		in.alg = core.AlgMultiSwap // same default as the facade's Compare
+	}
 	for _, v := range r.Form["sel"] {
 		idx, err := strconv.Atoi(v)
 		if err != nil || idx < 0 || idx >= len(results) {
-			http.Error(w, "bad selection", http.StatusBadRequest)
-			return
+			return nil, &httpError{http.StatusBadRequest, "bad selection"}
 		}
-		selected = append(selected, results[idx])
+		in.selected = append(in.selected, results[idx])
 	}
-	if len(selected) < 2 {
-		http.Error(w, "select at least two results to compare", http.StatusBadRequest)
+	if len(in.selected) < 2 {
+		return nil, &httpError{http.StatusBadRequest, "select at least two results to compare"}
+	}
+	return in, nil
+}
+
+// generate runs DFS generation for a validated comparison — the one
+// post-resolution step, shared so the HTML and JSON paths cannot
+// diverge in options or algorithm handling. Feature stats and the
+// generated DFS set come from the engine's caches, so repeating a
+// comparison does no re-extraction.
+func (in *compareInput) generate() ([]*core.DFS, *httpError) {
+	dfss := in.eng.Generate(in.alg, in.selected, core.Options{SizeBound: in.bound, Pad: true})
+	if dfss == nil {
+		return nil, &httpError{http.StatusBadRequest, "unknown algorithm"}
+	}
+	return dfss, nil
+}
+
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	in, herr := s.resolveCompare(r)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.status)
 		return
 	}
-
-	// Feature stats and the generated DFS set come from the engine's
-	// caches, so repeating a comparison does no re-extraction.
-	dfss := eng.Generate(alg, selected, core.Options{SizeBound: bound, Pad: true})
-	if dfss == nil {
-		http.Error(w, "unknown algorithm", http.StatusBadRequest)
+	dfss, herr := in.generate()
+	if herr != nil {
+		http.Error(w, herr.msg, herr.status)
 		return
 	}
 	fmt.Fprint(w, pageHead)
-	fmt.Fprintf(w, "<h2>Comparison (%s, L=%d)</h2>", html.EscapeString(string(alg)), bound)
+	fmt.Fprintf(w, "<h2>Comparison (%s, L=%d)</h2>", html.EscapeString(string(in.alg)), in.bound)
 	if err := table.Build(dfss).WriteHTML(w); err != nil {
 		return
 	}
 	fmt.Fprintf(w, "<p>total DoD = %d</p>", core.TotalDoD(dfss, core.DefaultThreshold))
 	fmt.Fprintf(w, `<p><a href="/?dataset=%s&q=%s">back to results</a></p>`,
-		html.EscapeString(ds), html.EscapeString(query))
+		url.QueryEscape(in.dataset), url.QueryEscape(in.query))
 	fmt.Fprint(w, pageFoot)
 }

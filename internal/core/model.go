@@ -50,12 +50,22 @@ type Options struct {
 	Pad bool
 }
 
-func (o Options) normalized() Options {
+func (o Options) normalized() Options { return o.Normalized() }
+
+// Normalized resolves defaulted fields to their canonical values:
+// non-positive SizeBound and Threshold become DefaultSizeBound and
+// DefaultThreshold, and a negative MaxRounds becomes 0 (unbounded).
+// Every generator applies it internally; caching layers use it so
+// option sets that select the same behaviour share one cache key.
+func (o Options) Normalized() Options {
 	if o.SizeBound <= 0 {
 		o.SizeBound = DefaultSizeBound
 	}
 	if o.Threshold <= 0 {
 		o.Threshold = DefaultThreshold
+	}
+	if o.MaxRounds < 0 {
+		o.MaxRounds = 0
 	}
 	return o
 }

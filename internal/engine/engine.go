@@ -19,6 +19,8 @@
 package engine
 
 import (
+	"errors"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,10 +54,17 @@ func (c Config) normalized() Config {
 }
 
 // Metrics is a point-in-time snapshot of the engine's cache counters.
+// The JSON form is served by xsactd's /api/v1/metrics endpoint.
 type Metrics struct {
-	QueryHits, QueryMisses int64 // query → results LRU
-	StatsHits, StatsMisses int64 // feature-stats cache (misses = extractions)
-	DFSHits, DFSMisses     int64 // DFS-set LRU (misses = generations)
+	// Query → results LRU (hits include cached no-match outcomes).
+	QueryHits   int64 `json:"query_hits"`
+	QueryMisses int64 `json:"query_misses"`
+	// Feature-stats cache (misses = extractions).
+	StatsHits   int64 `json:"stats_hits"`
+	StatsMisses int64 `json:"stats_misses"`
+	// DFS-set LRU (misses = generations).
+	DFSHits   int64 `json:"dfs_hits"`
+	DFSMisses int64 `json:"dfs_misses"`
 }
 
 // Engine is a concurrency-safe serving engine over one corpus.
@@ -65,7 +74,7 @@ type Engine struct {
 	mu      sync.RWMutex              // guards stats
 	stats   map[string]*feature.Stats // result-root Dewey ID + label → stats
 	queryMu sync.Mutex
-	queries *lru // normalized query → []*xseek.Result
+	queries *lru // normalized query → queryOutcome
 	dfsMu   sync.Mutex
 	dfs     *lru // selection key → []*core.DFS
 
@@ -119,15 +128,28 @@ func (e *Engine) Metrics() Metrics {
 	}
 }
 
-// queryKey normalizes a query to its token sequence so "Tomtom  GPS"
-// and "tomtom gps" share one cache slot.
+// queryKey normalizes a query to its sorted token set so "Tomtom  GPS"
+// and "gps tomtom" share one cache slot: SLCA treats a query as a set
+// of keywords, so results are independent of keyword order.
 func queryKey(query string) string {
-	return strings.Join(index.TokenizeQuery(query), " ")
+	terms := index.TokenizeQuery(query)
+	sort.Strings(terms)
+	return strings.Join(terms, " ")
+}
+
+// queryOutcome is one cached search outcome: either a result slice or
+// a deterministic no-match error. Caching the error too means repeated
+// miss queries are answered without touching the posting lists.
+type queryOutcome struct {
+	results []*xseek.Result
+	err     error
 }
 
 // Search runs a keyword query through the query LRU: a hit returns the
-// cached result slice (shared and immutable — callers must not modify
-// it), a miss delegates to xseek and caches on success.
+// cached outcome (the result slice is shared and immutable — callers
+// must not modify it), a miss delegates to xseek. Successful searches
+// and no-match outcomes (index.NoMatchError, a pure function of corpus
+// and keywords) are cached; other errors are not.
 func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 	key := queryKey(query)
 	e.queryMu.Lock()
@@ -135,17 +157,19 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 	e.queryMu.Unlock()
 	if ok {
 		e.queryHits.Add(1)
-		return v.([]*xseek.Result), nil
+		out := v.(queryOutcome)
+		return out.results, out.err
 	}
 	e.queryMisses.Add(1)
 	rs, err := e.x.Search(query)
-	if err != nil {
+	var noMatch *index.NoMatchError
+	if err != nil && !errors.As(err, &noMatch) {
 		return rs, err
 	}
 	e.queryMu.Lock()
-	e.queries.put(key, rs)
+	e.queries.put(key, queryOutcome{results: rs, err: err})
 	e.queryMu.Unlock()
-	return rs, nil
+	return rs, err
 }
 
 // SearchCleaned spell-corrects the query against the corpus vocabulary
@@ -204,7 +228,8 @@ func (e *Engine) StatsForResults(results []*xseek.Result) []*feature.Stats {
 }
 
 // selectionKey identifies a (results, algorithm, options) combination
-// for the DFS cache.
+// for the DFS cache. Callers pass normalized options so defaulted and
+// explicit spellings of the same configuration share one entry.
 func selectionKey(results []*xseek.Result, alg core.Algorithm, opts core.Options) string {
 	var b strings.Builder
 	b.WriteString(string(alg))
@@ -232,6 +257,9 @@ func selectionKey(results []*xseek.Result, alg core.Algorithm, opts core.Options
 // be treated as read-only. Unknown algorithms return nil, matching
 // core.Generate.
 func (e *Engine) Generate(alg core.Algorithm, results []*xseek.Result, opts core.Options) []*core.DFS {
+	// Key on the canonical options (the generators normalize anyway) so
+	// e.g. SizeBound 0 and SizeBound 10 share one cache entry.
+	opts = opts.Normalized()
 	key := selectionKey(results, alg, opts)
 	e.dfsMu.Lock()
 	v, ok := e.dfs.get(key)

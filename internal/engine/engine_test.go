@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/xseek"
 )
 
@@ -56,19 +58,66 @@ func TestSearchQueryCache(t *testing.T) {
 	}
 }
 
-func TestSearchErrorNotCached(t *testing.T) {
+// TestSearchQueryCacheOrderInsensitive is the regression test for the
+// order-sensitive cache key: SLCA treats a query as a keyword set, so
+// permutations must share one slot.
+func TestSearchQueryCacheOrderInsensitive(t *testing.T) {
+	e := reviewsEngine(t)
+	first, err := e.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Search("gps tomtom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("reordered keywords should return the shared cached slice")
+	}
+	m := e.Metrics()
+	if m.QueryMisses != 1 || m.QueryHits != 1 {
+		t.Fatalf("metrics = %+v, want 1 miss + 1 hit across permutations", m)
+	}
+}
+
+// TestSearchNoMatchCached is the regression test for missing negative
+// caching: a repeated miss query must be answered from the cache, with
+// the same NoMatchError, without re-running SLCA.
+func TestSearchNoMatchCached(t *testing.T) {
+	e := reviewsEngine(t)
+	var errs []error
+	for i := 0; i < 2; i++ {
+		rs, err := e.Search("zzznope gps")
+		if err == nil {
+			t.Fatal("expected no-match error")
+		}
+		if len(rs) != 0 {
+			t.Fatalf("no-match search returned %d results", len(rs))
+		}
+		errs = append(errs, err)
+	}
+	var noMatch *index.NoMatchError
+	if !errors.As(errs[1], &noMatch) {
+		t.Fatalf("cached outcome lost its error type: %v", errs[1])
+	}
+	m := e.Metrics()
+	if m.QueryMisses != 1 || m.QueryHits != 1 {
+		t.Fatalf("repeated miss query must hit the negative cache: %+v", m)
+	}
+}
+
+// TestSearchEmptyQueryNotCached: the empty-query error is a caller
+// mistake, not a corpus outcome, and must not occupy a cache slot.
+func TestSearchEmptyQueryNotCached(t *testing.T) {
 	e := reviewsEngine(t)
 	for i := 0; i < 2; i++ {
-		if _, err := e.Search("zzznope"); err == nil {
-			t.Fatal("expected no-match error")
+		if _, err := e.Search(""); err == nil {
+			t.Fatal("empty query should error")
 		}
 	}
 	m := e.Metrics()
 	if m.QueryHits != 0 || m.QueryMisses != 2 {
-		t.Fatalf("failed searches must not populate the cache: %+v", m)
-	}
-	if _, err := e.Search(""); err == nil {
-		t.Fatal("empty query should error")
+		t.Fatalf("empty-query errors must not populate the cache: %+v", m)
 	}
 }
 
@@ -147,6 +196,31 @@ func TestGenerateCachedAndEquivalent(t *testing.T) {
 	}
 	if e.Generate(core.Algorithm("bogus"), results, opts) != nil {
 		t.Fatal("unknown algorithm should return nil")
+	}
+}
+
+// TestGenerateNormalizesOptionsKey is the regression test for the
+// duplicate DFS-cache entries: a zero SizeBound selects the default,
+// so Options{} and Options{SizeBound: DefaultSizeBound} must share one
+// cache entry instead of re-running generation.
+func TestGenerateNormalizesOptionsKey(t *testing.T) {
+	e := reviewsEngine(t)
+	results, err := e.Search("tomtom gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := e.Generate(core.AlgMultiSwap, results, core.Options{Pad: true})
+	if cold == nil {
+		t.Fatal("Generate returned nil")
+	}
+	warm := e.Generate(core.AlgMultiSwap, results,
+		core.Options{SizeBound: core.DefaultSizeBound, Threshold: core.DefaultThreshold, Pad: true})
+	if &warm[0] != &cold[0] {
+		t.Fatal("defaulted and explicit default options must share one DFS cache entry")
+	}
+	m := e.Metrics()
+	if m.DFSMisses != 1 || m.DFSHits != 1 {
+		t.Fatalf("metrics = %+v, want 1 generation + 1 hit", m)
 	}
 }
 

@@ -24,6 +24,7 @@ type Index struct {
 	postings map[string]PostingList
 	root     *xmltree.Node
 	terms    int // total term occurrences, for stats
+	elements int // distinct elements with at least one posting
 }
 
 // Build constructs an index over the tree rooted at root. The tree must
@@ -54,6 +55,9 @@ func (idx *Index) indexNode(n *xmltree.Node) {
 	add := func(term string) {
 		if term == "" || seen[term] {
 			return
+		}
+		if len(seen) == 0 {
+			idx.elements++
 		}
 		seen[term] = true
 		idx.postings[term] = append(idx.postings[term], n.ID)
@@ -106,11 +110,12 @@ func (idx *Index) Vocabulary() []string {
 	return terms
 }
 
-// Stats summarizes the index.
+// Stats summarizes the index. The JSON form is served by xsactd's
+// /api/v1/metrics endpoint.
 type Stats struct {
-	Terms           int // distinct terms
-	Postings        int // total postings
-	IndexedElements int // elements with at least one posting (approximate: distinct IDs not tracked; reported as postings of tag terms)
+	Terms           int `json:"terms"`            // distinct terms
+	Postings        int `json:"postings"`         // total postings
+	IndexedElements int `json:"indexed_elements"` // distinct elements with at least one posting
 }
 
 // Stats returns summary statistics for the index.
@@ -119,7 +124,7 @@ func (idx *Index) Stats() Stats {
 	for _, l := range idx.postings {
 		s.Postings += len(l)
 	}
-	s.IndexedElements = idx.terms
+	s.IndexedElements = idx.elements
 	return s
 }
 
@@ -151,16 +156,29 @@ func (e *NoMatchError) Error() string {
 	return fmt.Sprintf("index: no matches for keywords %v", e.Terms)
 }
 
+// WireVersion identifies the Save/Load encoding. Bump it whenever the
+// gob wire form changes incompatibly; Load rejects mismatches so stale
+// snapshots fall back to a rebuild instead of decoding garbage.
+const WireVersion = 2
+
 // gobIndex is the wire form for Save/Load. Dewey IDs flatten to []int.
 type gobIndex struct {
+	Version  int
 	Postings map[string][][]int
 	Terms    int
+	Elements int
 }
 
-// Save writes the index postings to w with encoding/gob. The tree
-// itself is not persisted; pair Save with the document it indexes.
+// Save writes the index postings to w with encoding/gob, prefixed by
+// the wire version. The tree itself is not persisted; pair Save with
+// the document it indexes.
 func (idx *Index) Save(w io.Writer) error {
-	g := gobIndex{Postings: make(map[string][][]int, len(idx.postings)), Terms: idx.terms}
+	g := gobIndex{
+		Version:  WireVersion,
+		Postings: make(map[string][][]int, len(idx.postings)),
+		Terms:    idx.terms,
+		Elements: idx.elements,
+	}
 	for term, list := range idx.postings {
 		ids := make([][]int, len(list))
 		for i, id := range list {
@@ -174,13 +192,22 @@ func (idx *Index) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads postings written by Save and attaches them to root.
+// Load reads postings written by Save and attaches them to root. An
+// index written under a different wire version is rejected.
 func Load(r io.Reader, root *xmltree.Node) (*Index, error) {
 	var g gobIndex
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
 	}
-	idx := &Index{postings: make(map[string]PostingList, len(g.Postings)), root: root, terms: g.Terms}
+	if g.Version != WireVersion {
+		return nil, fmt.Errorf("index: load: wire version %d, want %d", g.Version, WireVersion)
+	}
+	idx := &Index{
+		postings: make(map[string]PostingList, len(g.Postings)),
+		root:     root,
+		terms:    g.Terms,
+		elements: g.Elements,
+	}
 	for term, ids := range g.Postings {
 		list := make(PostingList, len(ids))
 		for i, id := range ids {

@@ -2,8 +2,10 @@ package index
 
 import (
 	"bytes"
+	"encoding/gob"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/xmltree"
@@ -147,6 +149,23 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestStatsIndexedElementsDistinct is the regression test for the
+// Stats bug that reported total term occurrences as the element count.
+func TestStatsIndexedElementsDistinct(t *testing.T) {
+	idx := buildTestIndex(t)
+	s := idx.Stats()
+	// Every element in the fixture posts at least its tag name: one
+	// <store>, three <product>s, three <name>s, two <price>s.
+	if s.IndexedElements != 9 {
+		t.Fatalf("IndexedElements = %d, want 9 distinct elements", s.IndexedElements)
+	}
+	// The old bug reported term occurrences, which here exceed the
+	// element count (each <name> alone posts several terms).
+	if s.IndexedElements >= s.Postings {
+		t.Fatalf("IndexedElements %d should be below total postings %d", s.IndexedElements, s.Postings)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	root := xmltree.MustParseString(doc)
 	idx := Build(root)
@@ -171,6 +190,21 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(idx.Vocabulary(), back.Vocabulary()) {
 		t.Fatal("vocabulary mismatch after round trip")
+	}
+	if back.Stats() != idx.Stats() {
+		t.Fatalf("stats after round trip = %+v, want %+v", back.Stats(), idx.Stats())
+	}
+}
+
+func TestLoadRejectsWrongWireVersion(t *testing.T) {
+	var buf bytes.Buffer
+	stale := gobIndex{Version: WireVersion - 1}
+	if err := gob.NewEncoder(&buf).Encode(&stale); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf, nil)
+	if err == nil || !strings.Contains(err.Error(), "wire version") {
+		t.Fatalf("Load of stale version: err = %v, want wire-version error", err)
 	}
 }
 

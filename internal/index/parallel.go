@@ -54,6 +54,7 @@ func BuildParallel(root *xmltree.Node, workers int) *Index {
 			idx.postings[term] = append(idx.postings[term], list...)
 		}
 		idx.terms += p.terms
+		idx.elements += p.elements
 	}
 	// Same safety net as Build for hand-built trees whose IDs were
 	// assigned out of order: the check is linear, the sort only runs

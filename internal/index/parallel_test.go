@@ -30,6 +30,9 @@ func TestBuildParallelMatchesBuild(t *testing.T) {
 		if par.terms != serial.terms {
 			t.Fatalf("workers=%d: terms counter %d, want %d", workers, par.terms, serial.terms)
 		}
+		if par.elements != serial.elements {
+			t.Fatalf("workers=%d: elements counter %d, want %d", workers, par.elements, serial.elements)
+		}
 	}
 }
 

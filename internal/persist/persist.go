@@ -1,0 +1,201 @@
+// Package persist snapshots an engine's derived state — the inverted
+// index, the inferred schema, and corpus metadata — so a server restart
+// reloads them from disk instead of re-walking the corpus. The tree
+// itself is not persisted: corpora are cheap to regenerate (dataset
+// seeds) or re-parse, while index construction and schema inference
+// dominate startup; a snapshot skips exactly that derived work.
+//
+// A snapshot is a one-line text header ("XSACTSNAP <version>\n")
+// followed by one gob-encoded envelope holding the metadata and the
+// index/schema sections (each section encoded by its own package's
+// Save, so the wire forms stay owned by internal/index and
+// internal/xseek). Load verifies the header, the envelope version, and
+// a corpus fingerprint (root tag + node count) before trusting any of
+// it; every failure is an error, and callers fall back to a rebuild.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// FormatVersion identifies the snapshot container format. The index
+// and schema sections carry their own wire versions on top.
+const FormatVersion = 1
+
+// magic is the first token of the header line.
+const magic = "XSACTSNAP"
+
+// Meta identifies the corpus a snapshot was taken from. CorpusName and
+// Seed are caller-supplied identity (empty/zero when not applicable);
+// RootTag, NodeCount, and ContentHash are the fingerprint Save fills
+// in and Load verifies against the live tree.
+type Meta struct {
+	CorpusName  string
+	Seed        int64
+	RootTag     string
+	NodeCount   int
+	ContentHash uint64
+}
+
+// fingerprint summarizes the live tree: node count plus an FNV-1a hash
+// over every node's Dewey ID, kind, tag, text, and attributes in
+// document order. The ID ties each node's content to its position in
+// the tree, so re-nestings that preserve the preorder data sequence
+// still change the hash — essential, because the persisted posting
+// lists address nodes by Dewey ID. The hash walk is far cheaper than
+// tokenizing and indexing the same content.
+func fingerprint(root *xmltree.Node) (count int, hash uint64) {
+	h := fnv.New64a()
+	var sep = []byte{0}
+	root.Walk(func(n *xmltree.Node) bool {
+		count++
+		h.Write([]byte(n.ID.String()))
+		h.Write([]byte{byte(n.Kind)})
+		h.Write([]byte(n.Tag))
+		h.Write(sep)
+		h.Write([]byte(n.Text))
+		for _, a := range n.Attrs {
+			h.Write(sep)
+			h.Write([]byte(a.Name))
+			h.Write(sep)
+			h.Write([]byte(a.Value))
+		}
+		h.Write(sep)
+		return true
+	})
+	return count, h.Sum64()
+}
+
+// envelope is the gob wire form following the header line. Checksum
+// guards the sections against bit rot: gob itself decodes corrupted
+// bytes without complaint as long as they parse.
+type envelope struct {
+	Meta     Meta
+	Checksum uint32 // crc32(Index ++ Schema)
+	Index    []byte // written by index.Index.Save
+	Schema   []byte // written by xseek.Schema.Save
+}
+
+// checksum is the integrity check over the snapshot's data sections.
+func (e *envelope) checksum() uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write(e.Index)
+	crc.Write(e.Schema)
+	return crc.Sum32()
+}
+
+// Save writes a snapshot of eng's derived state to w. meta's
+// CorpusName and Seed are recorded as given; the corpus fingerprint is
+// taken from the engine's own tree.
+func Save(w io.Writer, eng *engine.Engine, meta Meta) error {
+	root := eng.Root()
+	meta.RootTag = root.Tag
+	meta.NodeCount, meta.ContentHash = fingerprint(root)
+
+	var idxBuf, schBuf bytes.Buffer
+	if err := eng.Index().Save(&idxBuf); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := eng.Schema().Save(&schBuf); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", magic, FormatVersion); err != nil {
+		return fmt.Errorf("persist: write header: %w", err)
+	}
+	env := envelope{Meta: meta, Index: idxBuf.Bytes(), Schema: schBuf.Bytes()}
+	env.Checksum = env.checksum()
+	if err := gob.NewEncoder(w).Encode(&env); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and assembles a serving engine
+// over root with the given cache bounds, skipping index construction
+// and schema inference. It fails — and the caller should rebuild — when
+// the header or any wire version mismatches, the data is corrupt, or
+// the snapshot's corpus fingerprint does not match root.
+func Load(r io.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, Meta, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: read header: %w", err)
+	}
+	var gotMagic string
+	var version int
+	if _, err := fmt.Sscanf(header, "%s %d", &gotMagic, &version); err != nil || gotMagic != magic {
+		return nil, Meta{}, fmt.Errorf("persist: not a snapshot (header %q)", header)
+	}
+	if version != FormatVersion {
+		return nil, Meta{}, fmt.Errorf("persist: format version %d, want %d", version, FormatVersion)
+	}
+	var env envelope
+	if err := gob.NewDecoder(br).Decode(&env); err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: decode: %w", err)
+	}
+	if got := env.checksum(); got != env.Checksum {
+		return nil, Meta{}, fmt.Errorf("persist: checksum mismatch (%08x, want %08x): snapshot corrupt", got, env.Checksum)
+	}
+	count, hash := fingerprint(root)
+	if env.Meta.RootTag != root.Tag || env.Meta.NodeCount != count || env.Meta.ContentHash != hash {
+		return nil, Meta{}, fmt.Errorf("persist: snapshot of corpus <%s> (%d nodes, hash %016x) does not match <%s> (%d nodes, hash %016x)",
+			env.Meta.RootTag, env.Meta.NodeCount, env.Meta.ContentHash, root.Tag, count, hash)
+	}
+	idx, err := index.Load(bytes.NewReader(env.Index), root)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+	schema, err := xseek.LoadSchema(bytes.NewReader(env.Schema))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+	return engine.FromXseek(xseek.FromParts(root, idx, schema), cfg), env.Meta, nil
+}
+
+// SaveFile writes a snapshot to path atomically (temp file + rename),
+// creating parent directories as needed.
+func SaveFile(path string, eng *engine.Engine, meta Meta) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, eng, meta); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// LoadFile is Load over the file at path.
+func LoadFile(path string, root *xmltree.Node, cfg engine.Config) (*engine.Engine, Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Load(f, root, cfg)
+}

@@ -32,6 +32,15 @@ func New(root *xmltree.Node) *Engine {
 	}
 }
 
+// FromParts assembles an engine from already-built derived state —
+// typically an index and schema loaded from a snapshot (package
+// persist) instead of rebuilt from the tree. The caller is responsible
+// for the parts describing the same document; idx must be attached to
+// root (index.Load does this).
+func FromParts(root *xmltree.Node, idx *index.Index, schema *Schema) *Engine {
+	return &Engine{root: root, idx: idx, schema: schema}
+}
+
 // Root returns the document the engine searches.
 func (e *Engine) Root() *xmltree.Node { return e.root }
 

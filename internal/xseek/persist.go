@@ -1,0 +1,70 @@
+package xseek
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// SchemaWireVersion identifies the Schema Save/Load encoding. Bump it
+// whenever the wire form changes incompatibly; LoadSchema rejects
+// mismatches so stale snapshots fall back to re-inference.
+const SchemaWireVersion = 1
+
+// gobTypeInfo is the wire form of one node type's evidence. The path
+// is the enclosing map's key, not repeated here.
+type gobTypeInfo struct {
+	Tag           string
+	Instances     int
+	MaxSiblings   int
+	LeafInstances int
+}
+
+// gobSchema is the wire form of a Schema.
+type gobSchema struct {
+	Version int
+	Types   map[string]gobTypeInfo
+}
+
+// Save writes the schema summary with encoding/gob, prefixed by the
+// wire version. Inference walks the whole corpus, so snapshotting the
+// schema alongside the inverted index lets a server restart skip both
+// passes.
+func (s *Schema) Save(w io.Writer) error {
+	g := gobSchema{Version: SchemaWireVersion, Types: make(map[string]gobTypeInfo, len(s.types))}
+	for path, info := range s.types {
+		g.Types[path] = gobTypeInfo{
+			Tag:           info.tag,
+			Instances:     info.instances,
+			MaxSiblings:   info.maxSiblings,
+			LeafInstances: info.leafInstances,
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&g); err != nil {
+		return fmt.Errorf("xseek: save schema: %w", err)
+	}
+	return nil
+}
+
+// LoadSchema reads a schema summary written by Save. A schema written
+// under a different wire version is rejected.
+func LoadSchema(r io.Reader) (*Schema, error) {
+	var g gobSchema
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("xseek: load schema: %w", err)
+	}
+	if g.Version != SchemaWireVersion {
+		return nil, fmt.Errorf("xseek: load schema: wire version %d, want %d", g.Version, SchemaWireVersion)
+	}
+	s := &Schema{types: make(map[string]*typeInfo, len(g.Types))}
+	for path, info := range g.Types {
+		s.types[path] = &typeInfo{
+			path:          path,
+			tag:           info.Tag,
+			instances:     info.Instances,
+			maxSiblings:   info.MaxSiblings,
+			leafInstances: info.LeafInstances,
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,39 @@
+package xsact
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/xmltree"
+)
+
+// SaveSnapshot writes the document's derived state — inverted index,
+// inferred schema, and corpus metadata — so a later process can reopen
+// the same XML with LoadSnapshot and skip index construction and
+// schema inference entirely.
+func (d *Document) SaveSnapshot(w io.Writer) error {
+	return persist.Save(w, d.eng, persist.Meta{})
+}
+
+// LoadSnapshot parses the XML document and attaches a snapshot written
+// by SaveSnapshot over the same XML. It fails when the snapshot is
+// corrupt, from an old format version, or taken from a different
+// document; callers should fall back to Parse, which rebuilds.
+func LoadSnapshot(xml, snapshot io.Reader) (*Document, error) {
+	root, err := xmltree.Parse(xml)
+	if err != nil {
+		return nil, err
+	}
+	eng, _, err := persist.Load(snapshot, root, engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &Document{root: root, eng: eng}, nil
+}
+
+// LoadSnapshotString is LoadSnapshot over an in-memory document.
+func LoadSnapshotString(xml string, snapshot io.Reader) (*Document, error) {
+	return LoadSnapshot(strings.NewReader(xml), snapshot)
+}
