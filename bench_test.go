@@ -132,7 +132,7 @@ func BenchmarkAblationSLCA(b *testing.B) {
 	setupMovies(b)
 	idx := benchSetup.eng.Index()
 	terms := index.TokenizeQuery("thriller detective")
-	lists, err := idx.QueryLists(terms)
+	lists, _, err := idx.QueryLists(terms)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -315,4 +315,35 @@ func BenchmarkSnippetGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = snippet.Generate(stats, snippet.Options{Size: 8, Query: "tomtom gps"})
 	}
+}
+
+// BenchmarkSearchRankedTopK contrasts ranking the full result list
+// (sort all N) against the paginated top-k path (bounded heap) at
+// Limit=10, on the largest built-in corpus. The query cache is warmed
+// first so both paths measure ranking, not SLCA; the win is the sort
+// the heap never performs.
+func BenchmarkSearchRankedTopK(b *testing.B) {
+	doc := FromTree(dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 2000}))
+	results, _, err := doc.SearchRanked("movie")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full-sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := doc.SearchRanked("movie"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(results)), "results")
+	})
+	b.Run("top-10-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := doc.SearchRankedPage("movie", 10, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(results)), "results")
+	})
 }

@@ -44,17 +44,26 @@ type apiResult struct {
 }
 
 type searchResponse struct {
-	Dataset string      `json:"dataset"`
-	Query   string      `json:"query"`
-	Cleaned []string    `json:"cleaned"`
-	Missing []string    `json:"missing,omitempty"`
-	Results []apiResult `json:"results"`
+	Dataset string   `json:"dataset"`
+	Query   string   `json:"query"`
+	Cleaned []string `json:"cleaned"`
+	Missing []string `json:"missing,omitempty"`
+	// Paging envelope: Total counts the full result list, Offset is
+	// the window's start within it, Returned = len(Results).
+	Total    int         `json:"total"`
+	Offset   int         `json:"offset"`
+	Returned int         `json:"returned"`
+	Results  []apiResult `json:"results"`
 }
 
-// apiSearch serves GET /api/v1/search?dataset=...&q=... — dataset may
-// be omitted (first dataset) or "Any (auto-select)" for database
-// selection. A query whose keywords match nothing is a well-formed
-// 200 response with empty results and the missing keywords listed.
+// apiSearch serves GET /api/v1/search?dataset=...&q=...[&limit=N&offset=M]
+// — dataset may be omitted (first dataset) or "Any (auto-select)" for
+// database selection; limit/offset select a window of the result list
+// (limit 0 or absent returns everything). A query whose keywords match
+// nothing is a well-formed 200 response with empty results and the
+// missing keywords listed; an offset past the end is a well-formed
+// empty page. Result indices are positions in the full list, so a
+// paginated client passes them to compare/snippet unchanged.
 func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 	query := r.FormValue("q")
 	if query == "" {
@@ -66,7 +75,8 @@ func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, herr.status, herr.msg)
 		return
 	}
-	results, cleaned, err := eng.SearchCleaned(query)
+	limit, offset := pageParams(r)
+	page, cleaned, err := eng.SearchCleanedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
 	resp := searchResponse{Dataset: ds, Query: query, Cleaned: cleaned, Results: []apiResult{}}
 	if err != nil {
 		var noMatch *index.NoMatchError
@@ -75,10 +85,15 @@ func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Missing = noMatch.Terms
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	for i, res := range results {
+	resp.Total = page.Total
+	resp.Offset = page.Offset
+	resp.Returned = len(page.Results)
+	for i, res := range page.Results {
 		resp.Results = append(resp.Results, apiResult{
-			Index:       i,
+			Index:       page.Offset + i,
 			ID:          res.Node.ID.String(),
 			Label:       res.Label,
 			Description: xseek.DescribeResult(res, 4),

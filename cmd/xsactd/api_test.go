@@ -435,3 +435,97 @@ func TestAPIMetrics(t *testing.T) {
 		t.Fatalf("index stats implausible: %+v", movies.Index)
 	}
 }
+
+// TestAPISearchPagination checks the paging envelope and the
+// page-concatenation invariant at the JSON level: pages of limit 3
+// reassemble the unpaginated result list exactly, with global indices.
+func TestAPISearchPagination(t *testing.T) {
+	srv := testServer(t)
+	base := srv.URL + "/api/v1/search?dataset=Movies&q=thriller"
+	code, body := get(t, base)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	full := decodeJSON[searchResponse](t, body)
+	if full.Total != len(full.Results) || full.Offset != 0 || full.Returned != len(full.Results) {
+		t.Fatalf("unpaginated envelope = total %d, offset %d, returned %d over %d results",
+			full.Total, full.Offset, full.Returned, len(full.Results))
+	}
+	if full.Total < 4 {
+		t.Fatalf("corpus too small for pagination test: %d results", full.Total)
+	}
+
+	var got []apiResult
+	for off := 0; off < full.Total; off += 3 {
+		code, body := get(t, fmt.Sprintf("%s&limit=3&offset=%d", base, off))
+		if code != http.StatusOK {
+			t.Fatalf("offset %d: status = %d: %s", off, code, body)
+		}
+		page := decodeJSON[searchResponse](t, body)
+		if page.Total != full.Total || page.Offset != off || page.Returned != len(page.Results) {
+			t.Fatalf("offset %d: envelope = %+v", off, page)
+		}
+		got = append(got, page.Results...)
+	}
+	if len(got) != full.Total {
+		t.Fatalf("concatenated %d results, want %d", len(got), full.Total)
+	}
+	for i, r := range got {
+		if r.Index != i || r.ID != full.Results[i].ID || r.Label != full.Results[i].Label {
+			t.Fatalf("page concat diverges at %d: %+v vs %+v", i, r, full.Results[i])
+		}
+	}
+
+	// Out-of-range offset: well-formed empty page, not an error.
+	code, body = get(t, base+"&limit=3&offset=100000")
+	if code != http.StatusOK {
+		t.Fatalf("out-of-range offset: status = %d: %s", code, body)
+	}
+	page := decodeJSON[searchResponse](t, body)
+	if page.Returned != 0 || len(page.Results) != 0 || page.Total != full.Total {
+		t.Fatalf("out-of-range page = %+v", page)
+	}
+}
+
+// TestAPIMetricsPlannerCounters checks that /api/v1/metrics surfaces
+// the SLCA planner's decision counters once an engine has served a
+// compiled query.
+func TestAPIMetricsPlannerCounters(t *testing.T) {
+	srv := testServer(t)
+	if code, body := get(t, srv.URL+"/api/v1/search?dataset=Movies&q=thriller+detective"); code != http.StatusOK {
+		t.Fatalf("warm-up search failed: %d %s", code, body)
+	}
+	code, body := get(t, srv.URL+"/api/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, field := range []string{"planner_indexed_lookup", "planner_scan_eager", "stats_evictions"} {
+		if !strings.Contains(body, field) {
+			t.Fatalf("metrics missing %q: %s", field, body)
+		}
+	}
+	resp := decodeJSON[metricsResponse](t, body)
+	m := resp.Datasets["Movies"]
+	if !m.Built || m.Engine == nil {
+		t.Fatalf("Movies engine not reported built: %+v", m)
+	}
+	if m.Engine.PlannerIndexedLookup+m.Engine.PlannerScanEager < 1 {
+		t.Fatalf("planner counters = %+v, want at least one decision", m.Engine)
+	}
+}
+
+// TestAPISearchHugeLimit is the overflow regression test: a limit that
+// strconv.Atoi range-clamps to MaxInt must behave like "no limit", not
+// overflow the window arithmetic into a slice-bounds panic.
+func TestAPISearchHugeLimit(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/api/v1/search?dataset=Movies&q=thriller&limit=99999999999999999999&offset=1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	resp := decodeJSON[searchResponse](t, body)
+	if resp.Offset != 1 || resp.Returned != resp.Total-1 || len(resp.Results) != resp.Returned {
+		t.Fatalf("huge-limit envelope = total %d, offset %d, returned %d over %d results",
+			resp.Total, resp.Offset, resp.Returned, len(resp.Results))
+	}
+}

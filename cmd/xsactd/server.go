@@ -176,6 +176,21 @@ const pageFoot = `</body></html>`
 // routes the query to the corpus that covers its keywords best.
 const autoDataset = "Any (auto-select)"
 
+// pageParams parses the optional limit/offset request parameters
+// shared by the HTML and JSON search endpoints. Absent, malformed or
+// negative values mean "no limit" / "no offset".
+func pageParams(r *http.Request) (limit, offset int) {
+	limit, _ = strconv.Atoi(r.FormValue("limit"))
+	offset, _ = strconv.Atoi(r.FormValue("offset"))
+	if limit < 0 {
+		limit = 0
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	return limit, offset
+}
+
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -186,6 +201,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ds = s.order[0]
 	}
 	query := r.FormValue("q")
+	limit, offset := pageParams(r)
 
 	fmt.Fprint(w, pageHead)
 	fmt.Fprint(w, `<form method="get" action="/">dataset: <select name="dataset">`)
@@ -196,11 +212,15 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, `<option%s>%s</option>`, sel, html.EscapeString(name))
 	}
-	fmt.Fprintf(w, `</select> keywords: <input name="q" value="%s" size="40"> <button>Search</button></form>`,
-		html.EscapeString(query))
+	limitVal := ""
+	if limit > 0 {
+		limitVal = strconv.Itoa(limit)
+	}
+	fmt.Fprintf(w, `</select> keywords: <input name="q" value="%s" size="40"> page size: <input name="limit" value="%s" size="4"> <button>Search</button></form>`,
+		html.EscapeString(query), limitVal)
 
 	if query != "" {
-		s.renderResults(w, ds, query)
+		s.renderResults(w, ds, query, limit, offset)
 	}
 	fmt.Fprint(w, pageFoot)
 }
@@ -231,7 +251,7 @@ func (s *server) resolveDataset(ds, query string) string {
 	}
 }
 
-func (s *server) renderResults(w http.ResponseWriter, ds, query string) {
+func (s *server) renderResults(w http.ResponseWriter, ds, query string, limit, offset int) {
 	if ds == autoDataset {
 		name := s.resolveDataset(ds, query)
 		if name == "" {
@@ -246,7 +266,7 @@ func (s *server) renderResults(w http.ResponseWriter, ds, query string) {
 		fmt.Fprintf(w, "<p>unknown dataset %s</p>", html.EscapeString(ds))
 		return
 	}
-	results, cleaned, err := eng.SearchCleaned(query)
+	page, cleaned, err := eng.SearchCleanedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
 	if err != nil {
 		fmt.Fprintf(w, "<p>search error: %s</p>", html.EscapeString(err.Error()))
 		return
@@ -254,20 +274,46 @@ func (s *server) renderResults(w http.ResponseWriter, ds, query string) {
 	if joined := strings.Join(cleaned, " "); !sameKeywords(query, cleaned) {
 		fmt.Fprintf(w, "<p>showing results for <b>%s</b></p>", html.EscapeString(joined))
 	}
-	fmt.Fprintf(w, `<h2>%d results</h2><form method="get" action="/compare">
+	if len(page.Results) > 0 && len(page.Results) < page.Total {
+		fmt.Fprintf(w, `<h2>%d results (showing %d–%d)</h2>`,
+			page.Total, page.Offset+1, page.Offset+len(page.Results))
+	} else {
+		fmt.Fprintf(w, `<h2>%d results</h2>`, page.Total)
+	}
+	fmt.Fprintf(w, `<form method="get" action="/compare">
 <input type="hidden" name="dataset" value="%s">
 <input type="hidden" name="q" value="%s">
 table size bound L: <input name="L" value="10" size="3">
 algorithm: <select name="alg"><option>multi-swap</option><option>single-swap</option><option>top-k</option></select>
 <button>Compare selected</button><br>`,
-		len(results), html.EscapeString(ds), html.EscapeString(query))
-	for i, res := range results {
+		html.EscapeString(ds), html.EscapeString(query))
+	// Checkbox and detail-link indices are positions in the full result
+	// list, so selections made on any page resolve to the same results
+	// the compare and snippet endpoints see.
+	for i, res := range page.Results {
+		idx := page.Offset + i
 		detail := fmt.Sprintf("/result?dataset=%s&q=%s&idx=%d",
-			url.QueryEscape(ds), url.QueryEscape(query), i)
+			url.QueryEscape(ds), url.QueryEscape(query), idx)
 		fmt.Fprintf(w, `<div class="result"><label><input type="checkbox" name="sel" value="%d"></label> <a href="%s">%s</a> — %s</div>`,
-			i, detail, html.EscapeString(res.Label), html.EscapeString(xseek.DescribeResult(res, 4)))
+			idx, detail, html.EscapeString(res.Label), html.EscapeString(xseek.DescribeResult(res, 4)))
 	}
 	fmt.Fprint(w, `</form>`)
+	if limit > 0 {
+		pageLink := func(off int, label string) {
+			fmt.Fprintf(w, ` <a href="/?dataset=%s&q=%s&limit=%d&offset=%d">%s</a>`,
+				url.QueryEscape(ds), url.QueryEscape(query), limit, off, label)
+		}
+		if page.Offset > 0 {
+			prev := page.Offset - limit
+			if prev < 0 {
+				prev = 0
+			}
+			pageLink(prev, "&laquo; prev")
+		}
+		if page.Offset+len(page.Results) < page.Total {
+			pageLink(page.Offset+limit, "next &raquo;")
+		}
+	}
 }
 
 // resolveEngine maps a dataset choice (including omitted and the auto

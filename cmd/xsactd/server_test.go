@@ -256,3 +256,39 @@ func TestAutoDatasetSelection(t *testing.T) {
 		t.Fatalf("no-match auto search: %d %q", code, body)
 	}
 }
+
+// TestSearchPagePagination drives the HTML pagination controls: page
+// windows, the "showing x–y" header, global checkbox indices, and the
+// prev/next links.
+func TestSearchPagePagination(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/?dataset=Movies&q=thriller&limit=2")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "(showing 1–2)") {
+		t.Fatal("first page missing 'showing 1–2' header")
+	}
+	if !strings.Contains(body, `name="sel" value="0"`) || !strings.Contains(body, `name="sel" value="1"`) {
+		t.Fatal("first page checkboxes not 0 and 1")
+	}
+	if !strings.Contains(body, "offset=2") || !strings.Contains(body, "next") {
+		t.Fatal("first page missing next link")
+	}
+
+	code, body = get(t, srv.URL+"/?dataset=Movies&q=thriller&limit=2&offset=2")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "(showing 3–4)") {
+		t.Fatal("second page missing 'showing 3–4' header")
+	}
+	// Checkbox indices are positions in the full result list, so the
+	// compare endpoint resolves them identically on any page.
+	if !strings.Contains(body, `name="sel" value="2"`) || !strings.Contains(body, `name="sel" value="3"`) {
+		t.Fatal("second page checkboxes not global indices 2 and 3")
+	}
+	if !strings.Contains(body, "offset=0") || !strings.Contains(body, "prev") {
+		t.Fatal("second page missing prev link")
+	}
+}

@@ -31,6 +31,43 @@ func (d *Document) SearchRanked(query string) ([]*Result, []float64, error) {
 	return out, scores, nil
 }
 
+// SearchPage runs Search and returns one window of the document-order
+// result list plus the total result count. limit <= 0 returns
+// everything from offset on; an out-of-range offset yields an empty
+// page, not an error. Concatenating consecutive pages reproduces
+// Search's full result list.
+func (d *Document) SearchPage(query string, limit, offset int) ([]*Result, int, error) {
+	page, err := d.eng.SearchPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]*Result, len(page.Results))
+	for i, r := range page.Results {
+		out[i] = &Result{doc: d, res: r, Label: r.Label}
+	}
+	return out, page.Total, nil
+}
+
+// SearchRankedPage is SearchPage over the relevance ordering: the top
+// offset+limit results are selected with a bounded heap, skipping the
+// full sort when the window ends before the result list does. Scoring
+// still touches every result (scores are recomputed per call, like
+// SearchRanked). Concatenating consecutive pages reproduces
+// SearchRanked.
+func (d *Document) SearchRankedPage(query string, limit, offset int) ([]*Result, []float64, int, error) {
+	page, err := d.eng.SearchRankedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	out := make([]*Result, len(page.Results))
+	scores := make([]float64, len(page.Results))
+	for i, r := range page.Results {
+		out[i] = &Result{doc: d, res: r.Result, Label: r.Label}
+		scores[i] = r.Score
+	}
+	return out, scores, page.Total, nil
+}
+
 // SearchCleaned spell-corrects the query against the corpus vocabulary
 // (edit distance ≤ 2) before searching, returning the corrected
 // keywords so callers can show "did you mean".

@@ -142,3 +142,83 @@ func TestLibraryAddReplaces(t *testing.T) {
 		t.Fatalf("replacement not in effect: %v", err)
 	}
 }
+
+func TestSearchPageFacade(t *testing.T) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := doc.Search("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 4 {
+		t.Fatalf("corpus too small for pagination test: %d results", len(full))
+	}
+	var got []*Result
+	for off := 0; ; off += 3 {
+		page, total, err := doc.SearchPage("product", 3, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != len(full) {
+			t.Fatalf("total = %d, want %d", total, len(full))
+		}
+		if len(page) == 0 {
+			break
+		}
+		got = append(got, page...)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("concatenated %d results, want %d", len(got), len(full))
+	}
+	for i := range full {
+		if got[i].res.Node != full[i].res.Node {
+			t.Fatalf("page concat diverges at %d: %q vs %q", i, got[i].Label, full[i].Label)
+		}
+	}
+	// Out-of-range offset: empty page, not an error.
+	page, total, err := doc.SearchPage("product", 3, len(full)+10)
+	if err != nil || len(page) != 0 || total != len(full) {
+		t.Fatalf("out-of-range page = %d results, total %d, err %v", len(page), total, err)
+	}
+}
+
+func TestSearchRankedPageFacade(t *testing.T) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullResults, fullScores, err := doc.SearchRanked("product review")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullResults) < 4 {
+		t.Fatalf("corpus too small for pagination test: %d results", len(fullResults))
+	}
+	var got []*Result
+	var scores []float64
+	for off := 0; ; off += 3 {
+		page, pageScores, total, err := doc.SearchRankedPage("product review", 3, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != len(fullResults) {
+			t.Fatalf("total = %d, want %d", total, len(fullResults))
+		}
+		if len(page) == 0 {
+			break
+		}
+		got = append(got, page...)
+		scores = append(scores, pageScores...)
+	}
+	if len(got) != len(fullResults) {
+		t.Fatalf("concatenated %d results, want %d", len(got), len(fullResults))
+	}
+	for i := range fullResults {
+		if got[i].res.Node != fullResults[i].res.Node || scores[i] != fullScores[i] {
+			t.Fatalf("ranked page concat diverges at %d: %q (%.4f) vs %q (%.4f)",
+				i, got[i].Label, scores[i], fullResults[i].Label, fullScores[i])
+		}
+	}
+}

@@ -41,6 +41,11 @@ type Config struct {
 	// DFSCacheSize bounds the (results, algorithm, options) → DFS-set
 	// LRU. Default 128.
 	DFSCacheSize int
+	// StatsCacheSize bounds the result-root → feature-stats LRU.
+	// Default 4096 (stats are small relative to the subtrees they
+	// summarize, but diverse traffic must not grow the cache without
+	// bound).
+	StatsCacheSize int
 }
 
 func (c Config) normalized() Config {
@@ -50,29 +55,39 @@ func (c Config) normalized() Config {
 	if c.DFSCacheSize == 0 {
 		c.DFSCacheSize = 128
 	}
+	if c.StatsCacheSize == 0 {
+		c.StatsCacheSize = 4096
+	}
 	return c
 }
 
-// Metrics is a point-in-time snapshot of the engine's cache counters.
-// The JSON form is served by xsactd's /api/v1/metrics endpoint.
+// Metrics is a point-in-time snapshot of the engine's cache and
+// planner counters. The JSON form is served by xsactd's
+// /api/v1/metrics endpoint.
 type Metrics struct {
 	// Query → results LRU (hits include cached no-match outcomes).
-	QueryHits   int64 `json:"query_hits"`
-	QueryMisses int64 `json:"query_misses"`
-	// Feature-stats cache (misses = extractions).
-	StatsHits   int64 `json:"stats_hits"`
-	StatsMisses int64 `json:"stats_misses"`
+	QueryHits      int64 `json:"query_hits"`
+	QueryMisses    int64 `json:"query_misses"`
+	QueryEvictions int64 `json:"query_evictions"`
+	// Feature-stats LRU (misses = extractions).
+	StatsHits      int64 `json:"stats_hits"`
+	StatsMisses    int64 `json:"stats_misses"`
+	StatsEvictions int64 `json:"stats_evictions"`
 	// DFS-set LRU (misses = generations).
-	DFSHits   int64 `json:"dfs_hits"`
-	DFSMisses int64 `json:"dfs_misses"`
+	DFSHits      int64 `json:"dfs_hits"`
+	DFSMisses    int64 `json:"dfs_misses"`
+	DFSEvictions int64 `json:"dfs_evictions"`
+	// SLCA cost-planner decisions for compiled (cache-miss) queries.
+	PlannerIndexedLookup int64 `json:"planner_indexed_lookup"`
+	PlannerScanEager     int64 `json:"planner_scan_eager"`
 }
 
 // Engine is a concurrency-safe serving engine over one corpus.
 type Engine struct {
 	x *xseek.Engine
 
-	mu      sync.RWMutex              // guards stats
-	stats   map[string]*feature.Stats // result-root Dewey ID + label → stats
+	statsMu sync.Mutex
+	stats   *lru // result-root Dewey ID + label → *feature.Stats
 	queryMu sync.Mutex
 	queries *lru // normalized query → queryOutcome
 	dfsMu   sync.Mutex
@@ -81,6 +96,8 @@ type Engine struct {
 	queryHits, queryMisses atomic.Int64
 	statsHits, statsMisses atomic.Int64
 	dfsHits, dfsMisses     atomic.Int64
+
+	queryEvictions, statsEvictions, dfsEvictions atomic.Int64
 }
 
 // New builds an engine over root with default cache bounds, using the
@@ -100,7 +117,7 @@ func FromXseek(x *xseek.Engine, cfg Config) *Engine {
 	cfg = cfg.normalized()
 	return &Engine{
 		x:       x,
-		stats:   make(map[string]*feature.Stats),
+		stats:   newLRU(cfg.StatsCacheSize),
 		queries: newLRU(cfg.QueryCacheSize),
 		dfs:     newLRU(cfg.DFSCacheSize),
 	}
@@ -119,12 +136,17 @@ func (e *Engine) Index() *index.Index { return e.x.Index() }
 // selection, experiments) that operate below the serving layer.
 func (e *Engine) Xseek() *xseek.Engine { return e.x }
 
-// Metrics returns a snapshot of the cache counters.
+// Metrics returns a snapshot of the cache and planner counters.
 func (e *Engine) Metrics() Metrics {
+	indexed, scan := e.x.PlannerDecisions()
 	return Metrics{
 		QueryHits: e.queryHits.Load(), QueryMisses: e.queryMisses.Load(),
-		StatsHits: e.statsHits.Load(), StatsMisses: e.statsMisses.Load(),
-		DFSHits: e.dfsHits.Load(), DFSMisses: e.dfsMisses.Load(),
+		QueryEvictions: e.queryEvictions.Load(),
+		StatsHits:      e.statsHits.Load(), StatsMisses: e.statsMisses.Load(),
+		StatsEvictions: e.statsEvictions.Load(),
+		DFSHits:        e.dfsHits.Load(), DFSMisses: e.dfsMisses.Load(),
+		DFSEvictions:         e.dfsEvictions.Load(),
+		PlannerIndexedLookup: indexed, PlannerScanEager: scan,
 	}
 }
 
@@ -167,7 +189,7 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 		return rs, err
 	}
 	e.queryMu.Lock()
-	e.queries.put(key, queryOutcome{results: rs, err: err})
+	e.queryEvictions.Add(int64(e.queries.put(key, queryOutcome{results: rs, err: err})))
 	e.queryMu.Unlock()
 	return rs, err
 }
@@ -192,28 +214,84 @@ func (e *Engine) SearchRanked(query string) ([]*xseek.RankedResult, error) {
 	return e.x.RankResults(results, query), nil
 }
 
+// Page is one window of a search's full result list. The engine caches
+// the full outcome once (Search) and serves any number of windows over
+// it, so pagination costs a slice header, not a re-search.
+type Page struct {
+	// Results is the window's result slice (shared, read-only).
+	Results []*xseek.Result
+	// Total is the full result count, for "x–y of N" displays.
+	Total int
+	// Offset is the window's clamped start position within the full
+	// list; Results[i] is overall result Offset+i.
+	Offset int
+}
+
+// RankedPage is Page for relevance-ordered results.
+type RankedPage struct {
+	Results []*xseek.RankedResult
+	Total   int
+	Offset  int
+}
+
+// SearchPage searches through the cache and returns the options'
+// window of the document-ordered result list.
+func (e *Engine) SearchPage(query string, opts xseek.SearchOptions) (*Page, error) {
+	results, err := e.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := opts.Window(len(results))
+	// Full slice expression: the backing array is the cached result
+	// list, so cap the window to keep a caller's append from writing
+	// into the query cache.
+	return &Page{Results: results[lo:hi:hi], Total: len(results), Offset: lo}, nil
+}
+
+// SearchCleanedPage is SearchPage over the spell-corrected query,
+// returning the corrected keywords alongside the page.
+func (e *Engine) SearchCleanedPage(query string, opts xseek.SearchOptions) (*Page, []string, error) {
+	cleaned := e.x.CleanQuery(query)
+	page, err := e.SearchPage(strings.Join(cleaned, " "), opts)
+	return page, cleaned, err
+}
+
+// SearchRankedPage searches through the cache and returns the options'
+// window of the relevance ordering, selected with a bounded heap
+// instead of a full sort when the window ends before the result list
+// does.
+func (e *Engine) SearchRankedPage(query string, opts xseek.SearchOptions) (*RankedPage, error) {
+	results, err := e.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	page := e.x.RankPage(results, query, opts)
+	lo, _ := opts.Window(len(results))
+	return &RankedPage{Results: page, Total: len(results), Offset: lo}, nil
+}
+
 // Stats returns the feature statistics of the result subtree rooted at
 // node, computing them on first use and serving every later request
-// for the same subtree from the cache. Stats are immutable after
+// for the same subtree from a bounded LRU. Stats are immutable after
 // construction, so the cached pointer is shared freely.
 func (e *Engine) Stats(node *xmltree.Node, label string) *feature.Stats {
 	key := node.ID.String() + "\x00" + label
-	e.mu.RLock()
-	s := e.stats[key]
-	e.mu.RUnlock()
-	if s != nil {
+	e.statsMu.Lock()
+	v, ok := e.stats.get(key)
+	e.statsMu.Unlock()
+	if ok {
 		e.statsHits.Add(1)
-		return s
+		return v.(*feature.Stats)
 	}
 	e.statsMisses.Add(1)
-	s = feature.Extract(node, e.x.Schema(), label)
-	e.mu.Lock()
-	if prior := e.stats[key]; prior != nil {
-		s = prior // another goroutine raced us; keep one canonical copy
+	s := feature.Extract(node, e.x.Schema(), label)
+	e.statsMu.Lock()
+	if prior, ok := e.stats.get(key); ok {
+		s = prior.(*feature.Stats) // another goroutine raced us; keep one canonical copy
 	} else {
-		e.stats[key] = s
+		e.statsEvictions.Add(int64(e.stats.put(key, s)))
 	}
-	e.mu.Unlock()
+	e.statsMu.Unlock()
 	return s
 }
 
@@ -275,7 +353,7 @@ func (e *Engine) Generate(alg core.Algorithm, results []*xseek.Result, opts core
 		return nil
 	}
 	e.dfsMu.Lock()
-	e.dfs.put(key, dfss)
+	e.dfsEvictions.Add(int64(e.dfs.put(key, dfss)))
 	e.dfsMu.Unlock()
 	return dfss
 }

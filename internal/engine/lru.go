@@ -31,22 +31,25 @@ func (c *lru) get(key string) (any, bool) {
 }
 
 // put inserts or refreshes a value, evicting the least recently used
-// entry when over capacity. A cache with capacity <= 0 stores nothing.
-func (c *lru) put(key string, val any) {
+// entries when over capacity, and returns how many were evicted. A
+// cache with capacity <= 0 stores nothing.
+func (c *lru) put(key string, val any) (evicted int) {
 	if c.cap <= 0 {
-		return
+		return 0
 	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).val = val
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 // len returns the number of cached entries.

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+func pagedCorpus(t *testing.T, n int) *Engine {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<store>")
+	for i := 0; i < n; i++ {
+		extra := strings.Repeat(" gps", i%3)
+		fmt.Fprintf(&b, "<product><name>P%02d gps</name><blurb>unit%s</blurb></product>", i, extra)
+	}
+	b.WriteString("</store>")
+	return New(xmltree.MustParseString(b.String()))
+}
+
+func TestEngineSearchPageConcatenation(t *testing.T) {
+	e := pagedCorpus(t, 17)
+	full, err := e.Search("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*xseek.Result
+	for off := 0; ; off += 5 {
+		page, err := e.SearchPage("gps", xseek.SearchOptions{Limit: 5, Offset: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != len(full) {
+			t.Fatalf("total = %d, want %d", page.Total, len(full))
+		}
+		if page.Offset != off && off < len(full) {
+			t.Fatalf("offset = %d, want %d", page.Offset, off)
+		}
+		if len(page.Results) == 0 {
+			break
+		}
+		got = append(got, page.Results...)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("concatenated %d results, want %d", len(got), len(full))
+	}
+	for i := range full {
+		// Pages are windows over the one cached result list, so
+		// pointer equality must hold at the serving layer.
+		if got[i] != full[i] {
+			t.Fatalf("page concat diverges at %d", i)
+		}
+	}
+}
+
+func TestEngineSearchPageOutOfRange(t *testing.T) {
+	e := pagedCorpus(t, 4)
+	page, err := e.SearchPage("gps", xseek.SearchOptions{Limit: 3, Offset: 50})
+	if err != nil {
+		t.Fatalf("out-of-range offset errored: %v", err)
+	}
+	if len(page.Results) != 0 || page.Total != 4 || page.Offset != 4 {
+		t.Fatalf("page = %+v, want empty results, total 4, offset clamped to 4", page)
+	}
+}
+
+func TestEngineSearchRankedPageConcatenation(t *testing.T) {
+	e := pagedCorpus(t, 21)
+	full, err := e.SearchRanked("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*xseek.RankedResult
+	for off := 0; ; off += 4 {
+		page, err := e.SearchRankedPage("gps", xseek.SearchOptions{Limit: 4, Offset: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != len(full) {
+			t.Fatalf("total = %d, want %d", page.Total, len(full))
+		}
+		if len(page.Results) == 0 {
+			break
+		}
+		got = append(got, page.Results...)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("concatenated %d results, want %d", len(got), len(full))
+	}
+	for i := range full {
+		if got[i].Result != full[i].Result || got[i].Score != full[i].Score {
+			t.Fatalf("ranked page concat diverges at %d: %q vs %q", i, got[i].Label, full[i].Label)
+		}
+	}
+}
+
+func TestMetricsPlannerCounters(t *testing.T) {
+	e := pagedCorpus(t, 9)
+	if _, err := e.Search("gps unit"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search("gps unit"); err != nil { // cache hit: no new decision
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.PlannerIndexedLookup+m.PlannerScanEager != 1 {
+		t.Fatalf("planner decisions = %d indexed + %d scan, want exactly 1 total (second search was cached)",
+			m.PlannerIndexedLookup, m.PlannerScanEager)
+	}
+}
+
+func TestStatsCacheBounded(t *testing.T) {
+	root := xmltree.MustParseString(`<store>
+		<product><name>A</name><price>1</price></product>
+		<product><name>B</name><price>2</price></product>
+		<product><name>C</name><price>3</price></product>
+		<product><name>D</name><price>4</price></product>
+	</store>`)
+	e := NewWithConfig(root, Config{StatsCacheSize: 2})
+	products := root.ChildElements()
+	if len(products) != 4 {
+		t.Fatalf("test corpus has %d products, want 4", len(products))
+	}
+	for _, p := range products {
+		e.Stats(p, xseek.LabelFor(p))
+	}
+	m := e.Metrics()
+	if m.StatsMisses != 4 {
+		t.Fatalf("stats misses = %d, want 4", m.StatsMisses)
+	}
+	if m.StatsEvictions != 2 {
+		t.Fatalf("stats evictions = %d, want 2 (4 inserts into a 2-slot cache)", m.StatsEvictions)
+	}
+	if got := e.stats.len(); got != 2 {
+		t.Fatalf("stats cache holds %d entries, want 2", got)
+	}
+	// The two oldest were evicted: re-requesting the first is a miss,
+	// re-requesting the last is a hit.
+	e.Stats(products[0], xseek.LabelFor(products[0]))
+	e.Stats(products[3], xseek.LabelFor(products[3]))
+	m = e.Metrics()
+	if m.StatsMisses != 5 || m.StatsHits != 1 {
+		t.Fatalf("after re-requests: misses = %d, hits = %d; want 5 and 1", m.StatsMisses, m.StatsHits)
+	}
+}

@@ -37,11 +37,14 @@ func Build(root *xmltree.Node) *Index {
 	}
 	idx.indexSubtree(root)
 	// Walk is preorder, which is document order, so lists are already
-	// sorted; keep an explicit sort as a safety net for hand-built
-	// trees whose IDs were assigned out of order.
+	// sorted; keep a safety net for hand-built trees whose IDs were
+	// assigned out of order. The check is linear, so the hot build path
+	// no longer pays an O(n log n) sort per already-sorted list.
 	for term, list := range idx.postings {
-		sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
-		idx.postings[term] = list
+		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 }) {
+			sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
+			idx.postings[term] = list
+		}
 	}
 	return idx
 }
@@ -100,6 +103,15 @@ func (idx *Index) Lookup(term string) PostingList {
 // DocFreq returns the number of nodes containing term.
 func (idx *Index) DocFreq(term string) int { return len(idx.postings[term]) }
 
+// EachTerm calls f for every indexed term with its document frequency,
+// in unspecified order — the allocation- and sort-free walk for
+// callers that aggregate over the whole vocabulary.
+func (idx *Index) EachTerm(f func(term string, df int)) {
+	for t, l := range idx.postings {
+		f(t, len(l))
+	}
+}
+
 // Vocabulary returns all indexed terms in lexicographic order.
 func (idx *Index) Vocabulary() []string {
 	terms := make([]string, 0, len(idx.postings))
@@ -128,11 +140,47 @@ func (idx *Index) Stats() Stats {
 	return s
 }
 
-// QueryLists resolves each query term to its posting list. It returns
-// an error listing the terms with empty postings, because SLCA over an
-// absent keyword is defined to be empty and callers usually want to
-// report that to the user instead.
-func (idx *Index) QueryLists(terms []string) ([]PostingList, error) {
+// PlanStats summarizes the shape of a query's posting lists so callers
+// can choose an execution strategy (which SLCA algorithm, whether to
+// bother at all) without re-resolving the terms.
+type PlanStats struct {
+	// Lengths holds each term's posting-list length, in term order.
+	Lengths []int
+	// Min and Max are the smallest and largest list lengths. The
+	// smallest list is the driving list of the eager SLCA algorithms.
+	Min, Max int
+	// Skew is Max/Min, the planner's main signal: a high ratio means a
+	// rare term drives the search and indexed lookups into the long
+	// lists win; near 1 means the lists are uniform and a linear merge
+	// wins. Skew is 0 when any list is empty (the query cannot match).
+	Skew float64
+}
+
+// StatsOf computes plan statistics for an already-resolved list set.
+func StatsOf(lists []PostingList) PlanStats {
+	s := PlanStats{Lengths: make([]int, len(lists))}
+	for i, l := range lists {
+		n := len(l)
+		s.Lengths[i] = n
+		if i == 0 || n < s.Min {
+			s.Min = n
+		}
+		if n > s.Max {
+			s.Max = n
+		}
+	}
+	if s.Min > 0 {
+		s.Skew = float64(s.Max) / float64(s.Min)
+	}
+	return s
+}
+
+// QueryLists resolves each query term to its posting list, along with
+// the plan statistics of the resolved set. It returns an error listing
+// the terms with empty postings, because SLCA over an absent keyword is
+// defined to be empty and callers usually want to report that to the
+// user instead.
+func (idx *Index) QueryLists(terms []string) ([]PostingList, PlanStats, error) {
 	lists := make([]PostingList, len(terms))
 	var missing []string
 	for i, t := range terms {
@@ -141,10 +189,11 @@ func (idx *Index) QueryLists(terms []string) ([]PostingList, error) {
 			missing = append(missing, t)
 		}
 	}
+	stats := StatsOf(lists)
 	if len(missing) > 0 {
-		return lists, &NoMatchError{Terms: missing}
+		return lists, stats, &NoMatchError{Terms: missing}
 	}
-	return lists, nil
+	return lists, stats, nil
 }
 
 // NoMatchError reports query keywords that match no node.

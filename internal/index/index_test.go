@@ -104,7 +104,7 @@ func TestNoDuplicatePostingPerNode(t *testing.T) {
 
 func TestQueryListsMissingTerm(t *testing.T) {
 	idx := buildTestIndex(t)
-	_, err := idx.QueryLists([]string{"gps", "unicorn"})
+	_, _, err := idx.QueryLists([]string{"gps", "unicorn"})
 	var nm *NoMatchError
 	if !errors.As(err, &nm) {
 		t.Fatalf("err = %v, want NoMatchError", err)
@@ -116,12 +116,18 @@ func TestQueryListsMissingTerm(t *testing.T) {
 
 func TestQueryListsAllPresent(t *testing.T) {
 	idx := buildTestIndex(t)
-	lists, err := idx.QueryLists([]string{"gps", "garmin"})
+	lists, stats, err := idx.QueryLists([]string{"gps", "garmin"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lists) != 2 || len(lists[0]) == 0 || len(lists[1]) == 0 {
 		t.Fatalf("lists = %v", lists)
+	}
+	if len(stats.Lengths) != 2 || stats.Lengths[0] != len(lists[0]) || stats.Lengths[1] != len(lists[1]) {
+		t.Fatalf("stats lengths = %v for lists %d/%d", stats.Lengths, len(lists[0]), len(lists[1]))
+	}
+	if stats.Min == 0 || stats.Skew < 1 {
+		t.Fatalf("stats = %+v, want Min > 0 and Skew >= 1", stats)
 	}
 }
 

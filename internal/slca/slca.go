@@ -7,23 +7,111 @@
 // v is an SLCA if additionally no proper descendant of v is also a
 // candidate. Results are returned in document order.
 //
-// Two algorithms are provided: Naive, a simple quadratic-ish scan used
-// as a correctness oracle, and IndexedLookupEager, the classic
-// efficient algorithm that walks the smallest list and probes the
-// others with binary search (Xu & Papakonstantinou, SIGMOD 2005).
+// Three algorithms are provided: Naive, a simple quadratic-ish scan
+// used as a correctness oracle, and the two eager algorithms of Xu &
+// Papakonstantinou (SIGMOD 2005) — IndexedLookupEager, which walks the
+// smallest list and probes the others with binary search, and
+// ScanEager, which advances merge pointers through the others instead.
+// Which eager variant wins depends on posting-list skew, so Compute
+// routes through a cost-based planner (Plan) that picks from the
+// lists' shape statistics.
 package slca
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/dewey"
 	"repro/internal/index"
 )
 
-// Compute returns the SLCAs of the given posting lists using the
-// efficient algorithm. It is the entry point callers should use.
+// Algorithm names one SLCA evaluation strategy.
+type Algorithm string
+
+const (
+	// AlgAuto lets the cost planner choose between the eager variants.
+	AlgAuto Algorithm = "auto"
+	// AlgIndexedLookup is IndexedLookupEager: walk the smallest list,
+	// binary-search the others. Wins when the driving list is much
+	// shorter than the rest (|S1|·k·log|S| ≪ Σ|Si|).
+	AlgIndexedLookup Algorithm = "indexed-lookup-eager"
+	// AlgScanEager is ScanEager: walk the smallest list, advance merge
+	// pointers through the others. Wins when list sizes are uniform —
+	// one linear pass beats |S1|·log|S| random probes.
+	AlgScanEager Algorithm = "scan-eager"
+	// AlgNaive is the quadratic correctness oracle.
+	AlgNaive Algorithm = "naive"
+)
+
+// DefaultSkewThreshold is the Max/Min list-length ratio above which the
+// planner prefers IndexedLookupEager over ScanEager. Calibrated with
+// BenchmarkPlanner (see BENCH_PLANNER.json): at skew 1 the merge is
+// ~30% faster than binary probing and stays ahead through skew 32, the
+// two cross at skew ≈ 48, and by skew 256 indexed lookup wins ~4.5x.
+const DefaultSkewThreshold = 48.0
+
+// Plan picks the cheaper eager algorithm from posting-list shape
+// statistics: indexed lookup when a rare term makes the driving list
+// much shorter than the longest list, scan otherwise. It is a pure
+// function so callers can record or override the decision.
+func Plan(stats index.PlanStats) Algorithm {
+	if stats.Skew >= DefaultSkewThreshold {
+		return AlgIndexedLookup
+	}
+	return AlgScanEager
+}
+
+// KnownAlgorithm reports whether alg names an implemented strategy,
+// counting AlgAuto and the empty string (both defer to the planner).
+// Callers accepting algorithm overrides should validate with it so a
+// typo fails loudly instead of computing an empty result set.
+func KnownAlgorithm(alg Algorithm) bool {
+	switch alg {
+	case AlgAuto, "", AlgIndexedLookup, AlgScanEager, AlgNaive:
+		return true
+	}
+	return false
+}
+
+// Planner-decision counters for the package-level Compute entry point.
+// Servers that need per-corpus counts plan explicitly (xseek.Engine).
+var plannedIndexed, plannedScan atomic.Int64
+
+// PlannerDecisions reports how many Compute calls the planner routed
+// to each eager algorithm since process start.
+func PlannerDecisions() (indexedLookup, scanEager int64) {
+	return plannedIndexed.Load(), plannedScan.Load()
+}
+
+// Compute returns the SLCAs of the given posting lists, picking the
+// algorithm with the cost planner. It is the entry point callers
+// without an opinion should use.
 func Compute(lists []index.PostingList) []dewey.ID {
-	return IndexedLookupEager(lists)
+	alg := Plan(index.StatsOf(lists))
+	if alg == AlgIndexedLookup {
+		plannedIndexed.Add(1)
+	} else {
+		plannedScan.Add(1)
+	}
+	return ComputeWith(alg, lists)
+}
+
+// ComputeWith evaluates the lists with a forced algorithm choice —
+// benchmarks and the planner itself route through it. AlgAuto (and the
+// empty string) defer to the planner; unknown names return nil.
+func ComputeWith(alg Algorithm, lists []index.PostingList) []dewey.ID {
+	switch alg {
+	case AlgIndexedLookup:
+		return IndexedLookupEager(lists)
+	case AlgScanEager:
+		return ScanEager(lists)
+	case AlgNaive:
+		return Naive(lists)
+	case AlgAuto, "":
+		return ComputeWith(Plan(index.StatsOf(lists)), lists)
+	default:
+		return nil
+	}
 }
 
 // Naive computes SLCAs by materializing, for every node in the first

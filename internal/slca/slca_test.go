@@ -185,7 +185,7 @@ func TestEndToEndOverRealTree(t *testing.T) {
 </store>`
 	root := xmltree.MustParseString(doc)
 	idx := index.Build(root)
-	ls, err := idx.QueryLists(index.TokenizeQuery("tomtom gps"))
+	ls, _, err := idx.QueryLists(index.TokenizeQuery("tomtom gps"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,32 +48,9 @@ func (e *Engine) SearchELCA(query string) ([]*Result, error) {
 	if len(terms) == 0 {
 		return nil, errEmptyQuery
 	}
-	lists, err := e.idx.QueryLists(terms)
+	lists, _, err := e.idx.QueryLists(terms)
 	if err != nil {
 		return nil, err
 	}
-	matches := slca.ELCA(lists)
-	var out []*Result
-	seen := make(map[string]bool)
-	for _, m := range matches {
-		matchNode := e.root.NodeAt(m)
-		if matchNode == nil {
-			continue
-		}
-		resultRoot := e.schema.NearestEntity(matchNode)
-		if resultRoot == nil {
-			resultRoot = matchNode
-		}
-		key := resultRoot.ID.String()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out = append(out, &Result{
-			Node:  resultRoot,
-			Match: matchNode,
-			Label: e.labelFor(resultRoot),
-		})
-	}
-	return out, nil
+	return e.mapToEntities(slca.ELCA(lists), false)
 }

@@ -2,8 +2,10 @@ package xseek
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dewey"
 	"repro/internal/index"
@@ -16,20 +18,38 @@ var errEmptyQuery = fmt.Errorf("xseek: empty query")
 
 // Engine is an XSeek-style keyword search engine over one XML document:
 // an inverted index, a schema summary, and SLCA + return-node logic.
+//
+// Search runs as a staged pipeline — tokenize → plan → SLCA →
+// entity-map → label — with the first two stages reified as a Query
+// value (Compile) so callers can inspect or override the plan, and the
+// final result list addressable in windows (SearchPage).
 type Engine struct {
 	root   *xmltree.Node
 	idx    *index.Index
 	schema *Schema
+
+	// Derived corpus constants, computed once at construction instead
+	// of per ranking call: the corpus node count (a full tree walk) and
+	// each term's inverse document frequency.
+	totalNodes int
+	idf        map[string]float64
+
+	// Cost-planner decision counters for this corpus's compiled
+	// queries, surfaced through the serving layer's metrics.
+	plannerIndexed atomic.Int64
+	plannerScan    atomic.Int64
 }
 
 // New builds an engine (index + schema summary) over root. The tree
 // must carry Dewey IDs (xmltree.Parse assigns them).
 func New(root *xmltree.Node) *Engine {
-	return &Engine{
+	e := &Engine{
 		root:   root,
 		idx:    index.Build(root),
 		schema: InferSchema(root),
 	}
+	e.initDerived()
+	return e
 }
 
 // FromParts assembles an engine from already-built derived state —
@@ -38,7 +58,20 @@ func New(root *xmltree.Node) *Engine {
 // for the parts describing the same document; idx must be attached to
 // root (index.Load does this).
 func FromParts(root *xmltree.Node, idx *index.Index, schema *Schema) *Engine {
-	return &Engine{root: root, idx: idx, schema: schema}
+	e := &Engine{root: root, idx: idx, schema: schema}
+	e.initDerived()
+	return e
+}
+
+// initDerived computes the per-corpus ranking constants every
+// construction path (New, NewParallel, FromParts) shares: the corpus
+// node count and the IDF of every indexed term.
+func (e *Engine) initDerived() {
+	e.totalNodes = e.root.CountNodes()
+	e.idf = make(map[string]float64, e.idx.Stats().Terms)
+	e.idx.EachTerm(func(t string, df int) {
+		e.idf[t] = math.Log(float64(e.totalNodes+1) / float64(df+1))
+	})
 }
 
 // Root returns the document the engine searches.
@@ -49,6 +82,15 @@ func (e *Engine) Schema() *Schema { return e.schema }
 
 // Index returns the underlying inverted index.
 func (e *Engine) Index() *index.Index { return e.idx }
+
+// TotalNodes returns the corpus node count, cached at construction.
+func (e *Engine) TotalNodes() int { return e.totalNodes }
+
+// PlannerDecisions reports how many compiled queries the SLCA cost
+// planner routed to each eager algorithm on this engine.
+func (e *Engine) PlannerDecisions() (indexedLookup, scanEager int64) {
+	return e.plannerIndexed.Load(), e.plannerScan.Load()
+}
 
 // Result is one search result: the entity subtree that contains an
 // SLCA match, as XSeek's return-node inference dictates.
@@ -66,26 +108,118 @@ type Result struct {
 // ID returns the Dewey ID of the result root.
 func (r *Result) ID() dewey.ID { return r.Node.ID }
 
-// Search runs a keyword query and returns results in document order.
-// Distinct SLCAs falling in the same entity are merged into one
-// result. A query with no matches returns an empty slice and the
-// index.NoMatchError describing the missing keywords.
-func (e *Engine) Search(query string) ([]*Result, error) {
+// SearchOptions selects a window of a search's full result list.
+type SearchOptions struct {
+	// Limit caps the number of results returned; 0 (or negative)
+	// returns all.
+	Limit int
+	// Offset skips that many results from the start; out-of-range
+	// offsets yield an empty window, not an error.
+	Offset int
+}
+
+// Window clamps the options to [lo, hi) slice bounds over a full
+// result list of n entries. Callers holding a materialized list (the
+// serving layer's caches) use it to cut pages without re-searching.
+func (o SearchOptions) Window(n int) (lo, hi int) {
+	lo = o.Offset
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n {
+		lo = n
+	}
+	hi = n
+	// Compare before adding: lo+Limit could overflow on an adversarial
+	// Limit (e.g. MaxInt from an HTTP parameter), flipping hi negative.
+	if o.Limit > 0 && o.Limit < n-lo {
+		hi = lo + o.Limit
+	}
+	return lo, hi
+}
+
+// Query is a compiled keyword query: the outcome of the pipeline's
+// tokenize and plan stages. The remaining stages (SLCA, entity
+// mapping, labelling) run on Execute. Fields are read-only snapshots;
+// Alg may be overwritten before Execute to force an algorithm — it
+// must name one of slca's known algorithms, or Execute errors.
+type Query struct {
+	// Terms are the tokenized keywords.
+	Terms []string
+	// Lists are the resolved posting lists, in term order.
+	Lists []index.PostingList
+	// Stats are the plan statistics of Lists.
+	Stats index.PlanStats
+	// Alg is the planner's algorithm choice for the SLCA stage.
+	Alg slca.Algorithm
+
+	eng *Engine
+}
+
+// Compile runs the tokenize and plan stages: resolve the query's terms
+// to posting lists and pick an SLCA algorithm from their shape. An
+// empty query or one with unmatched keywords fails here, before any
+// list is touched by the SLCA stage.
+func (e *Engine) Compile(query string) (*Query, error) {
 	terms := index.TokenizeQuery(query)
 	if len(terms) == 0 {
 		return nil, errEmptyQuery
 	}
-	lists, err := e.idx.QueryLists(terms)
+	lists, stats, err := e.idx.QueryLists(terms)
 	if err != nil {
 		return nil, err
 	}
-	matches := slca.Compute(lists)
+	alg := slca.Plan(stats)
+	if alg == slca.AlgIndexedLookup {
+		e.plannerIndexed.Add(1)
+	} else {
+		e.plannerScan.Add(1)
+	}
+	return &Query{Terms: terms, Lists: lists, Stats: stats, Alg: alg, eng: e}, nil
+}
+
+// SLCAs runs the SLCA stage with the query's planned (or overridden)
+// algorithm.
+func (q *Query) SLCAs() []dewey.ID {
+	return slca.ComputeWith(q.Alg, q.Lists)
+}
+
+// Execute runs the remaining pipeline stages — SLCA, entity mapping,
+// labelling — and returns the full result list in document order. An
+// unrecognized Alg override is an error, not an empty result list.
+func (q *Query) Execute() ([]*Result, error) {
+	if !slca.KnownAlgorithm(q.Alg) {
+		return nil, fmt.Errorf("xseek: unknown SLCA algorithm %q", q.Alg)
+	}
+	return q.eng.mapToEntities(q.SLCAs(), true)
+}
+
+// ExecutePage runs Execute and returns the options' window of the
+// result list plus the full result count.
+func (q *Query) ExecutePage(opts SearchOptions) ([]*Result, int, error) {
+	all, err := q.Execute()
+	if err != nil {
+		return nil, 0, err
+	}
+	lo, hi := opts.Window(len(all))
+	return all[lo:hi], len(all), nil
+}
+
+// mapToEntities is the entity-map + label stage shared by the SLCA and
+// ELCA paths: lift each match to its nearest enclosing entity, merge
+// matches falling in the same entity, and label the survivors. When
+// strict is set, a match ID absent from the tree is an internal error;
+// otherwise it is skipped (ELCA considers ancestors liberally).
+func (e *Engine) mapToEntities(matches []dewey.ID, strict bool) ([]*Result, error) {
 	var out []*Result
 	seen := make(map[string]bool)
 	for _, m := range matches {
 		matchNode := e.root.NodeAt(m)
 		if matchNode == nil {
-			return nil, fmt.Errorf("xseek: internal: SLCA %v not in tree", m)
+			if strict {
+				return nil, fmt.Errorf("xseek: internal: SLCA %v not in tree", m)
+			}
+			continue
 		}
 		resultRoot := e.schema.NearestEntity(matchNode)
 		if resultRoot == nil {
@@ -99,11 +233,34 @@ func (e *Engine) Search(query string) ([]*Result, error) {
 		out = append(out, &Result{
 			Node:  resultRoot,
 			Match: matchNode,
-			Label: e.labelFor(resultRoot),
+			Label: LabelFor(resultRoot),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node.ID.Compare(out[j].Node.ID) < 0 })
 	return out, nil
+}
+
+// Search runs a keyword query and returns results in document order.
+// Distinct SLCAs falling in the same entity are merged into one
+// result. A query with no matches returns an empty slice and the
+// index.NoMatchError describing the missing keywords.
+func (e *Engine) Search(query string) ([]*Result, error) {
+	q, err := e.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute()
+}
+
+// SearchPage runs the pipeline and returns the window the options
+// select, along with the total result count. Concatenating consecutive
+// pages reproduces the full Search result list.
+func (e *Engine) SearchPage(query string, opts SearchOptions) ([]*Result, int, error) {
+	q, err := e.Compile(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	return q.ExecutePage(opts)
 }
 
 // nameLikeTags are attribute tags that make good result labels, in
@@ -124,8 +281,6 @@ func LabelFor(n *xmltree.Node) string {
 	}
 	return fmt.Sprintf("%s@%s", n.Tag, n.ID)
 }
-
-func (e *Engine) labelFor(n *xmltree.Node) string { return LabelFor(n) }
 
 // DescribeResult renders a one-line, depth-limited summary of a result
 // for listings (product name + first few attribute values), mirroring

@@ -25,6 +25,7 @@ func NewParallel(root *xmltree.Node) *Engine {
 		e.schema = InferSchemaParallel(root, 0)
 	}()
 	wg.Wait()
+	e.initDerived()
 	return e
 }
 

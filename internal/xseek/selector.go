@@ -27,7 +27,7 @@ func ScoreDatabases(engines map[string]*Engine, query string) []DatabaseScore {
 	out := make([]DatabaseScore, 0, len(engines))
 	for name, eng := range engines {
 		s := DatabaseScore{Name: name}
-		total := eng.root.CountNodes()
+		total := eng.totalNodes
 		for _, t := range terms {
 			df := eng.idx.DocFreq(t)
 			if df == 0 {
