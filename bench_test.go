@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/feature"
 	"repro/internal/index"
+	"repro/internal/shard"
 	"repro/internal/slca"
 	"repro/internal/snippet"
 	"repro/internal/xseek"
@@ -345,5 +346,80 @@ func BenchmarkSearchRankedTopK(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(results)), "results")
+	})
+}
+
+// BenchmarkShardedBuild contrasts engine construction layouts on a
+// multi-entity corpus: one serially-built index, the fanned-out
+// monolithic build (engine.New's default), and the sharded build —
+// K per-shard indexes constructed concurrently, each over its own
+// contiguous run of entity subtrees.
+func BenchmarkShardedBuild(b *testing.B) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 600})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = xseek.New(root)
+		}
+	})
+	b.Run("parallel-monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = xseek.NewParallel(root)
+		}
+	})
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = shard.Build(root, k)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSearch measures cold query execution (SLCA + entity
+// mapping, no serving-layer cache) against the same corpus with the
+// monolithic and the fan-out/merge executors, plus the ranked top-10
+// page path that exercises the K-way heap merge.
+func BenchmarkShardedSearch(b *testing.B) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 600})
+	queries := dataset.MovieQueries()
+	mono := xseek.NewParallel(root)
+	run := func(b *testing.B, search func(q string) error) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := search(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("monolithic", func(b *testing.B) {
+		run(b, func(q string) error { _, err := mono.Search(q); return err })
+	})
+	for _, k := range []int{2, 4, 8} {
+		sharded := shard.Build(root, k)
+		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
+			run(b, func(q string) error { _, err := sharded.Search(q); return err })
+		})
+	}
+	top10 := xseek.SearchOptions{Limit: 10}
+	b.Run("monolithic-ranked-top10", func(b *testing.B) {
+		run(b, func(q string) error {
+			rs, err := mono.Search(q)
+			if err != nil {
+				return err
+			}
+			_ = mono.RankPage(rs, q, top10)
+			return nil
+		})
+	})
+	sharded := shard.Build(root, 4)
+	b.Run("shards-4-ranked-top10", func(b *testing.B) {
+		run(b, func(q string) error {
+			rs, err := sharded.Search(q)
+			if err != nil {
+				return err
+			}
+			_ = sharded.RankPage(rs, q, top10)
+			return nil
+		})
 	})
 }

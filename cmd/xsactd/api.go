@@ -224,7 +224,7 @@ func (s *server) apiMetrics(w http.ResponseWriter, r *http.Request) {
 		if eng := l.peek(); eng != nil {
 			dm.Built = true
 			m := eng.Metrics()
-			st := eng.Index().Stats()
+			st := eng.IndexStats()
 			dm.Engine = &m
 			dm.Index = &st
 		}

@@ -12,9 +12,16 @@
 // inferred schema) is reloaded from disk when a valid snapshot exists
 // and written back after a fresh build, so restarts skip the rebuild.
 //
+// With -shards N each corpus is split into N index shards (at
+// top-level entity boundaries) that build in parallel and serve
+// queries through a fan-out/merge executor; results are identical to
+// the unsharded engine. Snapshots are per-layout: a sharded engine
+// writes the multi-shard format, whose shards reload lazily and
+// survive single-shard corruption by rebuilding only the bad shard.
+//
 // Usage:
 //
-//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR]
+//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-shards N]
 package main
 
 import (
@@ -30,15 +37,16 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		seed        = flag.Int64("seed", 1, "dataset seed")
 		snapshotDir = flag.String("snapshot-dir", "", "directory for engine snapshots (empty = rebuild on every start)")
+		shards      = flag.Int("shards", 1, "index shards per dataset (1 = monolithic index)")
 	)
 	flag.Parse()
 
-	srv, err := newServer(*seed, *snapshotDir)
+	srv, err := newServer(*seed, *snapshotDir, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsactd:", err)
 		os.Exit(1)
 	}
-	log.Printf("xsactd listening on %s (datasets: %v)", *addr, srv.datasetNames())
+	log.Printf("xsactd listening on %s (datasets: %v, shards: %d)", *addr, srv.datasetNames(), *shards)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 

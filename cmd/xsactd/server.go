@@ -83,14 +83,17 @@ type server struct {
 
 // newServer assembles the dataset table. When snapshotDir is non-empty
 // each engine build first tries to reload its derived state from
-// <snapshotDir>/<slug>-seed<seed>.snap, and writes that file back
+// <snapshotDir>/<slug>-seed<seed>[-sN].snap, and writes that file back
 // after a fresh build, so the second server startup skips index
-// construction and schema inference entirely.
-func newServer(seed int64, snapshotDir string) (*server, error) {
+// construction and schema inference entirely. shards > 1 builds every
+// engine with that many index shards (and keeps their snapshots in
+// per-layout files, so switching the flag never misreads a snapshot of
+// the other layout).
+func newServer(seed int64, snapshotDir string, shards int) (*server, error) {
 	s := &server{datasets: make(map[string]*lazyEngine)}
 	add := func(name, slug string, gen func() *xmltree.Node) {
 		s.datasets[name] = &lazyEngine{build: func() *engine.Engine {
-			return buildEngine(name, slug, seed, snapshotDir, gen)
+			return buildEngine(name, slug, seed, snapshotDir, shards, gen)
 		}}
 		s.order = append(s.order, name)
 	}
@@ -109,17 +112,20 @@ func newServer(seed int64, snapshotDir string) (*server, error) {
 // buildEngine generates the corpus and produces its serving engine,
 // serving the derived state from a snapshot when one is present and
 // valid. Snapshot failures are never fatal — a bad file just costs a
-// rebuild (and is replaced by a fresh snapshot afterwards).
-func buildEngine(name, slug string, seed int64, dir string, gen func() *xmltree.Node) *engine.Engine {
+// rebuild (and is replaced by a fresh snapshot afterwards); a
+// multi-shard snapshot with one corrupt shard section loads anyway and
+// rebuilds only that shard lazily.
+func buildEngine(name, slug string, seed int64, dir string, shards int, gen func() *xmltree.Node) *engine.Engine {
 	root := gen()
+	cfg := engine.Config{Shards: shards}
 	if dir == "" {
-		return engine.New(root)
+		return engine.NewWithConfig(root, cfg)
 	}
-	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.snap", slug, seed))
+	path := filepath.Join(dir, snapshotFile(slug, seed, shards))
 	// persist.Load verifies the snapshot's corpus fingerprint against
 	// the freshly generated root, which deterministically encodes
 	// dataset and seed — no separate identity check needed here.
-	eng, _, err := persist.LoadFile(path, root, engine.Config{})
+	eng, _, err := persist.LoadFile(path, root, cfg)
 	if err == nil {
 		log.Printf("xsactd: %s: engine loaded from snapshot %s", name, path)
 		return eng
@@ -127,13 +133,23 @@ func buildEngine(name, slug string, seed int64, dir string, gen func() *xmltree.
 	if !errors.Is(err, fs.ErrNotExist) {
 		log.Printf("xsactd: %s: snapshot %s unusable (%v); rebuilding", name, path, err)
 	}
-	built := engine.New(root)
+	built := engine.NewWithConfig(root, cfg)
 	if err := persist.SaveFile(path, built, persist.Meta{CorpusName: name, Seed: seed}); err != nil {
 		log.Printf("xsactd: %s: writing snapshot %s failed: %v", name, path, err)
 	} else {
 		log.Printf("xsactd: %s: wrote snapshot %s", name, path)
 	}
 	return built
+}
+
+// snapshotFile names a dataset's snapshot. Sharded layouts get their
+// own files so flipping -shards never tries to reuse (and overwrite)
+// the other layout's snapshot.
+func snapshotFile(slug string, seed int64, shards int) string {
+	if shards > 1 {
+		return fmt.Sprintf("%s-seed%d-s%d.snap", slug, seed, shards)
+	}
+	return fmt.Sprintf("%s-seed%d.snap", slug, seed)
 }
 
 // engineFor returns the shared engine of a dataset, building it on
@@ -237,11 +253,11 @@ func (s *server) resolveDataset(ds, query string) string {
 	case "":
 		return s.order[0]
 	case autoDataset:
-		engines := make(map[string]*xseek.Engine, len(s.datasets))
+		engines := make(map[string]*engine.Engine, len(s.datasets))
 		for name, l := range s.datasets {
-			engines[name] = l.get().Xseek()
+			engines[name] = l.get()
 		}
-		name, sel := xseek.SelectDatabase(engines, query)
+		name, sel := engine.SelectEngine(engines, query)
 		if sel == nil {
 			return ""
 		}

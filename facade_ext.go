@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/table"
 	"repro/internal/xseek"
 )
@@ -113,13 +114,15 @@ func (l *Library) Names() []string {
 }
 
 // Search routes the query to the best-covering corpus and searches it,
-// returning the chosen corpus name alongside the results.
+// returning the chosen corpus name alongside the results. Selection
+// works over sharded and unsharded documents alike (term statistics
+// are aggregated across shards).
 func (l *Library) Search(query string) (string, []*Result, error) {
-	engines := make(map[string]*xseek.Engine, len(l.docs))
+	engines := make(map[string]*engine.Engine, len(l.docs))
 	for name, d := range l.docs {
-		engines[name] = d.eng.Xseek()
+		engines[name] = d.eng
 	}
-	name, _ := xseek.SelectDatabase(engines, query)
+	name, _ := engine.SelectEngine(engines, query)
 	if name == "" {
 		return "", nil, fmt.Errorf("xsact: no registered corpus contains keywords of %q", query)
 	}

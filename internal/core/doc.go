@@ -1,0 +1,15 @@
+// Package core implements XSACT's primary contribution: construction
+// of Differentiation Feature Sets (DFSs) for a group of structured
+// search results (Liu, Sun, Chen, "Structured Search Result
+// Differentiation", PVLDB 2(1), 2009; demonstrated as XSACT, VLDB
+// 2010).
+//
+// Given per-result feature statistics (package feature), a size bound
+// L and a differentiation threshold x, the generator picks for each
+// result a valid feature selection of at most L features so that the
+// total Degree of Differentiation (DoD) across all result pairs is
+// maximized. Exact maximization is NP-hard; the package provides the
+// paper's two local-optimality algorithms (single-swap and multi-swap)
+// plus an exhaustive oracle and frequency-only baselines for
+// evaluation.
+package core

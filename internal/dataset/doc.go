@@ -1,0 +1,20 @@
+// Package dataset generates the synthetic XML corpora this repository
+// substitutes for the paper's three crawled datasets (none of which is
+// retrievable offline):
+//
+//   - ProductReviews — buzzillions.com-style products (GPS, mobile
+//     phones, digital cameras) with per-review pro/con/best-use
+//     features (the paper's Figure 1 data);
+//   - OutdoorRetailer — REI.com-style brands with product catalogs
+//     (category, subcategory, gender, features);
+//   - Movies — the IMDB-style corpus behind the Figure 4 benchmark,
+//     with the eight evaluation queries QM1–QM8.
+//
+// Generators are deterministic given the seed, and each result class
+// carries a distinct sampling profile so feature-frequency
+// distributions genuinely differ across results — the property the
+// DFS algorithms exercise. The DFS generator sees only (entity,
+// attribute, value, count) statistics, so matching the shape (entity
+// cardinalities, feature variety, frequency skew) of the originals
+// preserves the behaviour the paper measures.
+package dataset

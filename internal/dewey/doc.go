@@ -1,0 +1,10 @@
+// Package dewey implements Dewey (path) labels for nodes of an ordered
+// tree. A Dewey ID encodes the path from the root to a node as the
+// sequence of 0-based child ordinals, so the root is the empty ID and
+// the second child of the root's first child is [0 1].
+//
+// Dewey IDs give constant-time ancestor tests and lowest-common-ancestor
+// computation, and comparing two IDs lexicographically yields document
+// order. They are the node-addressing substrate for the SLCA algorithms
+// in package slca and the inverted index in package index.
+package dewey

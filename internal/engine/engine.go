@@ -1,21 +1,3 @@
-// Package engine is XSACT's concurrent query-serving layer: one
-// Engine per corpus owns every piece of per-document derived state —
-// the inverted index, the inferred schema, a feature-statistics cache
-// keyed by result subtree, a bounded LRU of query → SLCA results, and
-// a bounded LRU of generated DFS sets — and is safe for any number of
-// concurrent readers.
-//
-// The layers above plumb through it instead of recomputing:
-//
-//	facade (xsact.Document)  ─┐
-//	HTTP server (cmd/xsactd) ─┼→ engine.Engine ─→ xseek / index / slca
-//	                          │        │
-//	                          │        └→ feature (cached) → core (pooled) → table
-//
-// Construction fans the index build and schema inference out over the
-// root's subtrees (xseek.NewParallel); query serving reuses cached
-// search results and feature stats, so repeated Compare/Snippet calls
-// over the same results never re-extract the same subtree twice.
 package engine
 
 import (
@@ -29,12 +11,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/feature"
 	"repro/internal/index"
+	"repro/internal/shard"
 	"repro/internal/xmltree"
 	"repro/internal/xseek"
 )
 
-// Config bounds the engine's caches. Zero values select defaults; a
-// negative capacity disables that cache.
+// Config bounds the engine's caches and selects the execution layout.
+// Zero values select defaults; a negative cache capacity disables that
+// cache.
 type Config struct {
 	// QueryCacheSize bounds the query → results LRU. Default 256.
 	QueryCacheSize int
@@ -46,6 +30,12 @@ type Config struct {
 	// summarize, but diverse traffic must not grow the cache without
 	// bound).
 	StatsCacheSize int
+	// Shards selects the sharded executor with that many index shards
+	// (clamped to the corpus's top-level entity count). 0 or 1 keeps
+	// the monolithic single-index executor. Results are identical
+	// either way; sharding trades one big index for K that build in
+	// parallel and answer fan-out queries.
+	Shards int
 }
 
 func (c Config) normalized() Config {
@@ -77,14 +67,40 @@ type Metrics struct {
 	DFSHits      int64 `json:"dfs_hits"`
 	DFSMisses    int64 `json:"dfs_misses"`
 	DFSEvictions int64 `json:"dfs_evictions"`
-	// SLCA cost-planner decisions for compiled (cache-miss) queries.
+	// SLCA cost-planner decisions for compiled (cache-miss) queries,
+	// summed across shards for a sharded engine (each shard plans its
+	// own leg of a fan-out).
 	PlannerIndexedLookup int64 `json:"planner_indexed_lookup"`
 	PlannerScanEager     int64 `json:"planner_scan_eager"`
+	// Shards is the executor's shard count (1 = monolithic index);
+	// ShardRebuilds counts shards rebuilt from the tree because their
+	// snapshot section was missing or corrupt.
+	Shards        int   `json:"shards"`
+	ShardRebuilds int64 `json:"shard_rebuilds"`
+}
+
+// executor is the search substrate the serving layer plumbs onto: the
+// monolithic xseek.Engine and the fan-out shard.Engine both satisfy
+// it, and are required to produce identical output for the same
+// corpus — the engine's caches and the layers above never know which
+// one is running.
+type executor interface {
+	Root() *xmltree.Node
+	Schema() *xseek.Schema
+	Search(query string) ([]*xseek.Result, error)
+	CleanQuery(query string) []string
+	RankResults(results []*xseek.Result, query string) []*xseek.RankedResult
+	RankPage(results []*xseek.Result, query string, opts xseek.SearchOptions) []*xseek.RankedResult
+	PlannerDecisions() (indexedLookup, scanEager int64)
+	TotalNodes() int
+	DocFreq(term string) int
 }
 
 // Engine is a concurrency-safe serving engine over one corpus.
 type Engine struct {
-	x *xseek.Engine
+	exec executor
+	x    *xseek.Engine // non-nil for the monolithic executor
+	sh   *shard.Engine // non-nil for the sharded executor
 
 	statsMu sync.Mutex
 	stats   *lru // result-root Dewey ID + label → *feature.Stats
@@ -106,17 +122,36 @@ func New(root *xmltree.Node) *Engine {
 	return NewWithConfig(root, Config{})
 }
 
-// NewWithConfig is New with explicit cache bounds.
+// NewWithConfig is New with explicit cache bounds and executor layout:
+// Config.Shards > 1 builds the fan-out sharded executor, anything else
+// the monolithic one.
 func NewWithConfig(root *xmltree.Node, cfg Config) *Engine {
+	if cfg.Shards > 1 {
+		return FromSharded(shard.Build(root, cfg.Shards), cfg)
+	}
 	return FromXseek(xseek.NewParallel(root), cfg)
 }
 
-// FromXseek wraps an already-built search engine (e.g. one whose index
-// was loaded from disk) in the serving layer.
+// FromXseek wraps an already-built monolithic search engine (e.g. one
+// whose index was loaded from disk) in the serving layer.
 func FromXseek(x *xseek.Engine, cfg Config) *Engine {
+	e := newServing(cfg)
+	e.exec, e.x = x, x
+	return e
+}
+
+// FromSharded wraps an already-built sharded executor (fresh-built or
+// snapshot-loaded) in the serving layer.
+func FromSharded(s *shard.Engine, cfg Config) *Engine {
+	e := newServing(cfg)
+	e.exec, e.sh = s, s
+	return e
+}
+
+// newServing allocates the cache layer shared by both executors.
+func newServing(cfg Config) *Engine {
 	cfg = cfg.normalized()
 	return &Engine{
-		x:       x,
 		stats:   newLRU(cfg.StatsCacheSize),
 		queries: newLRU(cfg.QueryCacheSize),
 		dfs:     newLRU(cfg.DFSCacheSize),
@@ -124,22 +159,73 @@ func FromXseek(x *xseek.Engine, cfg Config) *Engine {
 }
 
 // Root returns the corpus the engine serves.
-func (e *Engine) Root() *xmltree.Node { return e.x.Root() }
+func (e *Engine) Root() *xmltree.Node { return e.exec.Root() }
 
 // Schema returns the inferred schema summary.
-func (e *Engine) Schema() *xseek.Schema { return e.x.Schema() }
+func (e *Engine) Schema() *xseek.Schema { return e.exec.Schema() }
 
-// Index returns the underlying inverted index.
-func (e *Engine) Index() *index.Index { return e.x.Index() }
+// Index returns the underlying inverted index, or nil for a sharded
+// engine (whose postings live in per-shard indexes; see IndexStats and
+// Sharded for the aggregate views).
+func (e *Engine) Index() *index.Index {
+	if e.x == nil {
+		return nil
+	}
+	return e.x.Index()
+}
 
-// Xseek returns the wrapped search engine, for callers (database
-// selection, experiments) that operate below the serving layer.
+// Xseek returns the wrapped monolithic search engine, or nil for a
+// sharded engine. Callers that only need corpus statistics should use
+// TotalNodes/DocFreq, which work for both executors.
 func (e *Engine) Xseek() *xseek.Engine { return e.x }
+
+// Sharded returns the sharded executor, or nil for a monolithic
+// engine.
+func (e *Engine) Sharded() *shard.Engine { return e.sh }
+
+// ShardCount returns the executor's number of index shards (1 for the
+// monolithic layout).
+func (e *Engine) ShardCount() int {
+	if e.sh != nil {
+		return e.sh.ShardCount()
+	}
+	return 1
+}
+
+// IndexStats returns the corpus's index statistics, aggregated across
+// shards for a sharded engine (the numbers equal the monolithic
+// index's either way).
+func (e *Engine) IndexStats() index.Stats {
+	if e.sh != nil {
+		return e.sh.IndexStats()
+	}
+	return e.x.Index().Stats()
+}
+
+// TotalNodes returns the corpus node count.
+func (e *Engine) TotalNodes() int { return e.exec.TotalNodes() }
+
+// DocFreq returns the number of corpus nodes containing term. With
+// TotalNodes it implements xseek.CorpusStats, so serving engines feed
+// database selection directly.
+func (e *Engine) DocFreq(term string) int { return e.exec.DocFreq(term) }
+
+// SelectEngine routes a query to the best-covering corpus among named
+// serving engines (sharded or not), or ("", nil) when no corpus
+// contains any query keyword. It is xseek's database selection lifted
+// to the serving layer.
+func SelectEngine(engines map[string]*Engine, query string) (string, *Engine) {
+	name := xseek.SelectCorpus(engines, query)
+	if name == "" {
+		return "", nil
+	}
+	return name, engines[name]
+}
 
 // Metrics returns a snapshot of the cache and planner counters.
 func (e *Engine) Metrics() Metrics {
-	indexed, scan := e.x.PlannerDecisions()
-	return Metrics{
+	indexed, scan := e.exec.PlannerDecisions()
+	m := Metrics{
 		QueryHits: e.queryHits.Load(), QueryMisses: e.queryMisses.Load(),
 		QueryEvictions: e.queryEvictions.Load(),
 		StatsHits:      e.statsHits.Load(), StatsMisses: e.statsMisses.Load(),
@@ -147,7 +233,13 @@ func (e *Engine) Metrics() Metrics {
 		DFSHits:        e.dfsHits.Load(), DFSMisses: e.dfsMisses.Load(),
 		DFSEvictions:         e.dfsEvictions.Load(),
 		PlannerIndexedLookup: indexed, PlannerScanEager: scan,
+		Shards: 1,
 	}
+	if e.sh != nil {
+		m.Shards = e.sh.ShardCount()
+		m.ShardRebuilds = e.sh.Rebuilds()
+	}
+	return m
 }
 
 // queryKey normalizes a query to its sorted token set so "Tomtom  GPS"
@@ -183,7 +275,7 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 		return out.results, out.err
 	}
 	e.queryMisses.Add(1)
-	rs, err := e.x.Search(query)
+	rs, err := e.exec.Search(query)
 	var noMatch *index.NoMatchError
 	if err != nil && !errors.As(err, &noMatch) {
 		return rs, err
@@ -198,7 +290,7 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 // and then searches through the cache, returning the corrected
 // keywords alongside the results.
 func (e *Engine) SearchCleaned(query string) ([]*xseek.Result, []string, error) {
-	cleaned := e.x.CleanQuery(query)
+	cleaned := e.exec.CleanQuery(query)
 	rs, err := e.Search(strings.Join(cleaned, " "))
 	return rs, cleaned, err
 }
@@ -211,7 +303,7 @@ func (e *Engine) SearchRanked(query string) ([]*xseek.RankedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.x.RankResults(results, query), nil
+	return e.exec.RankResults(results, query), nil
 }
 
 // Page is one window of a search's full result list. The engine caches
@@ -251,7 +343,7 @@ func (e *Engine) SearchPage(query string, opts xseek.SearchOptions) (*Page, erro
 // SearchCleanedPage is SearchPage over the spell-corrected query,
 // returning the corrected keywords alongside the page.
 func (e *Engine) SearchCleanedPage(query string, opts xseek.SearchOptions) (*Page, []string, error) {
-	cleaned := e.x.CleanQuery(query)
+	cleaned := e.exec.CleanQuery(query)
 	page, err := e.SearchPage(strings.Join(cleaned, " "), opts)
 	return page, cleaned, err
 }
@@ -265,7 +357,7 @@ func (e *Engine) SearchRankedPage(query string, opts xseek.SearchOptions) (*Rank
 	if err != nil {
 		return nil, err
 	}
-	page := e.x.RankPage(results, query, opts)
+	page := e.exec.RankPage(results, query, opts)
 	lo, _ := opts.Window(len(results))
 	return &RankedPage{Results: page, Total: len(results), Offset: lo}, nil
 }
@@ -284,7 +376,7 @@ func (e *Engine) Stats(node *xmltree.Node, label string) *feature.Stats {
 		return v.(*feature.Stats)
 	}
 	e.statsMisses.Add(1)
-	s := feature.Extract(node, e.x.Schema(), label)
+	s := feature.Extract(node, e.exec.Schema(), label)
 	e.statsMu.Lock()
 	if prior, ok := e.stats.get(key); ok {
 		s = prior.(*feature.Stats) // another goroutine raced us; keep one canonical copy

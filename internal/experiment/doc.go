@@ -1,0 +1,7 @@
+// Package experiment is the evaluation harness: it runs keyword
+// queries end-to-end (search → entity identification → feature
+// extraction → DFS generation), measuring the quality (DoD, Figure
+// 4(a)) and processing time (Figure 4(b)) of each DFS algorithm, and
+// renders the paper-style series. It also hosts the ablation sweeps
+// DESIGN.md calls out (threshold x, size bound L).
+package experiment

@@ -1,13 +1,3 @@
-// Package feature extracts (entity, attribute, value) features from
-// XML search results and aggregates their occurrence statistics — the
-// "Feature Extractor" box of XSACT's architecture (Figure 3).
-//
-// A feature is a triplet (entity, attribute, value), e.g.
-// (review, pro, compact); a feature type is the (entity, attribute)
-// pair. The occurrence of feature (t, v) in a result is the number of
-// instances of t's entity that carry attribute = v, and its relative
-// frequency divides by the number of entity instances in the result —
-// "8 of 11 reviewers say compact" = 73%.
 package feature
 
 import (

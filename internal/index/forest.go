@@ -1,0 +1,69 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// BuildForest constructs an index over a forest: the subtrees rooted at
+// the given trees, in the order given. root is the document the trees
+// belong to (postings keep their global Dewey IDs, so lists built from
+// disjoint forests of the same document can be compared and merged).
+// When the trees are passed in document order the per-term lists come
+// out sorted without a re-sort, exactly as Build's preorder walk does;
+// the same safety-net check guards hand-built trees.
+//
+// This is the per-shard build primitive of package shard: each shard
+// indexes only its own segment subtrees.
+func BuildForest(root *xmltree.Node, trees []*xmltree.Node) *Index {
+	idx := &Index{postings: make(map[string]PostingList), root: root}
+	for _, t := range trees {
+		idx.indexSubtree(t)
+	}
+	idx.ensureSorted()
+	return idx
+}
+
+// BuildNodes constructs an index over exactly the given nodes — their
+// own tags, attributes, and direct text, with no descent into children.
+// Package shard uses it for the spine: the handful of ancestor nodes
+// (document root, wrapper elements) that sit above every shard's
+// segments and therefore belong to no shard.
+func BuildNodes(root *xmltree.Node, nodes []*xmltree.Node) *Index {
+	idx := &Index{postings: make(map[string]PostingList), root: root}
+	for _, n := range nodes {
+		idx.indexNode(n)
+	}
+	idx.ensureSorted()
+	return idx
+}
+
+// ensureSorted re-sorts any posting list that is out of document order.
+// The check is linear and the sort only runs on a violation, so builds
+// that post in document order pay one scan, not an O(n log n) sort.
+func (idx *Index) ensureSorted() {
+	for term, list := range idx.postings {
+		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 }) {
+			sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
+			idx.postings[term] = list
+		}
+	}
+}
+
+// CountUnder returns how many posting IDs fall inside the subtree
+// rooted at root. Descendants form a contiguous block in document
+// order, so two binary searches bound the range.
+func CountUnder(postings PostingList, root dewey.ID) int {
+	lo := sort.Search(len(postings), func(i int) bool {
+		return postings[i].Compare(root) >= 0
+	})
+	hi := sort.Search(len(postings), func(i int) bool {
+		return postings[i].Compare(root) > 0 && !root.IsAncestorOrSelf(postings[i])
+	})
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

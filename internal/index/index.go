@@ -37,15 +37,9 @@ func Build(root *xmltree.Node) *Index {
 	}
 	idx.indexSubtree(root)
 	// Walk is preorder, which is document order, so lists are already
-	// sorted; keep a safety net for hand-built trees whose IDs were
-	// assigned out of order. The check is linear, so the hot build path
-	// no longer pays an O(n log n) sort per already-sorted list.
-	for term, list := range idx.postings {
-		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 }) {
-			sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
-			idx.postings[term] = list
-		}
-	}
+	// sorted; ensureSorted is a safety net for hand-built trees whose
+	// IDs were assigned out of order.
+	idx.ensureSorted()
 	return idx
 }
 

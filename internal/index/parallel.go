@@ -2,7 +2,6 @@ package index
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/xmltree"
@@ -57,14 +56,8 @@ func BuildParallel(root *xmltree.Node, workers int) *Index {
 		idx.elements += p.elements
 	}
 	// Same safety net as Build for hand-built trees whose IDs were
-	// assigned out of order: the check is linear, the sort only runs
-	// when a violation is found.
-	for term, list := range idx.postings {
-		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 }) {
-			sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
-			idx.postings[term] = list
-		}
-	}
+	// assigned out of order.
+	idx.ensureSorted()
 	return idx
 }
 

@@ -8,6 +8,16 @@ import "sort"
 // The term itself (distance 0) is excluded; maxDist is clamped to 2
 // (larger radii return junk on natural vocabularies).
 func (idx *Index) Suggest(term string, maxDist int) []string {
+	return SuggestIn(idx.EachTerm, term, maxDist)
+}
+
+// SuggestIn is Suggest over an arbitrary vocabulary source: each must
+// call its visitor once per (term, document frequency) pair, in any
+// order — the candidate sort is total (distance, then frequency, then
+// term), so iteration order never shows in the output. The sharded
+// engine uses it to spell-correct against the union vocabulary of all
+// shards with exactly the single-index ranking.
+func SuggestIn(each func(func(term string, df int)), term string, maxDist int) []string {
 	if maxDist < 1 {
 		maxDist = 1
 	}
@@ -20,19 +30,19 @@ func (idx *Index) Suggest(term string, maxDist int) []string {
 		dist int
 	}
 	var out []cand
-	for t, postings := range idx.postings {
+	each(func(t string, df int) {
 		if t == term {
-			continue
+			return
 		}
 		// Cheap length filter before the DP.
 		dl := len(t) - len(term)
 		if dl < -maxDist || dl > maxDist {
-			continue
+			return
 		}
 		if d := levenshtein(term, t, maxDist); d <= maxDist {
-			out = append(out, cand{term: t, freq: len(postings), dist: d})
+			out = append(out, cand{term: t, freq: df, dist: d})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].dist != out[j].dist {
 			return out[i].dist < out[j].dist

@@ -1,8 +1,3 @@
-// Package index implements the keyword-search substrate of XSACT: a
-// tokenizer and an inverted index mapping terms to document-ordered
-// lists of Dewey IDs of the XML nodes whose direct text (or tag name)
-// contains the term. The SLCA algorithms in package slca consume these
-// posting lists.
 package index
 
 import (

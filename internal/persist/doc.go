@@ -1,0 +1,27 @@
+// Package persist snapshots an engine's derived state — the inverted
+// index (or its K shards), the inferred schema, and corpus metadata —
+// so a server restart reloads them from disk instead of re-walking the
+// corpus. The tree itself is not persisted: corpora are cheap to
+// regenerate (dataset seeds) or re-parse, while index construction and
+// schema inference dominate startup; a snapshot skips exactly that
+// derived work.
+//
+// Two container layouts share the one-line text header
+// ("XSACTSNAP <version>\n"), and Load dispatches on it:
+//
+//   - Version 1 (monolithic): one gob envelope holding the metadata
+//     and the index/schema sections under a single checksum. Any
+//     corruption fails the load and the caller rebuilds everything.
+//   - Version 2 (sharded): the envelope carries the schema and the
+//     aggregated term-frequency table (verified eagerly), plus one
+//     index section per shard, each with its own CRC32. Shard sections
+//     decode lazily on first use, and a section that fails its
+//     checksum is repaired by rebuilding only that shard from its own
+//     segment subtrees — the other shards still load from disk.
+//
+// Either way the section wire forms stay owned by internal/index and
+// internal/xseek (their Save/Load), and Load verifies the header, the
+// versions, and a corpus fingerprint (root tag + node count + content
+// hash) before trusting anything; every whole-file failure is an
+// error, and callers fall back to a rebuild.
+package persist

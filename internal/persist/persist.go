@@ -1,17 +1,3 @@
-// Package persist snapshots an engine's derived state — the inverted
-// index, the inferred schema, and corpus metadata — so a server restart
-// reloads them from disk instead of re-walking the corpus. The tree
-// itself is not persisted: corpora are cheap to regenerate (dataset
-// seeds) or re-parse, while index construction and schema inference
-// dominate startup; a snapshot skips exactly that derived work.
-//
-// A snapshot is a one-line text header ("XSACTSNAP <version>\n")
-// followed by one gob-encoded envelope holding the metadata and the
-// index/schema sections (each section encoded by its own package's
-// Save, so the wire forms stay owned by internal/index and
-// internal/xseek). Load verifies the header, the envelope version, and
-// a corpus fingerprint (root tag + node count) before trusting any of
-// it; every failure is an error, and callers fall back to a rebuild.
 package persist
 
 import (
@@ -31,23 +17,31 @@ import (
 	"repro/internal/xseek"
 )
 
-// FormatVersion identifies the snapshot container format. The index
-// and schema sections carry their own wire versions on top.
-const FormatVersion = 1
+// FormatVersion identifies the single-index snapshot container format;
+// ShardedFormatVersion the multi-shard layout. The index and schema
+// sections carry their own wire versions on top. Load dispatches on
+// the header, so either layout reopens transparently.
+const (
+	FormatVersion        = 1
+	ShardedFormatVersion = 2
+)
 
 // magic is the first token of the header line.
 const magic = "XSACTSNAP"
 
 // Meta identifies the corpus a snapshot was taken from. CorpusName and
 // Seed are caller-supplied identity (empty/zero when not applicable);
-// RootTag, NodeCount, and ContentHash are the fingerprint Save fills
-// in and Load verifies against the live tree.
+// RootTag, NodeCount, ContentHash, and Shards are filled in by Save
+// and verified (fingerprint) or honored (shard layout) by Load.
 type Meta struct {
 	CorpusName  string
 	Seed        int64
 	RootTag     string
 	NodeCount   int
 	ContentHash uint64
+	// Shards is the sharded executor's group count; 0 for a
+	// single-index snapshot.
+	Shards int
 }
 
 // fingerprint summarizes the live tree: node count plus an FNV-1a hash
@@ -97,13 +91,19 @@ func (e *envelope) checksum() uint32 {
 	return crc.Sum32()
 }
 
-// Save writes a snapshot of eng's derived state to w. meta's
-// CorpusName and Seed are recorded as given; the corpus fingerprint is
-// taken from the engine's own tree.
+// Save writes a snapshot of eng's derived state to w — the
+// single-index layout for a monolithic engine, the multi-shard layout
+// (per-shard sections with individual checksums) for a sharded one.
+// meta's CorpusName and Seed are recorded as given; the corpus
+// fingerprint is taken from the engine's own tree.
 func Save(w io.Writer, eng *engine.Engine, meta Meta) error {
 	root := eng.Root()
 	meta.RootTag = root.Tag
 	meta.NodeCount, meta.ContentHash = fingerprint(root)
+	if sh := eng.Sharded(); sh != nil {
+		meta.Shards = sh.ShardCount()
+		return saveSharded(w, sh, meta)
+	}
 
 	var idxBuf, schBuf bytes.Buffer
 	if err := eng.Index().Save(&idxBuf); err != nil {
@@ -125,9 +125,14 @@ func Save(w io.Writer, eng *engine.Engine, meta Meta) error {
 
 // Load reads a snapshot written by Save and assembles a serving engine
 // over root with the given cache bounds, skipping index construction
-// and schema inference. It fails — and the caller should rebuild — when
-// the header or any wire version mismatches, the data is corrupt, or
-// the snapshot's corpus fingerprint does not match root.
+// and schema inference. The header selects the layout: a single-index
+// snapshot yields a monolithic engine, a multi-shard snapshot a
+// sharded one (whose shard count comes from the snapshot, overriding
+// cfg.Shards). It fails — and the caller should rebuild — when the
+// header or any wire version mismatches, the metadata or schema is
+// corrupt, or the snapshot's corpus fingerprint does not match root;
+// corruption confined to one shard's section is repaired by rebuilding
+// just that shard on first use instead.
 func Load(r io.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, Meta, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
@@ -139,9 +144,18 @@ func Load(r io.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, M
 	if _, err := fmt.Sscanf(header, "%s %d", &gotMagic, &version); err != nil || gotMagic != magic {
 		return nil, Meta{}, fmt.Errorf("persist: not a snapshot (header %q)", header)
 	}
-	if version != FormatVersion {
-		return nil, Meta{}, fmt.Errorf("persist: format version %d, want %d", version, FormatVersion)
+	switch version {
+	case FormatVersion:
+		return loadSingle(br, root, cfg)
+	case ShardedFormatVersion:
+		return loadSharded(br, root, cfg)
+	default:
+		return nil, Meta{}, fmt.Errorf("persist: format version %d, want %d or %d", version, FormatVersion, ShardedFormatVersion)
 	}
+}
+
+// loadSingle decodes the v1 single-index layout.
+func loadSingle(br *bufio.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, Meta, error) {
 	var env envelope
 	if err := gob.NewDecoder(br).Decode(&env); err != nil {
 		return nil, Meta{}, fmt.Errorf("persist: decode: %w", err)
@@ -149,10 +163,8 @@ func Load(r io.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, M
 	if got := env.checksum(); got != env.Checksum {
 		return nil, Meta{}, fmt.Errorf("persist: checksum mismatch (%08x, want %08x): snapshot corrupt", got, env.Checksum)
 	}
-	count, hash := fingerprint(root)
-	if env.Meta.RootTag != root.Tag || env.Meta.NodeCount != count || env.Meta.ContentHash != hash {
-		return nil, Meta{}, fmt.Errorf("persist: snapshot of corpus <%s> (%d nodes, hash %016x) does not match <%s> (%d nodes, hash %016x)",
-			env.Meta.RootTag, env.Meta.NodeCount, env.Meta.ContentHash, root.Tag, count, hash)
+	if err := verifyFingerprint(env.Meta, root); err != nil {
+		return nil, Meta{}, err
 	}
 	idx, err := index.Load(bytes.NewReader(env.Index), root)
 	if err != nil {
@@ -163,6 +175,17 @@ func Load(r io.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, M
 		return nil, Meta{}, fmt.Errorf("persist: %w", err)
 	}
 	return engine.FromXseek(xseek.FromParts(root, idx, schema), cfg), env.Meta, nil
+}
+
+// verifyFingerprint checks a snapshot's corpus identity against the
+// live tree.
+func verifyFingerprint(meta Meta, root *xmltree.Node) error {
+	count, hash := fingerprint(root)
+	if meta.RootTag != root.Tag || meta.NodeCount != count || meta.ContentHash != hash {
+		return fmt.Errorf("persist: snapshot of corpus <%s> (%d nodes, hash %016x) does not match <%s> (%d nodes, hash %016x)",
+			meta.RootTag, meta.NodeCount, meta.ContentHash, root.Tag, count, hash)
+	}
+	return nil
 }
 
 // SaveFile writes a snapshot to path atomically (temp file + rename),

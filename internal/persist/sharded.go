@@ -1,0 +1,130 @@
+package persist
+
+// This file implements the multi-shard snapshot layout (format
+// version 2). The header line is followed by one gob envelope whose
+// index data is split into per-shard sections, each carrying its own
+// CRC32. Shard sections decode lazily — Load verifies only the
+// metadata, schema, and term-frequency sections up front, and hands
+// the shard bytes to shard.FromSources, which decodes (and checksums)
+// a section the first time a query touches that shard. A section that
+// fails its checksum or decode costs a rebuild of that one shard from
+// its own segment subtrees; the other shards still load from disk.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/shard"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// shardedEnvelope is the gob wire form of the multi-shard layout.
+type shardedEnvelope struct {
+	Meta Meta
+	// Schema and Freqs (the aggregated term→document-frequency table,
+	// gob-encoded) are needed before any shard materializes, so they
+	// are verified eagerly under one checksum. IndexedElements rides
+	// along so aggregate index statistics never force a shard decode.
+	Schema          []byte
+	Freqs           []byte
+	IndexedElements int
+	HeadChecksum    uint32 // crc32(Schema ++ Freqs)
+	// Shards holds each shard's index section (written by
+	// index.Index.Save) with an individual checksum, verified lazily.
+	Shards         [][]byte
+	ShardChecksums []uint32
+}
+
+// headChecksum covers the eagerly-verified sections.
+func (e *shardedEnvelope) headChecksum() uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write(e.Schema)
+	crc.Write(e.Freqs)
+	return crc.Sum32()
+}
+
+// saveSharded writes the multi-shard layout for a sharded executor.
+func saveSharded(w io.Writer, sh *shard.Engine, meta Meta) error {
+	env := shardedEnvelope{Meta: meta}
+
+	var schBuf bytes.Buffer
+	if err := sh.Schema().Save(&schBuf); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	env.Schema = schBuf.Bytes()
+
+	var dfBuf bytes.Buffer
+	if err := gob.NewEncoder(&dfBuf).Encode(sh.TermFrequencies()); err != nil {
+		return fmt.Errorf("persist: encode term frequencies: %w", err)
+	}
+	env.Freqs = dfBuf.Bytes()
+	env.IndexedElements = sh.IndexStats().IndexedElements
+	env.HeadChecksum = env.headChecksum()
+
+	for g, idx := range sh.ShardIndexes() {
+		var buf bytes.Buffer
+		if err := idx.Save(&buf); err != nil {
+			return fmt.Errorf("persist: shard %d: %w", g, err)
+		}
+		env.Shards = append(env.Shards, buf.Bytes())
+		env.ShardChecksums = append(env.ShardChecksums, crc32.ChecksumIEEE(buf.Bytes()))
+	}
+
+	if _, err := fmt.Fprintf(w, "%s %d\n", magic, ShardedFormatVersion); err != nil {
+		return fmt.Errorf("persist: write header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(&env); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return nil
+}
+
+// loadSharded decodes the v2 multi-shard layout into a sharded serving
+// engine with lazily materializing shards.
+func loadSharded(br *bufio.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, Meta, error) {
+	var env shardedEnvelope
+	if err := gob.NewDecoder(br).Decode(&env); err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: decode: %w", err)
+	}
+	if got := env.headChecksum(); got != env.HeadChecksum {
+		return nil, Meta{}, fmt.Errorf("persist: schema/frequency checksum mismatch (%08x, want %08x): snapshot corrupt", got, env.HeadChecksum)
+	}
+	if err := verifyFingerprint(env.Meta, root); err != nil {
+		return nil, Meta{}, err
+	}
+	if env.Meta.Shards != len(env.Shards) || len(env.Shards) != len(env.ShardChecksums) {
+		return nil, Meta{}, fmt.Errorf("persist: snapshot declares %d shards but carries %d sections / %d checksums",
+			env.Meta.Shards, len(env.Shards), len(env.ShardChecksums))
+	}
+	schema, err := xseek.LoadSchema(bytes.NewReader(env.Schema))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+	var df map[string]int
+	if err := gob.NewDecoder(bytes.NewReader(env.Freqs)).Decode(&df); err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: decode term frequencies: %w", err)
+	}
+
+	loaders := make([]func() (*index.Index, error), len(env.Shards))
+	for g := range env.Shards {
+		data, sum := env.Shards[g], env.ShardChecksums[g]
+		loaders[g] = func() (*index.Index, error) {
+			if got := crc32.ChecksumIEEE(data); got != sum {
+				return nil, fmt.Errorf("persist: shard checksum mismatch (%08x, want %08x)", got, sum)
+			}
+			return index.Load(bytes.NewReader(data), root)
+		}
+	}
+	sh, err := shard.FromSources(root, schema, env.Meta.Shards, df, env.IndexedElements, loaders)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return engine.FromSharded(sh, cfg), env.Meta, nil
+}

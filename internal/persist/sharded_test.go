@@ -1,0 +1,140 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// shardedSnapshot saves a sharded engine over testRoot and returns the
+// engine and raw snapshot bytes.
+func shardedSnapshot(t *testing.T, shards int) (*engine.Engine, []byte) {
+	t.Helper()
+	root := testRoot()
+	eng := engine.NewWithConfig(root, engine.Config{Shards: shards})
+	return eng, snapshotOf(t, eng, Meta{CorpusName: "reviews", Seed: 11})
+}
+
+// TestShardedRoundTrip: a multi-shard snapshot reloads into a sharded
+// engine whose searches and aggregate statistics match the saved
+// engine exactly, with zero shard rebuilds.
+func TestShardedRoundTrip(t *testing.T) {
+	eng, snap := shardedSnapshot(t, 3)
+	if !bytes.HasPrefix(snap, []byte("XSACTSNAP 2\n")) {
+		t.Fatalf("sharded snapshot header = %q, want version 2", snap[:12])
+	}
+
+	loaded, meta, err := Load(bytes.NewReader(snap), testRoot(), engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Shards != 3 || loaded.ShardCount() != 3 {
+		t.Fatalf("loaded %d shards (meta %d), want 3", loaded.ShardCount(), meta.Shards)
+	}
+	for _, q := range []string{"tomtom", "tomtom gps", "easy camera"} {
+		want, _ := eng.Search(q)
+		got, err := loaded.Search(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d results, want %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Label != want[i].Label || !got[i].Node.ID.Equal(want[i].Node.ID) {
+				t.Fatalf("%q result %d: %s@%s vs %s@%s", q, i,
+					got[i].Label, got[i].Node.ID, want[i].Label, want[i].Node.ID)
+			}
+		}
+	}
+	if loaded.IndexStats() != eng.IndexStats() {
+		t.Fatalf("index stats diverge after round trip: %+v vs %+v", loaded.IndexStats(), eng.IndexStats())
+	}
+	if n := loaded.Sharded().Rebuilds(); n != 0 {
+		t.Fatalf("clean snapshot load rebuilt %d shards, want 0", n)
+	}
+}
+
+// reencode decodes a v2 snapshot's envelope, applies f, and re-encodes
+// it — targeted corruption for the lazy-shard tests.
+func reencode(t *testing.T, snap []byte, f func(*shardedEnvelope)) []byte {
+	t.Helper()
+	body := bytes.TrimPrefix(snap, []byte("XSACTSNAP 2\n"))
+	var env shardedEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	f(&env)
+	var out bytes.Buffer
+	out.WriteString("XSACTSNAP 2\n")
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestShardedSingleShardCorruption: flipping bytes in exactly one
+// shard section must not fail the load — that one shard is rebuilt
+// from the tree on first use, and searches remain identical.
+func TestShardedSingleShardCorruption(t *testing.T) {
+	eng, snap := shardedSnapshot(t, 3)
+	bad := reencode(t, snap, func(env *shardedEnvelope) {
+		env.Shards[1][0] ^= 0xFF
+		env.Shards[1][len(env.Shards[1])/2] ^= 0xFF
+	})
+
+	loaded, _, err := Load(bytes.NewReader(bad), testRoot(), engine.Config{})
+	if err != nil {
+		t.Fatalf("single-shard corruption should not fail the load: %v", err)
+	}
+	for _, q := range []string{"tomtom gps", "easy", "camera zoom"} {
+		want, _ := eng.Search(q)
+		got, err := loaded.Search(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d results, want %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Label != want[i].Label {
+				t.Fatalf("%q result %d: %q vs %q", q, i, got[i].Label, want[i].Label)
+			}
+		}
+	}
+	if n := loaded.Sharded().Rebuilds(); n != 1 {
+		t.Fatalf("rebuilds = %d, want exactly 1 (the corrupt shard)", n)
+	}
+}
+
+// TestShardedHeadCorruption: corrupting the eagerly-verified schema or
+// frequency sections must fail the whole load (the caller rebuilds).
+func TestShardedHeadCorruption(t *testing.T) {
+	_, snap := shardedSnapshot(t, 2)
+	bad := reencode(t, snap, func(env *shardedEnvelope) {
+		env.Freqs[0] ^= 0xFF
+	})
+	if _, _, err := Load(bytes.NewReader(bad), testRoot(), engine.Config{}); err == nil {
+		t.Fatal("head corruption must fail the load")
+	}
+
+	bad = reencode(t, snap, func(env *shardedEnvelope) {
+		env.Meta.Shards = 5 // declared K no longer matches the sections
+	})
+	if _, _, err := Load(bytes.NewReader(bad), testRoot(), engine.Config{}); err == nil {
+		t.Fatal("shard-count mismatch must fail the load")
+	}
+}
+
+// TestShardedWrongCorpus: a sharded snapshot of one corpus must be
+// rejected for a different tree.
+func TestShardedWrongCorpus(t *testing.T) {
+	_, snap := shardedSnapshot(t, 2)
+	other := testRoot()
+	other.Children[0].Tag = "mutated"
+	if _, _, err := Load(bytes.NewReader(snap), other, engine.Config{}); err == nil {
+		t.Fatal("fingerprint mismatch must fail the load")
+	}
+}

@@ -1,0 +1,294 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// Engine is a sharded search executor over one corpus. It presents the
+// same query surface as a single xseek.Engine — Search, CleanQuery,
+// RankResults, RankPage, CorpusStats — and guarantees identical
+// output; only the execution strategy (per-shard fan-out and merge)
+// differs. All methods are safe for concurrent use.
+type Engine struct {
+	root   *xmltree.Node
+	schema *xseek.Schema
+	part   Partition
+
+	shards []*lazyShard
+	// spine is a pipeline engine over the tiny spine-only index; it
+	// also supplies the entity-map stage for spine-rooted SLCAs.
+	spine *xseek.Engine
+	// spineSet marks spine Dewey IDs; spineByDepth orders the spine
+	// deepest-first for the SLCA fix-up.
+	spineSet     map[string]bool
+	spineByDepth []*xmltree.Node
+	// groupStart[g] is the Dewey ID of group g's first segment, the
+	// ownership boundary for result scoring.
+	groupStart []dewey.ID
+
+	// Whole-corpus ranking constants, aggregated across shards so
+	// per-shard scores are bit-identical to monolithic scores.
+	totalNodes int
+	df         map[string]int
+	idf        map[string]float64
+	// elements is the aggregate count of distinct indexed elements,
+	// carried alongside df so IndexStats never has to materialize a
+	// lazy shard.
+	elements int
+
+	rebuilds atomic.Int64
+}
+
+// lazyShard materializes one shard's pipeline engine on first use. A
+// mutex (not sync.Once) serializes builds so a panicking build can be
+// retried instead of poisoning the slot.
+type lazyShard struct {
+	mu    sync.Mutex
+	build func() *xseek.Engine
+	eng   atomic.Pointer[xseek.Engine]
+}
+
+func (l *lazyShard) get() *xseek.Engine {
+	if e := l.eng.Load(); e != nil {
+		return e
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e := l.eng.Load(); e != nil {
+		return e
+	}
+	e := l.build()
+	l.eng.Store(e)
+	// Drop the loader: for snapshot-backed shards it captures the raw
+	// encoded section bytes, which would otherwise stay live for the
+	// engine's lifetime next to the decoded index.
+	l.build = nil
+	return e
+}
+
+// peek returns the shard engine if it has been materialized, without
+// forcing a load.
+func (l *lazyShard) peek() *xseek.Engine { return l.eng.Load() }
+
+// Build constructs a K-shard engine over root: schema inference runs
+// first (the partition depends on it), then the K shard indexes and
+// the spine index build concurrently. Document frequencies are
+// aggregated across the finished shards into the shared ranking
+// constants.
+func Build(root *xmltree.Node, k int) *Engine {
+	schema := xseek.InferSchemaParallel(root, 0)
+	part := Plan(root, schema, k)
+
+	indexes := make([]*index.Index, len(part.Groups))
+	var wg sync.WaitGroup
+	for g, r := range part.Groups {
+		wg.Add(1)
+		go func(g int, lo, hi int) {
+			defer wg.Done()
+			indexes[g] = index.BuildForest(root, part.Segments[lo:hi])
+		}(g, r[0], r[1])
+	}
+	wg.Wait()
+
+	e := newEngine(root, schema, part)
+	e.shards = make([]*lazyShard, len(indexes))
+	for g, idx := range indexes {
+		sh := &lazyShard{}
+		sh.eng.Store(xseek.FromPartsRanked(root, idx, schema, e.totalNodes, e.idf))
+		e.shards[g] = sh
+		e.elements += idx.Stats().IndexedElements
+	}
+	e.elements += e.spine.Index().Stats().IndexedElements
+	e.initRanking(e.aggregateDF())
+	return e
+}
+
+// FromSources assembles a sharded engine whose shard indexes load
+// lazily — typically from a multi-shard snapshot (package persist). k,
+// df, and elements (the aggregate distinct-indexed-element count, see
+// IndexStats) must come from the snapshot; the partition is recomputed
+// deterministically from root + schema + k, so it matches the one the
+// indexes were built under. load[g] supplies group g's index; a nil
+// or failing loader falls back to rebuilding that one shard from its
+// own segment subtrees, counted in Rebuilds.
+func FromSources(root *xmltree.Node, schema *xseek.Schema, k int, df map[string]int, elements int, load []func() (*index.Index, error)) (*Engine, error) {
+	part := Plan(root, schema, k)
+	if len(load) != len(part.Groups) {
+		return nil, fmt.Errorf("shard: %d shard sources for a %d-group partition", len(load), len(part.Groups))
+	}
+	e := newEngine(root, schema, part)
+	e.initRanking(df)
+	e.elements = elements
+	e.shards = make([]*lazyShard, len(part.Groups))
+	for g := range part.Groups {
+		g := g
+		sh := &lazyShard{}
+		sh.build = func() *xseek.Engine {
+			if src := load[g]; src != nil {
+				if idx, err := src(); err == nil {
+					return xseek.FromPartsRanked(root, idx, schema, e.totalNodes, e.idf)
+				}
+			}
+			e.rebuilds.Add(1)
+			lo, hi := part.Groups[g][0], part.Groups[g][1]
+			idx := index.BuildForest(root, part.Segments[lo:hi])
+			return xseek.FromPartsRanked(root, idx, schema, e.totalNodes, e.idf)
+		}
+		e.shards[g] = sh
+	}
+	return e, nil
+}
+
+// newEngine fills in the partition-derived lookup structures shared by
+// Build and FromSources. The IDF table is created empty here and
+// populated by initRanking: every shard engine holds a reference to
+// this one shared map, so shards materialized before and after the
+// frequencies are aggregated see the same weights.
+func newEngine(root *xmltree.Node, schema *xseek.Schema, part Partition) *Engine {
+	e := &Engine{
+		root:       root,
+		schema:     schema,
+		part:       part,
+		totalNodes: part.NodeCount, // == root.CountNodes(), free from the partition walk
+		idf:        make(map[string]float64),
+		spineSet:   make(map[string]bool, len(part.Spine)),
+	}
+	for _, n := range part.Spine {
+		e.spineSet[n.ID.String()] = true
+	}
+	e.spineByDepth = append(e.spineByDepth, part.Spine...)
+	sort.SliceStable(e.spineByDepth, func(i, j int) bool {
+		return e.spineByDepth[i].ID.Level() > e.spineByDepth[j].ID.Level()
+	})
+	e.groupStart = make([]dewey.ID, len(part.Groups))
+	for g, r := range part.Groups {
+		if r[0] < r[1] {
+			e.groupStart[g] = part.Segments[r[0]].ID
+		} else {
+			e.groupStart[g] = dewey.Root() // empty group: owns nothing
+		}
+	}
+	e.spine = xseek.FromPartsRanked(root, index.BuildNodes(root, part.Spine), schema, e.totalNodes, e.idf)
+	return e
+}
+
+// initRanking installs the whole-corpus term statistics, filling the
+// shared IDF table in place.
+func (e *Engine) initRanking(df map[string]int) {
+	e.df = df
+	for t, n := range df {
+		e.idf[t] = xseek.IDF(e.totalNodes, n)
+	}
+}
+
+// aggregateDF sums document frequencies over every shard index plus
+// the spine index. Shard node sets are disjoint, so the sums equal the
+// monolithic index's frequencies exactly.
+func (e *Engine) aggregateDF() map[string]int {
+	df := make(map[string]int)
+	add := func(x *xseek.Engine) {
+		x.Index().EachTerm(func(t string, n int) { df[t] += n })
+	}
+	add(e.spine)
+	for _, sh := range e.shards {
+		add(sh.get())
+	}
+	return df
+}
+
+// Root returns the corpus the engine serves.
+func (e *Engine) Root() *xmltree.Node { return e.root }
+
+// Schema returns the (whole-corpus) inferred schema summary.
+func (e *Engine) Schema() *xseek.Schema { return e.schema }
+
+// Partition returns the segment/spine split the shards were built on.
+func (e *Engine) Partition() Partition { return e.part }
+
+// ShardCount returns K, the number of index shards.
+func (e *Engine) ShardCount() int { return len(e.shards) }
+
+// TotalNodes returns the whole-corpus node count.
+func (e *Engine) TotalNodes() int { return e.totalNodes }
+
+// DocFreq returns the number of corpus nodes containing term,
+// aggregated across every shard — the CorpusStats view database
+// selection scores.
+func (e *Engine) DocFreq(term string) int { return e.df[term] }
+
+// Rebuilds reports how many shards were rebuilt from the tree because
+// their snapshot source was missing or corrupt.
+func (e *Engine) Rebuilds() int64 { return e.rebuilds.Load() }
+
+// PlannerDecisions sums the SLCA cost-planner counters over the
+// materialized shards (a query compiles once per shard, so sharded
+// counts run K× a monolithic engine's).
+func (e *Engine) PlannerDecisions() (indexedLookup, scanEager int64) {
+	for _, sh := range e.shards {
+		if x := sh.peek(); x != nil {
+			i, s := x.PlannerDecisions()
+			indexedLookup += i
+			scanEager += s
+		}
+	}
+	return indexedLookup, scanEager
+}
+
+// IndexStats returns aggregate index statistics equal to the
+// monolithic index's: distinct terms and total postings fall out of
+// the shared frequency table (a posting is one (term, element) pair,
+// so postings sum to Σ df), and the element count is carried from
+// build/snapshot time. No lazy shard is materialized — a metrics
+// probe never forces a section decode.
+func (e *Engine) IndexStats() index.Stats {
+	s := index.Stats{Terms: len(e.df), IndexedElements: e.elements}
+	for _, n := range e.df {
+		s.Postings += n
+	}
+	return s
+}
+
+// TermFrequencies returns a copy of the aggregated per-term document
+// frequencies. The persistence layer snapshots them so a lazy loader
+// can install whole-corpus ranking constants before any shard index
+// has been decoded.
+func (e *Engine) TermFrequencies() map[string]int {
+	out := make(map[string]int, len(e.df))
+	for t, n := range e.df {
+		out[t] = n
+	}
+	return out
+}
+
+// ShardIndexes materializes and returns every shard's inverted index
+// in group order — the persistence layer's save hook.
+func (e *Engine) ShardIndexes() []*index.Index {
+	out := make([]*index.Index, len(e.shards))
+	for g, sh := range e.shards {
+		out[g] = sh.get().Index()
+	}
+	return out
+}
+
+// ownerShard returns the group owning the subtree at id, or -1 for
+// spine nodes (whose subtrees span shards).
+func (e *Engine) ownerShard(id dewey.ID) int {
+	if e.spineSet[id.String()] {
+		return -1
+	}
+	g := sort.Search(len(e.groupStart), func(i int) bool {
+		return e.groupStart[i].Compare(id) > 0
+	}) - 1
+	if g < 0 {
+		return -1
+	}
+	return g
+}

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// Partition is a deterministic split of one document into shardable
+// segments plus the shared spine. The same (root, schema, K) always
+// yields the same partition, which is what lets a snapshot loader
+// rebuild a single corrupt shard without consulting the others.
+type Partition struct {
+	// Segments are the shard-unit subtree roots in document order:
+	// every topmost entity, plus every maximal entity-free subtree
+	// hanging off the spine.
+	Segments []*xmltree.Node
+	// Spine holds the remaining nodes in document order: the root and
+	// any wrapper elements above the topmost entities. Only these
+	// nodes' subtrees cross segment boundaries.
+	Spine []*xmltree.Node
+	// Groups are the K contiguous [lo, hi) ranges over Segments, one
+	// per shard, balanced by subtree node count.
+	Groups [][2]int
+	// Sizes holds each segment's subtree node count; NodeCount is the
+	// whole document's. Both fall out of the single partition walk, so
+	// callers never re-walk the tree for them.
+	Sizes     []int
+	NodeCount int
+}
+
+// Plan partitions the document for k shards. k is clamped to
+// [1, len(Segments)] — a document with fewer top-level units than
+// requested shards simply gets fewer shards. A document with no
+// element children at all yields one empty group. The entire partition
+// (classification, sizes, total node count) costs one tree walk.
+func Plan(root *xmltree.Node, schema *xseek.Schema, k int) Partition {
+	var p Partition
+	p.collect(root, schema)
+	p.Groups = chunkBySize(p.Sizes, k)
+	return p
+}
+
+// collect walks the spine from n downward: entity children and
+// entity-free children become segments, children that wrap deeper
+// entities are spine and recursed into. Node counts accumulate along
+// the way.
+func (p *Partition) collect(n *xmltree.Node, schema *xseek.Schema) {
+	p.Spine = append(p.Spine, n)
+	p.NodeCount++
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			p.NodeCount++ // a spine node's own text children
+			continue      // their content is indexed as part of the spine node
+		}
+		size, hasEnt := scan(c, schema)
+		if schema.IsEntity(c) || !hasEnt {
+			p.Segments = append(p.Segments, c)
+			p.Sizes = append(p.Sizes, size)
+			p.NodeCount += size
+			continue
+		}
+		p.collect(c, schema)
+	}
+}
+
+// scan computes a subtree's node count and whether it contains an
+// entity instance, in one walk.
+func scan(n *xmltree.Node, schema *xseek.Schema) (size int, hasEntity bool) {
+	n.Walk(func(m *xmltree.Node) bool {
+		size++
+		if !hasEntity && m.Kind == xmltree.Element && schema.IsEntity(m) {
+			hasEntity = true
+		}
+		return true
+	})
+	return size, hasEntity
+}
+
+// chunkBySize splits sizes into at most k contiguous non-empty groups
+// whose size sums are as even as the greedy boundary walk allows. With
+// no segments at all it returns a single empty group, so a degenerate
+// document still builds one (empty) shard.
+func chunkBySize(sizes []int, k int) [][2]int {
+	n := len(sizes)
+	if n == 0 {
+		return [][2]int{{0, 0}}
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	out := make([][2]int, 0, k)
+	lo, cum := 0, 0
+	for g := 0; g < k; g++ {
+		hi := lo + 1
+		cum += sizes[lo]
+		target := total * (g + 1) / k
+		// Stop early enough to leave one segment for each later group.
+		for hi < n-(k-g-1) && cum < target {
+			cum += sizes[hi]
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/xseek"
+)
+
+// RankResults scores and orders an already-merged result set exactly
+// as a monolithic engine does: every term frequency is counted in the
+// result's owning shard (or summed across shards for spine-rooted
+// results), weighted by the shared whole-corpus IDF, and the stable
+// sort keeps document order on ties. Scores are bit-identical to the
+// monolithic ranking.
+func (e *Engine) RankResults(results []*xseek.Result, query string) []*xseek.RankedResult {
+	out := e.scoreResults(results, query)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// RankPage returns one window of the ranking RankResults would
+// produce without materializing the full cross-shard ranking: the
+// merged result list is split back into its per-shard runs, each shard
+// heap-selects only its own top Offset+Limit, and a K-way heap merge
+// streams the winners out in global rank order. A window covering the
+// whole set falls back to the full sort, matching xseek.RankPage.
+func (e *Engine) RankPage(results []*xseek.Result, query string, opts xseek.SearchOptions) []*xseek.RankedResult {
+	lo, hi := opts.Window(len(results))
+	if hi >= len(results) {
+		return e.RankResults(results, query)[lo:]
+	}
+
+	// Split the document-ordered merged list into per-owner runs.
+	// Each run preserves document order, the rank tie-break.
+	runs := make([][]*xseek.Result, len(e.shards)+1) // last bucket: spine-rooted
+	for _, r := range results {
+		g := e.ownerShard(r.Node.ID)
+		if g < 0 {
+			g = len(e.shards)
+		}
+		runs[g] = append(runs[g], r)
+	}
+
+	streams := make([][]*xseek.RankedResult, 0, len(runs))
+	for g, run := range runs {
+		if len(run) == 0 {
+			continue
+		}
+		if g < len(e.shards) {
+			// The shard's own bounded-heap top-k, with the shared IDF:
+			// no shard ever contributes more than hi entries to the
+			// window, so deeper ranks are never computed.
+			streams = append(streams, e.shards[g].get().RankPage(run, query, xseek.SearchOptions{Limit: hi}))
+		} else {
+			spine := e.scoreResults(run, query)
+			sort.SliceStable(spine, func(i, j int) bool { return spine[i].Score > spine[j].Score })
+			if len(spine) > hi {
+				spine = spine[:hi]
+			}
+			streams = append(streams, spine)
+		}
+	}
+
+	merged := mergeRankedStreams(streams, hi)
+	return merged[lo:]
+}
+
+// scoreResults computes TF-IDF scores in input order with the shared
+// whole-corpus constants — the sharded twin of xseek's scoring stage.
+func (e *Engine) scoreResults(results []*xseek.Result, query string) []*xseek.RankedResult {
+	terms := index.TokenizeQuery(query)
+	out := make([]*xseek.RankedResult, len(results))
+	for i, r := range results {
+		score := 0.0
+		for _, t := range terms {
+			idf, ok := e.idf[t]
+			if !ok {
+				continue
+			}
+			tf := e.tfUnder(t, r.Node.ID)
+			if tf == 0 {
+				continue
+			}
+			score += xseek.TermWeight(tf, idf)
+		}
+		out[i] = &xseek.RankedResult{Result: r, Score: score}
+	}
+	return out
+}
+
+// mergeHeap is a max-heap over the heads of per-shard ranked streams,
+// ordered by (score desc, document order asc) — the exact key of the
+// monolithic stable ranking, since each stream's entries carry
+// strictly increasing document positions.
+type mergeHeap []*rankedStream
+
+type rankedStream struct {
+	entries []*xseek.RankedResult
+	pos     int
+}
+
+func (h mergeHeap) head(i int) *xseek.RankedResult { return h[i].entries[h[i].pos] }
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h.head(i), h.head(j)
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Node.ID.Compare(b.Node.ID) < 0
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*rankedStream)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old) - 1; s := old[n]; *h = old[:n]; return s }
+
+// mergeRankedStreams streams the first max entries of the merged
+// ranking out of the per-shard streams.
+func mergeRankedStreams(streams [][]*xseek.RankedResult, max int) []*xseek.RankedResult {
+	h := make(mergeHeap, 0, len(streams))
+	for _, s := range streams {
+		if len(s) > 0 {
+			h = append(h, &rankedStream{entries: s})
+		}
+	}
+	heap.Init(&h)
+	out := make([]*xseek.RankedResult, 0, max)
+	for len(out) < max && h.Len() > 0 {
+		s := h[0]
+		out = append(out, s.entries[s.pos])
+		s.pos++
+		if s.pos == len(s.entries) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// CleanQuery spell-corrects each keyword against the union vocabulary
+// of every shard, with the same candidate ranking (distance, then
+// aggregate frequency, then term) a monolithic index uses.
+func (e *Engine) CleanQuery(query string) []string {
+	terms := index.TokenizeQuery(query)
+	out := make([]string, len(terms))
+	for i, t := range terms {
+		if e.df[t] > 0 {
+			out[i] = t
+			continue
+		}
+		if sugg := index.SuggestIn(e.eachTerm, t, 2); len(sugg) > 0 {
+			out[i] = sugg[0]
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}
+
+// eachTerm iterates the aggregated (term, document frequency)
+// vocabulary.
+func (e *Engine) eachTerm(f func(term string, df int)) {
+	for t, n := range e.df {
+		f(t, n)
+	}
+}

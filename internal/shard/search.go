@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/xseek"
+)
+
+// Search runs a keyword query across every shard and merges, returning
+// exactly the result list a monolithic engine produces: same result
+// set, same document order, same labels, same NoMatchError for
+// globally absent keywords.
+//
+// The per-shard leg runs the ordinary xseek pipeline (compile → plan →
+// SLCA → entity-map) over the shard's index; a keyword absent from one
+// shard just silences that shard, not the query. Shard-local SLCAs
+// that land on spine nodes are cross-segment artifacts and are
+// discarded; the spine fix-up then re-derives the true spine SLCAs
+// with whole-corpus knowledge.
+func (e *Engine) Search(query string) ([]*xseek.Result, error) {
+	terms := index.TokenizeQuery(query)
+	if len(terms) == 0 {
+		return nil, xseek.ErrEmptyQuery
+	}
+	// Global keyword check first: a term with zero aggregate frequency
+	// fails the whole query, mirroring the monolithic NoMatchError (in
+	// term order).
+	var missing []string
+	for _, t := range terms {
+		if e.df[t] == 0 {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, &index.NoMatchError{Terms: missing}
+	}
+
+	type shardOut struct {
+		slcas   []dewey.ID      // segment-internal SLCAs, document order
+		results []*xseek.Result // their entity-mapped results
+		err     error
+	}
+	outs := make([]shardOut, len(e.shards))
+	core.ForEachParallel(len(e.shards), 0, func(g int) {
+		sh := e.shards[g].get()
+		q, err := sh.Compile(query)
+		if err != nil {
+			// A keyword missing from this shard only means no SLCA can
+			// fall inside it; other shards (or the spine) still answer.
+			var noMatch *index.NoMatchError
+			if !errors.As(err, &noMatch) {
+				outs[g].err = err
+			}
+			return
+		}
+		ids := q.SLCAs()
+		kept := make([]dewey.ID, 0, len(ids))
+		for _, id := range ids {
+			if !e.spineSet[id.String()] {
+				kept = append(kept, id)
+			}
+		}
+		rs, err := sh.MapToEntities(kept)
+		outs[g] = shardOut{slcas: kept, results: rs, err: err}
+	})
+	var merged []*xseek.Result
+	var segSLCAs []dewey.ID // all kept SLCAs; sorted, since groups are contiguous
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		merged = append(merged, o.results...)
+		segSLCAs = append(segSLCAs, o.slcas...)
+	}
+
+	spineIDs := e.spineSLCAs(terms, segSLCAs)
+	if len(spineIDs) > 0 {
+		spineRes, err := e.spine.MapToEntities(spineIDs)
+		if err != nil {
+			return nil, err
+		}
+		merged = mergeByID(spineRes, merged)
+	}
+	return merged, nil
+}
+
+// spineSLCAs derives the SLCAs that land on spine nodes — the one part
+// of the answer needing cross-shard knowledge. Walking the spine
+// deepest-first, a node is an SLCA exactly when every keyword has a
+// witness somewhere in its subtree and no already-established SLCA
+// (segment-internal or deeper spine) lies strictly below it. The spine
+// is tiny (root plus wrappers above the topmost entities), so this is
+// a handful of binary searches per query.
+func (e *Engine) spineSLCAs(terms []string, segSLCAs []dewey.ID) []dewey.ID {
+	var accepted []dewey.ID
+	for _, n := range e.spineByDepth {
+		// Cheap disqualifiers first: a single binary search over the
+		// segment SLCAs (and a scan of the few accepted deeper spine
+		// nodes) usually rejects the node before the per-term witness
+		// counting ever runs.
+		if hasStrictDescendant(segSLCAs, n.ID) {
+			continue
+		}
+		below := false
+		for _, a := range accepted {
+			if n.ID.IsAncestorOf(a) {
+				below = true
+				break
+			}
+		}
+		if below {
+			continue
+		}
+		if !e.candidateUnder(n.ID, terms) {
+			continue
+		}
+		accepted = append(accepted, n.ID)
+	}
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i].Compare(accepted[j]) < 0 })
+	return accepted
+}
+
+// candidateUnder reports whether every term has at least one posting
+// inside the subtree at id, summing witnesses across all shard indexes
+// and the spine index.
+func (e *Engine) candidateUnder(id dewey.ID, terms []string) bool {
+	for _, t := range terms {
+		if e.tfUnder(t, id) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tfUnder counts the postings of term inside the subtree at id. For a
+// segment-owned subtree one shard answers; for a spine subtree the
+// disjoint shard and spine counts sum to exactly the monolithic
+// index's count.
+func (e *Engine) tfUnder(term string, id dewey.ID) int {
+	if g := e.ownerShard(id); g >= 0 {
+		return index.CountUnder(e.shards[g].get().Index().Lookup(term), id)
+	}
+	tf := index.CountUnder(e.spine.Index().Lookup(term), id)
+	for _, sh := range e.shards {
+		tf += index.CountUnder(sh.get().Index().Lookup(term), id)
+	}
+	return tf
+}
+
+// hasStrictDescendant reports whether the sorted ID list contains a
+// proper descendant of id. Descendants follow id immediately in
+// document order, so one binary search decides.
+func hasStrictDescendant(sorted []dewey.ID, id dewey.ID) bool {
+	i := sort.Search(len(sorted), func(k int) bool { return sorted[k].Compare(id) > 0 })
+	return i < len(sorted) && id.IsAncestorOf(sorted[i])
+}
+
+// mergeByID merges two document-ordered result lists into one. Result
+// roots are distinct across the inputs (spine vs segment nodes), so no
+// dedupe is needed.
+func mergeByID(a, b []*xseek.Result) []*xseek.Result {
+	out := make([]*xseek.Result, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Node.ID.Compare(b[j].Node.ID) < 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -1,0 +1,18 @@
+// Package slca computes Smallest Lowest Common Ancestors (SLCAs) of
+// XML keyword queries — the match semantics used by XSeek and hence by
+// XSACT's search-engine substrate.
+//
+// Given posting lists S1..Sk (one per keyword), a node v is an LCA
+// candidate if its subtree contains at least one node from every list;
+// v is an SLCA if additionally no proper descendant of v is also a
+// candidate. Results are returned in document order.
+//
+// Three algorithms are provided: Naive, a simple quadratic-ish scan
+// used as a correctness oracle, and the two eager algorithms of Xu &
+// Papakonstantinou (SIGMOD 2005) — IndexedLookupEager, which walks the
+// smallest list and probes the others with binary search, and
+// ScanEager, which advances merge pointers through the others instead.
+// Which eager variant wins depends on posting-list skew, so Compute
+// routes through a cost-based planner (Plan) that picks from the
+// lists' shape statistics.
+package slca

@@ -1,0 +1,7 @@
+// Package snippet implements eXtract-style query-biased snippet
+// generation for XML search results (Huang, Liu, Chen, SIGMOD 2008) —
+// the baseline XSACT's introduction contrasts with. A snippet shows
+// each result's most frequently occurring information within a size
+// bound, independently of the other results, which is why snippets are
+// "generally not comparable" across results.
+package snippet

@@ -1,8 +1,3 @@
-// Package table renders XSACT comparison tables (the paper's Figure 2
-// and the table shown by the demo UI's "comparison" button): one row
-// per feature type selected in any compared DFS, one column per
-// result, each cell showing the values and their relative frequencies,
-// with "unknown" where a result does not select the type.
 package table
 
 import (

@@ -1,11 +1,3 @@
-// Package xmltree provides a DOM-style tree representation of XML
-// documents: a mutable node tree with parent/child/sibling navigation,
-// Dewey labelling, document-order traversal, and (de)serialization on
-// top of the encoding/xml tokenizer.
-//
-// XSACT's entire pipeline — indexing, SLCA matching, entity inference,
-// feature extraction — operates on these trees, so the package is the
-// foundational substrate of the repository.
 package xmltree
 
 import (

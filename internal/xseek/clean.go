@@ -46,7 +46,7 @@ func (e *Engine) SearchCleaned(query string) ([]*Result, []string, error) {
 func (e *Engine) SearchELCA(query string) ([]*Result, error) {
 	terms := index.TokenizeQuery(query)
 	if len(terms) == 0 {
-		return nil, errEmptyQuery
+		return nil, ErrEmptyQuery
 	}
 	lists, _, err := e.idx.QueryLists(terms)
 	if err != nil {

@@ -2,7 +2,6 @@ package xseek
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -13,8 +12,8 @@ import (
 	"repro/internal/xmltree"
 )
 
-// errEmptyQuery is returned when a query tokenizes to no keywords.
-var errEmptyQuery = fmt.Errorf("xseek: empty query")
+// ErrEmptyQuery is returned when a query tokenizes to no keywords.
+var ErrEmptyQuery = fmt.Errorf("xseek: empty query")
 
 // Engine is an XSeek-style keyword search engine over one XML document:
 // an inverted index, a schema summary, and SLCA + return-node logic.
@@ -70,7 +69,7 @@ func (e *Engine) initDerived() {
 	e.totalNodes = e.root.CountNodes()
 	e.idf = make(map[string]float64, e.idx.Stats().Terms)
 	e.idx.EachTerm(func(t string, df int) {
-		e.idf[t] = math.Log(float64(e.totalNodes+1) / float64(df+1))
+		e.idf[t] = IDF(e.totalNodes, df)
 	})
 }
 
@@ -163,7 +162,7 @@ type Query struct {
 func (e *Engine) Compile(query string) (*Query, error) {
 	terms := index.TokenizeQuery(query)
 	if len(terms) == 0 {
-		return nil, errEmptyQuery
+		return nil, ErrEmptyQuery
 	}
 	lists, stats, err := e.idx.QueryLists(terms)
 	if err != nil {

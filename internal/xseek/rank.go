@@ -2,10 +2,8 @@ package xseek
 
 import (
 	"container/heap"
-	"math"
 	"sort"
 
-	"repro/internal/dewey"
 	"repro/internal/index"
 )
 
@@ -81,11 +79,11 @@ func (e *Engine) scoreResults(results []*Result, query string) []*RankedResult {
 			if !ok {
 				continue
 			}
-			tf := countUnder(e.idx.Lookup(t), r.Node.ID)
+			tf := index.CountUnder(e.idx.Lookup(t), r.Node.ID)
 			if tf == 0 {
 				continue
 			}
-			score += (1 + math.Log(float64(tf))) * idf
+			score += TermWeight(tf, idf)
 		}
 		out[i] = &RankedResult{Result: r, Score: score}
 	}
@@ -158,20 +156,4 @@ func topK(scored []*RankedResult, k int) []*RankedResult {
 		out[n] = heap.Pop(h).(*RankedResult)
 	}
 	return out
-}
-
-// countUnder returns how many posting IDs fall inside the subtree
-// rooted at root. Descendants form a contiguous block in document
-// order, so two binary searches bound the range.
-func countUnder(postings index.PostingList, root dewey.ID) int {
-	lo := sort.Search(len(postings), func(i int) bool {
-		return postings[i].Compare(root) >= 0
-	})
-	hi := sort.Search(len(postings), func(i int) bool {
-		return postings[i].Compare(root) > 0 && !root.IsAncestorOrSelf(postings[i])
-	})
-	if hi < lo {
-		return 0
-	}
-	return hi - lo
 }

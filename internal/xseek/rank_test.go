@@ -25,7 +25,7 @@ func TestCountUnder(t *testing.T) {
 		{dewey.Root(), 5},
 	}
 	for _, c := range cases {
-		if got := countUnder(postings, c.root); got != c.want {
+		if got := index.CountUnder(postings, c.root); got != c.want {
 			t.Errorf("countUnder(%v) = %d, want %d", c.root, got, c.want)
 		}
 	}

@@ -1,16 +1,3 @@
-// Package xseek implements an XSeek-style keyword search engine for
-// XML (Liu & Chen, SIGMOD 2007 / VLDB 2008): SLCA-based matching plus
-// inference of the result's meaningful return information. It supplies
-// XSACT's "Search Engine" and "Entity Identifier" boxes (Figure 3 of
-// the demo paper).
-//
-// The entity identifier reasons over a schema summary inferred from
-// the data, in the spirit of the Entity-Relationship model:
-//
-//   - a node type is a *-node if some parent instance has two or more
-//     children of that tag — multiple instances indicate an entity set;
-//   - a non-*-node leaf carrying a value denotes an attribute;
-//   - remaining nodes are connection nodes (structural glue).
 package xseek
 
 import (

@@ -19,17 +19,27 @@ type DatabaseScore struct {
 	Score    float64
 }
 
-// ScoreDatabases rates every named engine against the query and
-// returns the scores best-first (higher coverage, then higher score,
-// then name for determinism).
-func ScoreDatabases(engines map[string]*Engine, query string) []DatabaseScore {
+// CorpusStats is the per-corpus evidence database selection scores:
+// the corpus size and each term's document frequency. *Engine
+// implements it for a single index; the sharded executor implements it
+// with frequencies aggregated across its shards, so selection treats a
+// sharded corpus exactly like an unsharded one.
+type CorpusStats interface {
+	TotalNodes() int
+	DocFreq(term string) int
+}
+
+// ScoreCorpora rates every named corpus against the query and returns
+// the scores best-first (higher coverage, then higher score, then name
+// for determinism).
+func ScoreCorpora[S CorpusStats](corpora map[string]S, query string) []DatabaseScore {
 	terms := index.TokenizeQuery(query)
-	out := make([]DatabaseScore, 0, len(engines))
-	for name, eng := range engines {
+	out := make([]DatabaseScore, 0, len(corpora))
+	for name, c := range corpora {
 		s := DatabaseScore{Name: name}
-		total := eng.totalNodes
+		total := c.TotalNodes()
 		for _, t := range terms {
-			df := eng.idx.DocFreq(t)
+			df := c.DocFreq(t)
 			if df == 0 {
 				continue
 			}
@@ -54,12 +64,27 @@ func ScoreDatabases(engines map[string]*Engine, query string) []DatabaseScore {
 	return out
 }
 
+// SelectCorpus returns the best-scoring corpus name for the query, or
+// "" when no corpus contains any query keyword.
+func SelectCorpus[S CorpusStats](corpora map[string]S, query string) string {
+	scores := ScoreCorpora(corpora, query)
+	if len(scores) == 0 || scores[0].Coverage == 0 {
+		return ""
+	}
+	return scores[0].Name
+}
+
+// ScoreDatabases is ScoreCorpora over single-index engines.
+func ScoreDatabases(engines map[string]*Engine, query string) []DatabaseScore {
+	return ScoreCorpora(engines, query)
+}
+
 // SelectDatabase returns the best-scoring engine for the query, or
 // ("", nil) when no corpus contains any query keyword.
 func SelectDatabase(engines map[string]*Engine, query string) (string, *Engine) {
-	scores := ScoreDatabases(engines, query)
-	if len(scores) == 0 || scores[0].Coverage == 0 {
+	name := SelectCorpus(engines, query)
+	if name == "" {
 		return "", nil
 	}
-	return scores[0].Name, engines[scores[0].Name]
+	return name, engines[name]
 }

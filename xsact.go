@@ -43,45 +43,86 @@ type Document struct {
 	eng  *engine.Engine
 }
 
+// Options configures how a Document's serving engine is built. The
+// zero value is the default configuration.
+type Options struct {
+	// Shards splits the corpus into that many index shards, built in
+	// parallel at top-level entity boundaries and searched with a
+	// fan-out/merge executor. Results are identical to the unsharded
+	// engine; 0 or 1 keeps the single monolithic index. The count is
+	// clamped to the number of top-level entities in the corpus.
+	Shards int
+}
+
+// engineConfig translates the facade options to the engine layer's
+// configuration.
+func (o Options) engineConfig() engine.Config {
+	return engine.Config{Shards: o.Shards}
+}
+
 // Parse reads an XML document and builds the search engine (inverted
 // index + schema summary) over it.
 func Parse(r io.Reader) (*Document, error) {
+	return ParseWith(r, Options{})
+}
+
+// ParseWith is Parse with explicit engine options.
+func ParseWith(r io.Reader, opts Options) (*Document, error) {
 	root, err := xmltree.Parse(r)
 	if err != nil {
 		return nil, err
 	}
-	return FromTree(root), nil
+	return FromTreeWith(root, opts), nil
 }
 
 // ParseString is Parse over an in-memory document.
 func ParseString(s string) (*Document, error) {
+	return ParseStringWith(s, Options{})
+}
+
+// ParseStringWith is ParseString with explicit engine options.
+func ParseStringWith(s string, opts Options) (*Document, error) {
 	root, err := xmltree.ParseString(s)
 	if err != nil {
 		return nil, err
 	}
-	return FromTree(root), nil
+	return FromTreeWith(root, opts), nil
 }
 
 // FromTree wraps an already-built tree (e.g. from a generator).
 func FromTree(root *xmltree.Node) *Document {
-	return &Document{root: root, eng: engine.New(root)}
+	return FromTreeWith(root, Options{})
+}
+
+// FromTreeWith is FromTree with explicit engine options.
+func FromTreeWith(root *xmltree.Node, opts Options) *Document {
+	return &Document{root: root, eng: engine.NewWithConfig(root, opts.engineConfig())}
 }
 
 // BuiltinDataset loads one of the synthetic corpora: "reviews"
 // (Product Reviews), "retailer" (Outdoor Retailer) or "movies"
 // (the Figure 4 benchmark corpus). The seed makes runs reproducible.
 func BuiltinDataset(name string, seed int64) (*Document, error) {
+	return BuiltinDatasetWith(name, seed, Options{})
+}
+
+// BuiltinDatasetWith is BuiltinDataset with explicit engine options.
+func BuiltinDatasetWith(name string, seed int64, opts Options) (*Document, error) {
 	switch name {
 	case "reviews":
-		return FromTree(dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})), nil
+		return FromTreeWith(dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed}), opts), nil
 	case "retailer":
-		return FromTree(dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed})), nil
+		return FromTreeWith(dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed}), opts), nil
 	case "movies":
-		return FromTree(dataset.Movies(dataset.MoviesConfig{Seed: seed})), nil
+		return FromTreeWith(dataset.Movies(dataset.MoviesConfig{Seed: seed}), opts), nil
 	default:
 		return nil, fmt.Errorf("xsact: unknown builtin dataset %q", name)
 	}
 }
+
+// Shards reports how many index shards the document's engine runs
+// (1 when unsharded).
+func (d *Document) Shards() int { return d.eng.ShardCount() }
 
 // XML serializes the document back to XML.
 func (d *Document) XML() string { return xmltree.XMLString(d.root) }
