@@ -8,10 +8,12 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dewey"
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/snippet"
 	"repro/internal/table"
+	"repro/internal/xmltree"
 	"repro/internal/xseek"
 )
 
@@ -200,6 +202,147 @@ func (s *server) apiSnippet(w http.ResponseWriter, r *http.Request) {
 		resp.Features = append(resp.Features, apiFeature{Entity: f.Entity, Attribute: f.Attribute, Value: f.Value})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeEngine resolves a mutation's target dataset: empty selects the
+// first dataset (matching the read paths' default), the auto-select
+// entry is rejected (a write must name its corpus), anything else must
+// be a known dataset. Unlike the read paths it never runs database
+// selection, so a write can never land on a corpus chosen by keyword
+// statistics.
+func (s *server) writeEngine(ds string) (string, *engine.Engine, *httpError) {
+	switch ds {
+	case "":
+		ds = s.order[0]
+	case autoDataset:
+		return "", nil, &httpError{http.StatusBadRequest, "writes require an explicit dataset"}
+	}
+	eng := s.engineFor(ds)
+	if eng == nil {
+		return "", nil, &httpError{http.StatusBadRequest, "unknown dataset"}
+	}
+	return ds, eng, nil
+}
+
+// documentRequest is the POST /api/v1/documents body.
+type documentRequest struct {
+	Dataset string `json:"dataset"`
+	XML     string `json:"xml"`
+}
+
+// documentResponse answers both document mutations.
+type documentResponse struct {
+	Dataset string `json:"dataset"`
+	ID      string `json:"id"`
+	Label   string `json:"label,omitempty"`
+	// Epoch and the pending backlog let ingest clients pace themselves
+	// and decide when to trigger compaction explicitly.
+	Epoch             uint64 `json:"epoch"`
+	PendingDelta      int    `json:"pending_delta"`
+	PendingTombstones int    `json:"pending_tombstones"`
+}
+
+// apiDocuments serves the live write path:
+//
+//	POST   /api/v1/documents            body {"dataset": ..., "xml": "<entity .../>"}
+//	DELETE /api/v1/documents?dataset=...&id=...
+//
+// POST parses the XML fragment and appends it as a new top-level
+// entity, immediately searchable; the response's id is the handle
+// DELETE accepts (and matches the id field of /api/v1/search results).
+// With -snapshot-dir set, each accepted write re-persists the engine in
+// the journaled live layout, so restarts replay it.
+func (s *server) apiDocuments(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req documentRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if strings.TrimSpace(req.XML) == "" {
+			writeJSONError(w, http.StatusBadRequest, "missing entity xml")
+			return
+		}
+		ds, eng, herr := s.writeEngine(req.Dataset)
+		if herr != nil {
+			writeJSONError(w, herr.status, herr.msg)
+			return
+		}
+		node, err := xmltree.ParseString(req.XML)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		id, err := eng.AddEntity(node)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.saveSnapshot(ds)
+		m := eng.Metrics()
+		writeJSON(w, http.StatusCreated, documentResponse{
+			Dataset: ds, ID: id.String(), Label: xseek.LabelFor(node),
+			Epoch: m.Epoch, PendingDelta: m.PendingDelta, PendingTombstones: m.PendingTombstones,
+		})
+	case http.MethodDelete:
+		ds, eng, herr := s.writeEngine(r.FormValue("dataset"))
+		if herr != nil {
+			writeJSONError(w, herr.status, herr.msg)
+			return
+		}
+		idStr := r.FormValue("id")
+		id, err := dewey.Parse(idStr)
+		if err != nil || len(id) != 1 {
+			// Malformed or non-top-level IDs are bad requests; only a
+			// well-formed ID that names no live entity is a 404 (the
+			// "stale handle, re-resolve via search" signal).
+			writeJSONError(w, http.StatusBadRequest, "bad entity id "+idStr)
+			return
+		}
+		if err := eng.RemoveEntity(id); err != nil {
+			writeJSONError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		s.saveSnapshot(ds)
+		m := eng.Metrics()
+		writeJSON(w, http.StatusOK, documentResponse{
+			Dataset: ds, ID: idStr,
+			Epoch: m.Epoch, PendingDelta: m.PendingDelta, PendingTombstones: m.PendingTombstones,
+		})
+	default:
+		writeJSONError(w, http.StatusMethodNotAllowed, "use POST to add or DELETE to remove")
+	}
+}
+
+// compactResponse answers POST /api/v1/compact.
+type compactResponse struct {
+	Dataset     string `json:"dataset"`
+	Epoch       uint64 `json:"epoch"`
+	Compactions int64  `json:"compactions"`
+}
+
+// apiCompact serves POST /api/v1/compact?dataset=... — an explicit
+// compaction trigger for operators and ingest pipelines (compaction
+// also runs automatically when -compact-every is set). Compacting a
+// dataset with no pending writes is a cheap no-op.
+func (s *server) apiCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	ds, eng, herr := s.writeEngine(r.FormValue("dataset"))
+	if herr != nil {
+		writeJSONError(w, herr.status, herr.msg)
+		return
+	}
+	if err := eng.Compact(); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.saveSnapshot(ds)
+	m := eng.Metrics()
+	writeJSON(w, http.StatusOK, compactResponse{Dataset: ds, Epoch: m.Epoch, Compactions: m.Compactions})
 }
 
 // datasetMetrics reports one dataset's serving state. Engines are

@@ -21,7 +21,17 @@
 //
 // Usage:
 //
-//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-shards N]
+// The corpus is live: POST /api/v1/documents adds a top-level entity
+// (immediately searchable), DELETE /api/v1/documents removes one, and
+// POST /api/v1/compact folds pending writes back into the base index
+// under an epoch swap that never blocks queries. -compact-every N
+// compacts automatically after N pending writes. With -snapshot-dir,
+// accepted writes are persisted in a journaled snapshot layout and
+// replayed on restart.
+//
+// Usage:
+//
+//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-shards N] [-compact-every N]
 package main
 
 import (
@@ -34,14 +44,15 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		seed        = flag.Int64("seed", 1, "dataset seed")
-		snapshotDir = flag.String("snapshot-dir", "", "directory for engine snapshots (empty = rebuild on every start)")
-		shards      = flag.Int("shards", 1, "index shards per dataset (1 = monolithic index)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		seed         = flag.Int64("seed", 1, "dataset seed")
+		snapshotDir  = flag.String("snapshot-dir", "", "directory for engine snapshots (empty = rebuild on every start)")
+		shards       = flag.Int("shards", 1, "index shards per dataset (1 = monolithic index)")
+		compactEvery = flag.Int("compact-every", 64, "auto-compact the live write path after this many pending writes (0 = manual compaction only)")
 	)
 	flag.Parse()
 
-	srv, err := newServer(*seed, *snapshotDir, *shards)
+	srv, err := newServer(*seed, *snapshotDir, *shards, *compactEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsactd:", err)
 		os.Exit(1)

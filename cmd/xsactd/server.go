@@ -75,10 +75,20 @@ func (l *lazyEngine) peek() *engine.Engine {
 	return l.eng.Load()
 }
 
-// server holds one lazily-built, shared serving engine per dataset.
+// server holds one lazily-built, shared serving engine per dataset,
+// plus the snapshot configuration writes persist through.
 type server struct {
-	datasets map[string]*lazyEngine
-	order    []string
+	datasets    map[string]*lazyEngine
+	order       []string
+	slugs       map[string]string // dataset name → snapshot file slug
+	seed        int64
+	snapshotDir string
+	shards      int
+	// snapMu serializes post-write snapshot saves: each save captures
+	// the engine's state at save time (under the lock), so rename order
+	// matches capture order and a stale image can never replace a newer
+	// one when write handlers race.
+	snapMu sync.Mutex
 }
 
 // newServer assembles the dataset table. When snapshotDir is non-empty
@@ -89,13 +99,17 @@ type server struct {
 // engine with that many index shards (and keeps their snapshots in
 // per-layout files, so switching the flag never misreads a snapshot of
 // the other layout).
-func newServer(seed int64, snapshotDir string, shards int) (*server, error) {
-	s := &server{datasets: make(map[string]*lazyEngine)}
+func newServer(seed int64, snapshotDir string, shards, compactEvery int) (*server, error) {
+	s := &server{
+		datasets: make(map[string]*lazyEngine), slugs: make(map[string]string),
+		seed: seed, snapshotDir: snapshotDir, shards: shards,
+	}
 	add := func(name, slug string, gen func() *xmltree.Node) {
 		s.datasets[name] = &lazyEngine{build: func() *engine.Engine {
-			return buildEngine(name, slug, seed, snapshotDir, shards, gen)
+			return buildEngine(name, slug, seed, snapshotDir, shards, compactEvery, gen)
 		}}
 		s.order = append(s.order, name)
+		s.slugs[name] = slug
 	}
 	add("Product Reviews", "reviews", func() *xmltree.Node {
 		return dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})
@@ -115,16 +129,20 @@ func newServer(seed int64, snapshotDir string, shards int) (*server, error) {
 // rebuild (and is replaced by a fresh snapshot afterwards); a
 // multi-shard snapshot with one corrupt shard section loads anyway and
 // rebuilds only that shard lazily.
-func buildEngine(name, slug string, seed int64, dir string, shards int, gen func() *xmltree.Node) *engine.Engine {
+func buildEngine(name, slug string, seed int64, dir string, shards, compactEvery int, gen func() *xmltree.Node) *engine.Engine {
 	root := gen()
-	cfg := engine.Config{Shards: shards}
+	cfg := engine.Config{Shards: shards, AutoCompactThreshold: compactEvery}
 	if dir == "" {
 		return engine.NewWithConfig(root, cfg)
 	}
 	path := filepath.Join(dir, snapshotFile(slug, seed, shards))
-	// persist.Load verifies the snapshot's corpus fingerprint against
-	// the freshly generated root, which deterministically encodes
-	// dataset and seed — no separate identity check needed here.
+	// For immutable (v1/v2) snapshots persist.Load verifies the corpus
+	// fingerprint against the freshly generated root, which
+	// deterministically encodes dataset and seed. A live (v3) snapshot
+	// cannot match the generator's tree — it contains accepted writes —
+	// so it is self-contained and trusted via its own checksums; the
+	// per-layout file name (slug, seed, shard count) is what scopes it
+	// to this dataset.
 	eng, _, err := persist.LoadFile(path, root, cfg)
 	if err == nil {
 		log.Printf("xsactd: %s: engine loaded from snapshot %s", name, path)
@@ -171,7 +189,29 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/api/v1/compare", s.apiCompare)
 	mux.HandleFunc("/api/v1/snippet", s.apiSnippet)
 	mux.HandleFunc("/api/v1/metrics", s.apiMetrics)
+	mux.HandleFunc("/api/v1/documents", s.apiDocuments)
+	mux.HandleFunc("/api/v1/compact", s.apiCompact)
 	return mux
+}
+
+// saveSnapshot persists a dataset's engine after a successful write so
+// a restart replays it (live engines snapshot in the journaled v3
+// layout). Failures are logged, never fatal: the live engine still
+// serves the write, it just won't survive a restart.
+func (s *server) saveSnapshot(name string) {
+	if s.snapshotDir == "" {
+		return
+	}
+	eng := s.engineFor(name)
+	if eng == nil {
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	path := filepath.Join(s.snapshotDir, snapshotFile(s.slugs[name], s.seed, s.shards))
+	if err := persist.SaveFile(path, eng, persist.Meta{CorpusName: name, Seed: s.seed}); err != nil {
+		log.Printf("xsactd: %s: writing snapshot %s failed: %v", name, path, err)
+	}
 }
 
 const pageHead = `<!DOCTYPE html>

@@ -1,0 +1,72 @@
+package xsact_test
+
+import (
+	"fmt"
+	"log"
+
+	xsact "repro"
+)
+
+// ExampleDocument_AddEntity shows live ingest: a new entity appended to
+// a built document is searchable immediately, without a reparse or
+// index rebuild.
+func ExampleDocument_AddEntity() {
+	doc, err := xsact.ParseString(`
+<store>
+  <product><name>Go 630</name><kind>navigator</kind></product>
+  <product><name>Go 730</name><kind>navigator</kind></product>
+</store>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := doc.AddEntity(`<product><name>Rider 550</name><kind>navigator motorcycle</kind></product>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := doc.Search("navigator")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("id=%s results=%d\n", id, len(results))
+	for _, r := range results {
+		fmt.Println(r.Label)
+	}
+	// Output:
+	// id=2 results=3
+	// Go 630
+	// Go 730
+	// Rider 550
+}
+
+// ExampleDocument_RemoveEntity shows live deletion: the removed entity
+// stops matching at once (a tombstone masks its index postings), and
+// Compact later folds the pending writes back into a clean base.
+func ExampleDocument_RemoveEntity() {
+	doc, err := xsact.ParseString(`
+<store>
+  <product><name>Go 630</name><kind>navigator</kind></product>
+  <product><name>Go 730</name><kind>navigator discontinued</kind></product>
+</store>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// "1" is the second top-level entity — the ID search results and
+	// AddEntity report.
+	if err := doc.RemoveEntity("1"); err != nil {
+		log.Fatal(err)
+	}
+	results, err := doc.Search("navigator")
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta, tombstones := doc.PendingUpdates()
+	fmt.Printf("results=%d pending=%d/%d\n", len(results), delta, tombstones)
+	if err := doc.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	delta, tombstones = doc.PendingUpdates()
+	fmt.Printf("after compact pending=%d/%d\n", delta, tombstones)
+	// Output:
+	// results=1 pending=0/1
+	// after compact pending=0/0
+}

@@ -11,12 +11,17 @@
 //	HTTP server (cmd/xsactd) ─┼→ engine.Engine ─→ executor ─→ index / slca
 //	                          │        │             │
 //	                          │        │             ├ xseek.Engine  (monolithic)
-//	                          │        │             └ shard.Engine  (K-shard fan-out/merge)
+//	                          │        │             ├ shard.Engine  (K-shard fan-out/merge)
+//	                          │        │             └ update.Engine (live writes over either)
 //	                          │        └→ feature (cached) → core (pooled) → table
 //
-// The executor is chosen by Config.Shards and is invisible above this
-// layer: both produce identical results, so the caches, the facade,
-// and the servers never branch on the layout. Construction fans index
+// The executor is chosen by Config.Shards — and transparently wrapped
+// by the live update layer on the first AddEntity/RemoveEntity — and
+// is invisible above this layer: all produce identical results, so the
+// caches, the facade, and the servers never branch on the layout. Once
+// the corpus is live, every cache entry is tagged with the update
+// layer's epoch and self-invalidates across writes and compactions.
+// Construction fans index
 // building out — over the root's subtrees for the monolithic executor
 // (xseek.NewParallel), over per-shard segment groups for the sharded
 // one (shard.Build) — and query serving reuses cached search results

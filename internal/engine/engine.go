@@ -9,9 +9,11 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dewey"
 	"repro/internal/feature"
 	"repro/internal/index"
 	"repro/internal/shard"
+	"repro/internal/update"
 	"repro/internal/xmltree"
 	"repro/internal/xseek"
 )
@@ -36,6 +38,12 @@ type Config struct {
 	// either way; sharding trades one big index for K that build in
 	// parallel and answer fan-out queries.
 	Shards int
+	// AutoCompactThreshold triggers a background compaction of the live
+	// write path once that many uncompacted writes (adds + removes) are
+	// pending. 0 disables auto-compaction (Compact must be called
+	// explicitly). Compaction runs under an epoch swap and never blocks
+	// in-flight queries.
+	AutoCompactThreshold int
 }
 
 func (c Config) normalized() Config {
@@ -51,8 +59,8 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// Metrics is a point-in-time snapshot of the engine's cache and
-// planner counters. The JSON form is served by xsactd's
+// Metrics is a point-in-time snapshot of the engine's cache, planner,
+// and live-update counters. The JSON form is served by xsactd's
 // /api/v1/metrics endpoint.
 type Metrics struct {
 	// Query → results LRU (hits include cached no-match outcomes).
@@ -67,6 +75,11 @@ type Metrics struct {
 	DFSHits      int64 `json:"dfs_hits"`
 	DFSMisses    int64 `json:"dfs_misses"`
 	DFSEvictions int64 `json:"dfs_evictions"`
+	// Cache occupancy gauges, read under the same mutexes that guard
+	// the caches so a metrics probe never reports a torn size.
+	QueryCacheLen int `json:"query_cache_len"`
+	StatsCacheLen int `json:"stats_cache_len"`
+	DFSCacheLen   int `json:"dfs_cache_len"`
 	// SLCA cost-planner decisions for compiled (cache-miss) queries,
 	// summed across shards for a sharded engine (each shard plans its
 	// own leg of a fan-out).
@@ -77,13 +90,22 @@ type Metrics struct {
 	// snapshot section was missing or corrupt.
 	Shards        int   `json:"shards"`
 	ShardRebuilds int64 `json:"shard_rebuilds"`
+	// Live-update counters: lifetime writes and compactions, the state
+	// epoch (bumped by every write and compaction), and the pending
+	// backlog awaiting compaction. All zero until the first write makes
+	// the engine live.
+	Updates           int64  `json:"updates"`
+	Compactions       int64  `json:"compactions"`
+	Epoch             uint64 `json:"epoch"`
+	PendingDelta      int    `json:"pending_delta"`
+	PendingTombstones int    `json:"pending_tombstones"`
 }
 
 // executor is the search substrate the serving layer plumbs onto: the
-// monolithic xseek.Engine and the fan-out shard.Engine both satisfy
-// it, and are required to produce identical output for the same
-// corpus — the engine's caches and the layers above never know which
-// one is running.
+// monolithic xseek.Engine, the fan-out shard.Engine, and the live
+// update.Engine all satisfy it, and are required to produce identical
+// output for the same logical corpus — the engine's caches and the
+// layers above never know which one is running.
 type executor interface {
 	Root() *xmltree.Node
 	Schema() *xseek.Schema
@@ -96,18 +118,59 @@ type executor interface {
 	DocFreq(term string) int
 }
 
+// executorBox is the engine's current executor with its concrete
+// identity alongside. It is swapped atomically exactly once — when the
+// first write installs the live update layer — so every read path
+// loads one box and sees a consistent (executor, epoch) pair.
+type executorBox struct {
+	exec executor
+	x    *xseek.Engine  // non-nil for the monolithic executor
+	sh   *shard.Engine  // non-nil for the sharded executor
+	live *update.Engine // non-nil once updates are enabled
+}
+
+// epoch returns the live state version (0 while the corpus is
+// immutable). Cache entries are tagged with it, so entries minted
+// before a write or compaction self-invalidate.
+func (b *executorBox) epoch() uint64 {
+	if b.live != nil {
+		return b.live.Epoch()
+	}
+	return 0
+}
+
+// xseek returns the current monolithic engine: the wrapped one, or the
+// live layer's current base.
+func (b *executorBox) xseek() *xseek.Engine {
+	if b.live != nil {
+		return b.live.BaseXseek()
+	}
+	return b.x
+}
+
+// sharded returns the current sharded engine, if any.
+func (b *executorBox) sharded() *shard.Engine {
+	if b.live != nil {
+		return b.live.BaseSharded()
+	}
+	return b.sh
+}
+
 // Engine is a concurrency-safe serving engine over one corpus.
 type Engine struct {
-	exec executor
-	x    *xseek.Engine // non-nil for the monolithic executor
-	sh   *shard.Engine // non-nil for the sharded executor
+	cfg Config
+
+	liveMu sync.Mutex // serializes the one-time live-executor install
+	cur    atomic.Pointer[executorBox]
+
+	compacting atomic.Bool // auto-compaction single-flight guard
 
 	statsMu sync.Mutex
-	stats   *lru // result-root Dewey ID + label → *feature.Stats
+	stats   *lru // result-root Dewey ID + label → cacheEntry{*feature.Stats}
 	queryMu sync.Mutex
 	queries *lru // normalized query → queryOutcome
 	dfsMu   sync.Mutex
-	dfs     *lru // selection key → []*core.DFS
+	dfs     *lru // selection key → cacheEntry{[]*core.DFS}
 
 	queryHits, queryMisses atomic.Int64
 	statsHits, statsMisses atomic.Int64
@@ -136,7 +199,7 @@ func NewWithConfig(root *xmltree.Node, cfg Config) *Engine {
 // whose index was loaded from disk) in the serving layer.
 func FromXseek(x *xseek.Engine, cfg Config) *Engine {
 	e := newServing(cfg)
-	e.exec, e.x = x, x
+	e.cur.Store(&executorBox{exec: x, x: x})
 	return e
 }
 
@@ -144,71 +207,92 @@ func FromXseek(x *xseek.Engine, cfg Config) *Engine {
 // snapshot-loaded) in the serving layer.
 func FromSharded(s *shard.Engine, cfg Config) *Engine {
 	e := newServing(cfg)
-	e.exec, e.sh = s, s
+	e.cur.Store(&executorBox{exec: s, sh: s})
 	return e
 }
 
-// newServing allocates the cache layer shared by both executors.
+// newServing allocates the cache layer shared by all executors.
 func newServing(cfg Config) *Engine {
 	cfg = cfg.normalized()
 	return &Engine{
+		cfg:     cfg,
 		stats:   newLRU(cfg.StatsCacheSize),
 		queries: newLRU(cfg.QueryCacheSize),
 		dfs:     newLRU(cfg.DFSCacheSize),
 	}
 }
 
-// Root returns the corpus the engine serves.
-func (e *Engine) Root() *xmltree.Node { return e.exec.Root() }
+// box returns the current executor box.
+func (e *Engine) box() *executorBox { return e.cur.Load() }
+
+// Root returns the corpus the engine serves (the live tree once
+// updates have been applied).
+func (e *Engine) Root() *xmltree.Node { return e.box().exec.Root() }
 
 // Schema returns the inferred schema summary.
-func (e *Engine) Schema() *xseek.Schema { return e.exec.Schema() }
+func (e *Engine) Schema() *xseek.Schema { return e.box().exec.Schema() }
 
 // Index returns the underlying inverted index, or nil for a sharded
 // engine (whose postings live in per-shard indexes; see IndexStats and
-// Sharded for the aggregate views).
+// Sharded for the aggregate views). For a live engine it is the
+// current base index — pending delta postings live beside it until
+// compaction folds them in.
 func (e *Engine) Index() *index.Index {
-	if e.x == nil {
+	x := e.box().xseek()
+	if x == nil {
 		return nil
 	}
-	return e.x.Index()
+	return x.Index()
 }
 
 // Xseek returns the wrapped monolithic search engine, or nil for a
 // sharded engine. Callers that only need corpus statistics should use
-// TotalNodes/DocFreq, which work for both executors.
-func (e *Engine) Xseek() *xseek.Engine { return e.x }
+// TotalNodes/DocFreq, which work for every executor.
+func (e *Engine) Xseek() *xseek.Engine { return e.box().xseek() }
 
 // Sharded returns the sharded executor, or nil for a monolithic
 // engine.
-func (e *Engine) Sharded() *shard.Engine { return e.sh }
+func (e *Engine) Sharded() *shard.Engine { return e.box().sharded() }
+
+// Live returns the live update layer, or nil while the corpus has
+// never been written to.
+func (e *Engine) Live() *update.Engine { return e.box().live }
+
+// Epoch returns the live state version; 0 while the corpus is
+// immutable.
+func (e *Engine) Epoch() uint64 { return e.box().epoch() }
 
 // ShardCount returns the executor's number of index shards (1 for the
 // monolithic layout).
 func (e *Engine) ShardCount() int {
-	if e.sh != nil {
-		return e.sh.ShardCount()
+	if sh := e.box().sharded(); sh != nil {
+		return sh.ShardCount()
 	}
 	return 1
 }
 
 // IndexStats returns the corpus's index statistics, aggregated across
-// shards for a sharded engine (the numbers equal the monolithic
-// index's either way).
+// shards — and across base ⊕ delta − tombstones for a live engine (the
+// numbers equal a cold index over the current logical corpus).
 func (e *Engine) IndexStats() index.Stats {
-	if e.sh != nil {
-		return e.sh.IndexStats()
+	box := e.box()
+	switch {
+	case box.live != nil:
+		return box.live.IndexStats()
+	case box.sh != nil:
+		return box.sh.IndexStats()
+	default:
+		return box.x.Index().Stats()
 	}
-	return e.x.Index().Stats()
 }
 
 // TotalNodes returns the corpus node count.
-func (e *Engine) TotalNodes() int { return e.exec.TotalNodes() }
+func (e *Engine) TotalNodes() int { return e.box().exec.TotalNodes() }
 
 // DocFreq returns the number of corpus nodes containing term. With
 // TotalNodes it implements xseek.CorpusStats, so serving engines feed
 // database selection directly.
-func (e *Engine) DocFreq(term string) int { return e.exec.DocFreq(term) }
+func (e *Engine) DocFreq(term string) int { return e.box().exec.DocFreq(term) }
 
 // SelectEngine routes a query to the best-covering corpus among named
 // serving engines (sharded or not), or ("", nil) when no corpus
@@ -222,9 +306,114 @@ func SelectEngine(engines map[string]*Engine, query string) (string, *Engine) {
 	return name, engines[name]
 }
 
-// Metrics returns a snapshot of the cache and planner counters.
+// ensureLive installs the update layer over the current executor on
+// first use. The box swap is the only executor transition the engine
+// ever performs; it happens under liveMu and is published atomically,
+// so concurrent readers either keep the immutable executor (correct:
+// no write has committed yet) or see the live one.
+func (e *Engine) ensureLive() *update.Engine {
+	if live := e.box().live; live != nil {
+		return live
+	}
+	e.liveMu.Lock()
+	defer e.liveMu.Unlock()
+	box := e.box()
+	if box.live != nil {
+		return box.live
+	}
+	var live *update.Engine
+	if box.sh != nil {
+		live = update.WrapSharded(box.sh)
+	} else {
+		live = update.Wrap(box.x)
+	}
+	e.cur.Store(&executorBox{exec: live, live: live})
+	return live
+}
+
+// AddEntity appends an entity subtree as a new top-level child of the
+// live corpus and makes it immediately searchable. The engine takes
+// ownership of n. Returns the entity's Dewey ID — the handle
+// RemoveEntity accepts.
+func (e *Engine) AddEntity(n *xmltree.Node) (dewey.ID, error) {
+	live := e.ensureLive()
+	id, err := live.AddEntity(n)
+	if err != nil {
+		return nil, err
+	}
+	e.purgeCaches()
+	e.maybeAutoCompact(live)
+	return id, nil
+}
+
+// RemoveEntity removes the top-level entity with the given Dewey ID
+// from the live corpus.
+func (e *Engine) RemoveEntity(id dewey.ID) error {
+	live := e.ensureLive()
+	if err := live.RemoveEntity(id); err != nil {
+		return err
+	}
+	e.purgeCaches()
+	e.maybeAutoCompact(live)
+	return nil
+}
+
+// Compact folds pending writes back into a clean base under an epoch
+// swap. In-flight queries are never blocked; the engine's caches are
+// flushed afterwards (entries minted mid-compaction self-invalidate
+// through their epoch tags).
+func (e *Engine) Compact() error {
+	live := e.box().live
+	if live == nil {
+		return nil // nothing was ever written
+	}
+	if err := live.Compact(); err != nil {
+		return err
+	}
+	e.purgeCaches()
+	return nil
+}
+
+// maybeAutoCompact schedules a background compaction when the
+// pending-write backlog crosses the configured threshold. Single-
+// flight: a compaction already in progress absorbs later triggers.
+func (e *Engine) maybeAutoCompact(live *update.Engine) {
+	if e.cfg.AutoCompactThreshold <= 0 || live.PendingOps() < e.cfg.AutoCompactThreshold {
+		return
+	}
+	if !e.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.compacting.Store(false)
+		if err := live.Compact(); err == nil {
+			e.purgeCaches()
+		}
+	}()
+}
+
+// purgeCaches drops every cached query outcome, feature-stat, and DFS
+// set. Epoch tags already keep stale entries from being served; the
+// purge reclaims their memory eagerly after a write.
+func (e *Engine) purgeCaches() {
+	e.queryMu.Lock()
+	e.queries.purge()
+	e.queryMu.Unlock()
+	e.statsMu.Lock()
+	e.stats.purge()
+	e.statsMu.Unlock()
+	e.dfsMu.Lock()
+	e.dfs.purge()
+	e.dfsMu.Unlock()
+}
+
+// Metrics returns a snapshot of the cache, planner, and live-update
+// counters. The executor identity, epoch, and pending backlog are read
+// from one atomically loaded state, and cache gauges under the caches'
+// own mutexes, so concurrent writes never produce a torn snapshot.
 func (e *Engine) Metrics() Metrics {
-	indexed, scan := e.exec.PlannerDecisions()
+	box := e.box()
+	indexed, scan := box.exec.PlannerDecisions()
 	m := Metrics{
 		QueryHits: e.queryHits.Load(), QueryMisses: e.queryMisses.Load(),
 		QueryEvictions: e.queryEvictions.Load(),
@@ -235,10 +424,25 @@ func (e *Engine) Metrics() Metrics {
 		PlannerIndexedLookup: indexed, PlannerScanEager: scan,
 		Shards: 1,
 	}
-	if e.sh != nil {
-		m.Shards = e.sh.ShardCount()
-		m.ShardRebuilds = e.sh.Rebuilds()
+	if sh := box.sharded(); sh != nil {
+		m.Shards = sh.ShardCount()
+		m.ShardRebuilds = sh.Rebuilds()
 	}
+	if box.live != nil {
+		m.Updates = box.live.Updates()
+		m.Compactions = box.live.Compactions()
+		m.Epoch = box.live.Epoch()
+		m.PendingDelta, m.PendingTombstones = box.live.Pending()
+	}
+	e.queryMu.Lock()
+	m.QueryCacheLen = e.queries.len()
+	e.queryMu.Unlock()
+	e.statsMu.Lock()
+	m.StatsCacheLen = e.stats.len()
+	e.statsMu.Unlock()
+	e.dfsMu.Lock()
+	m.DFSCacheLen = e.dfs.len()
+	e.dfsMu.Unlock()
 	return m
 }
 
@@ -252,37 +456,57 @@ func queryKey(query string) string {
 }
 
 // queryOutcome is one cached search outcome: either a result slice or
-// a deterministic no-match error. Caching the error too means repeated
-// miss queries are answered without touching the posting lists.
+// a deterministic no-match error, tagged with the live epoch it was
+// computed under. Caching the error too means repeated miss queries
+// are answered without touching the posting lists.
 type queryOutcome struct {
 	results []*xseek.Result
 	err     error
+	epoch   uint64
+}
+
+// cacheEntry tags an arbitrary cached value (feature stats, DFS sets)
+// with its epoch.
+type cacheEntry struct {
+	val   any
+	epoch uint64
 }
 
 // Search runs a keyword query through the query LRU: a hit returns the
 // cached outcome (the result slice is shared and immutable — callers
-// must not modify it), a miss delegates to xseek. Successful searches
-// and no-match outcomes (index.NoMatchError, a pure function of corpus
-// and keywords) are cached; other errors are not.
+// must not modify it), a miss delegates to the executor. Successful
+// searches and no-match outcomes (index.NoMatchError, a pure function
+// of corpus and keywords) are cached; other errors are not. Entries
+// carry the epoch they were computed under, so a cached outcome from
+// before a write or compaction is never served afterwards — even if a
+// racing reader re-inserts it after the post-write purge.
 func (e *Engine) Search(query string) ([]*xseek.Result, error) {
+	box := e.box()
+	epoch := box.epoch()
 	key := queryKey(query)
 	e.queryMu.Lock()
 	v, ok := e.queries.get(key)
 	e.queryMu.Unlock()
 	if ok {
-		e.queryHits.Add(1)
 		out := v.(queryOutcome)
-		return out.results, out.err
+		if out.epoch == epoch {
+			e.queryHits.Add(1)
+			return out.results, out.err
+		}
 	}
 	e.queryMisses.Add(1)
-	rs, err := e.exec.Search(query)
+	rs, err := box.exec.Search(query)
 	var noMatch *index.NoMatchError
 	if err != nil && !errors.As(err, &noMatch) {
 		return rs, err
 	}
-	e.queryMu.Lock()
-	e.queryEvictions.Add(int64(e.queries.put(key, queryOutcome{results: rs, err: err})))
-	e.queryMu.Unlock()
+	// Cache only when no write landed mid-search; a stale insert would
+	// still be rejected by the epoch check above, this just avoids it.
+	if box.epoch() == epoch {
+		e.queryMu.Lock()
+		e.queryEvictions.Add(int64(e.queries.put(key, queryOutcome{results: rs, err: err, epoch: epoch})))
+		e.queryMu.Unlock()
+	}
 	return rs, err
 }
 
@@ -290,20 +514,39 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 // and then searches through the cache, returning the corrected
 // keywords alongside the results.
 func (e *Engine) SearchCleaned(query string) ([]*xseek.Result, []string, error) {
-	cleaned := e.exec.CleanQuery(query)
+	cleaned := e.box().exec.CleanQuery(query)
 	rs, err := e.Search(strings.Join(cleaned, " "))
 	return rs, cleaned, err
 }
 
+// rankedAttempts bounds the retry loop of the ranked read paths: a
+// write landing between the search and the scoring pass would mix two
+// epochs' views, so the whole read is retried while the epoch is
+// moving. Under a sustained write storm the last attempt's page is
+// served as a best-effort answer (well-formed, possibly spanning two
+// adjacent epochs).
+const rankedAttempts = 4
+
 // SearchRanked searches through the cache and orders the cached
 // results by TF-IDF relevance. Ranking re-scores on every call (it is
 // cheap relative to SLCA); only the underlying result set is cached.
+// The search and the scoring pass are retried together until they
+// observe one stable epoch.
 func (e *Engine) SearchRanked(query string) ([]*xseek.RankedResult, error) {
-	results, err := e.Search(query)
-	if err != nil {
-		return nil, err
+	var ranked []*xseek.RankedResult
+	for i := 0; i < rankedAttempts; i++ {
+		box := e.box()
+		epoch := box.epoch()
+		results, err := e.Search(query)
+		if err != nil {
+			return nil, err
+		}
+		ranked = box.exec.RankResults(results, query)
+		if box.epoch() == epoch {
+			break
+		}
 	}
-	return e.exec.RankResults(results, query), nil
+	return ranked, nil
 }
 
 // Page is one window of a search's full result list. The engine caches
@@ -343,7 +586,7 @@ func (e *Engine) SearchPage(query string, opts xseek.SearchOptions) (*Page, erro
 // SearchCleanedPage is SearchPage over the spell-corrected query,
 // returning the corrected keywords alongside the page.
 func (e *Engine) SearchCleanedPage(query string, opts xseek.SearchOptions) (*Page, []string, error) {
-	cleaned := e.exec.CleanQuery(query)
+	cleaned := e.box().exec.CleanQuery(query)
 	page, err := e.SearchPage(strings.Join(cleaned, " "), opts)
 	return page, cleaned, err
 }
@@ -351,37 +594,53 @@ func (e *Engine) SearchCleanedPage(query string, opts xseek.SearchOptions) (*Pag
 // SearchRankedPage searches through the cache and returns the options'
 // window of the relevance ordering, selected with a bounded heap
 // instead of a full sort when the window ends before the result list
-// does.
+// does. Like SearchRanked, the search and scoring are retried together
+// until they observe one stable epoch.
 func (e *Engine) SearchRankedPage(query string, opts xseek.SearchOptions) (*RankedPage, error) {
-	results, err := e.Search(query)
-	if err != nil {
-		return nil, err
+	var out *RankedPage
+	for i := 0; i < rankedAttempts; i++ {
+		box := e.box()
+		epoch := box.epoch()
+		results, err := e.Search(query)
+		if err != nil {
+			return nil, err
+		}
+		page := box.exec.RankPage(results, query, opts)
+		lo, _ := opts.Window(len(results))
+		out = &RankedPage{Results: page, Total: len(results), Offset: lo}
+		if box.epoch() == epoch {
+			break
+		}
 	}
-	page := e.exec.RankPage(results, query, opts)
-	lo, _ := opts.Window(len(results))
-	return &RankedPage{Results: page, Total: len(results), Offset: lo}, nil
+	return out, nil
 }
 
 // Stats returns the feature statistics of the result subtree rooted at
 // node, computing them on first use and serving every later request
 // for the same subtree from a bounded LRU. Stats are immutable after
-// construction, so the cached pointer is shared freely.
+// construction, so the cached pointer is shared freely; entries are
+// epoch-tagged because the schema they were extracted under changes
+// with live writes.
 func (e *Engine) Stats(node *xmltree.Node, label string) *feature.Stats {
+	box := e.box()
+	epoch := box.epoch()
 	key := node.ID.String() + "\x00" + label
 	e.statsMu.Lock()
 	v, ok := e.stats.get(key)
 	e.statsMu.Unlock()
 	if ok {
-		e.statsHits.Add(1)
-		return v.(*feature.Stats)
+		if ent := v.(cacheEntry); ent.epoch == epoch {
+			e.statsHits.Add(1)
+			return ent.val.(*feature.Stats)
+		}
 	}
 	e.statsMisses.Add(1)
-	s := feature.Extract(node, e.exec.Schema(), label)
+	s := feature.Extract(node, box.exec.Schema(), label)
 	e.statsMu.Lock()
-	if prior, ok := e.stats.get(key); ok {
-		s = prior.(*feature.Stats) // another goroutine raced us; keep one canonical copy
-	} else {
-		e.statsEvictions.Add(int64(e.stats.put(key, s)))
+	if prior, ok := e.stats.get(key); ok && prior.(cacheEntry).epoch == epoch {
+		s = prior.(cacheEntry).val.(*feature.Stats) // another goroutine raced us; keep one canonical copy
+	} else if box.epoch() == epoch {
+		e.statsEvictions.Add(int64(e.stats.put(key, cacheEntry{val: s, epoch: epoch})))
 	}
 	e.statsMu.Unlock()
 	return s
@@ -430,13 +689,16 @@ func (e *Engine) Generate(alg core.Algorithm, results []*xseek.Result, opts core
 	// Key on the canonical options (the generators normalize anyway) so
 	// e.g. SizeBound 0 and SizeBound 10 share one cache entry.
 	opts = opts.Normalized()
+	epoch := e.box().epoch()
 	key := selectionKey(results, alg, opts)
 	e.dfsMu.Lock()
 	v, ok := e.dfs.get(key)
 	e.dfsMu.Unlock()
 	if ok {
-		e.dfsHits.Add(1)
-		return v.([]*core.DFS)
+		if ent := v.(cacheEntry); ent.epoch == epoch {
+			e.dfsHits.Add(1)
+			return ent.val.([]*core.DFS)
+		}
 	}
 	e.dfsMisses.Add(1)
 	stats := e.StatsForResults(results)
@@ -444,8 +706,10 @@ func (e *Engine) Generate(alg core.Algorithm, results []*xseek.Result, opts core
 	if dfss == nil {
 		return nil
 	}
-	e.dfsMu.Lock()
-	e.dfsEvictions.Add(int64(e.dfs.put(key, dfss)))
-	e.dfsMu.Unlock()
+	if e.box().epoch() == epoch {
+		e.dfsMu.Lock()
+		e.dfsEvictions.Add(int64(e.dfs.put(key, cacheEntry{val: dfss, epoch: epoch})))
+		e.dfsMu.Unlock()
+	}
 	return dfss
 }

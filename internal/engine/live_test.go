@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func liveTestCorpus() *xmltree.Node {
+	return xmltree.MustParseString(`<shop>
+	  <product><name>alpha</name><kind>gps</kind></product>
+	  <product><name>beta</name><kind>gps</kind></product>
+	  <product><name>gamma</name><kind>radio</kind></product>
+	</shop>`)
+}
+
+func mustAdd(t *testing.T, e *Engine, xml string) {
+	t.Helper()
+	n, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddEntity(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveCacheInvalidationOnEpochBump is the cache-coherence proof:
+// a cached query outcome must never be served across a write or a
+// compaction, at every cache (query, stats, DFS).
+func TestLiveCacheInvalidationOnEpochBump(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e := NewWithConfig(liveTestCorpus(), Config{Shards: shards})
+			rs, err := e.Search("gps")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 2 {
+				t.Fatalf("seed corpus: %d gps results, want 2", len(rs))
+			}
+			// Warm the cache, then write.
+			if _, err := e.Search("gps"); err != nil {
+				t.Fatal(err)
+			}
+			hitsBefore := e.Metrics().QueryHits
+
+			mustAdd(t, e, "<product><name>delta</name><kind>gps</kind></product>")
+			rs, err = e.Search("gps")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 3 {
+				t.Fatalf("after add: %d gps results, want 3 (stale cache served?)", len(rs))
+			}
+			if e.Metrics().QueryHits != hitsBefore {
+				t.Fatalf("post-write search was served from the stale cache")
+			}
+
+			// Remove one of the originals; the cached 3-result outcome must
+			// die with the epoch.
+			if err := e.RemoveEntity([]int{0}); err != nil {
+				t.Fatal(err)
+			}
+			rs, err = e.Search("gps")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 2 {
+				t.Fatalf("after remove: %d gps results, want 2", len(rs))
+			}
+			for _, r := range rs {
+				if r.Label == "alpha" {
+					t.Fatal("removed entity still in results")
+				}
+			}
+
+			// Compaction bumps the epoch too.
+			if err := e.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			rs, err = e.Search("gps")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 2 {
+				t.Fatalf("after compact: %d gps results, want 2", len(rs))
+			}
+			m := e.Metrics()
+			if m.Updates != 2 || m.Compactions != 1 || m.Epoch == 0 {
+				t.Fatalf("metrics = %+v, want 2 updates / 1 compaction / nonzero epoch", m)
+			}
+			if m.PendingDelta != 0 || m.PendingTombstones != 0 {
+				t.Fatalf("post-compaction backlog nonzero: %+v", m)
+			}
+		})
+	}
+}
+
+// TestLiveSnippetsAndComparisonsFollowWrites exercises the stats and
+// DFS caches across epochs: a comparison computed before a write must
+// be recomputed, not replayed, afterwards.
+func TestLiveStatsFollowWrites(t *testing.T) {
+	e := New(liveTestCorpus())
+	rs, err := e.Search("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := e.Stats(rs[0].Node, rs[0].Label)
+	if s1 == nil {
+		t.Fatal("nil stats")
+	}
+	if got := e.Stats(rs[0].Node, rs[0].Label); got != s1 {
+		t.Fatal("same-epoch stats not served from cache")
+	}
+	mustAdd(t, e, "<product><name>delta</name><kind>gps</kind></product>")
+	// Same node, new epoch: extraction reruns under the live schema.
+	misses := e.Metrics().StatsMisses
+	e.Stats(rs[0].Node, rs[0].Label)
+	if e.Metrics().StatsMisses != misses+1 {
+		t.Fatal("stats cache served a stale epoch entry")
+	}
+}
+
+// TestMetricsConsistentUnderRace is the regression test for the
+// metrics torn-read audit: Metrics() must be safe — and internally
+// consistent — while searches, writes, and compactions run
+// concurrently. Run with -race.
+func TestMetricsConsistentUnderRace(t *testing.T) {
+	e := NewWithConfig(liveTestCorpus(), Config{Shards: 2})
+	stop := make(chan struct{})
+	var writer, readers sync.WaitGroup
+
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				n := xmltree.MustParseString(fmt.Sprintf("<product><name>n%d</name><kind>gps</kind></product>", i))
+				if _, err := e.AddEntity(n); err != nil {
+					t.Error(err)
+					return
+				}
+			case 1:
+				_ = e.Compact()
+			default:
+				_, _ = e.Search("gps")
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				m := e.Metrics()
+				if m.QueryCacheLen < 0 || m.Updates < 0 || m.PendingDelta < 0 {
+					t.Error("nonsense metrics snapshot")
+					return
+				}
+				_, _ = e.Search("gps")
+				_ = e.IndexStats()
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+
+	m := e.Metrics()
+	if m.Shards < 1 {
+		t.Fatalf("shards = %d", m.Shards)
+	}
+	if m.Updates == 0 {
+		t.Fatal("writer made no progress")
+	}
+}

@@ -54,3 +54,9 @@ func (c *lru) put(key string, val any) (evicted int) {
 
 // len returns the number of cached entries.
 func (c *lru) len() int { return c.order.Len() }
+
+// purge drops every entry, keeping the capacity.
+func (c *lru) purge() {
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+}

@@ -1,0 +1,115 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// This file holds the posting-list algebra of the live write path
+// (package update): composing a base index with a delta index and a
+// tombstone set without rebuilding either.
+
+// MergeLists merges document-ordered posting lists over disjoint node
+// sets into one document-ordered list. The sharded live read path uses
+// it to present per-shard (plus spine, plus delta) lists as the single
+// list a monolithic index would hold.
+func MergeLists(lists ...PostingList) PostingList {
+	var nonEmpty []PostingList
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+			total += len(l)
+		}
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		return nonEmpty[0]
+	}
+	out := make(PostingList, 0, total)
+	pos := make([]int, len(nonEmpty))
+	for len(out) < total {
+		best := -1
+		for i, l := range nonEmpty {
+			if pos[i] == len(l) {
+				continue
+			}
+			if best == -1 || l[pos[i]].Compare(nonEmpty[best][pos[best]]) < 0 {
+				best = i
+			}
+		}
+		out = append(out, nonEmpty[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// Without returns list minus every posting that falls inside one of
+// the subtrees rooted at exclude. exclude must be sorted in document
+// order and pairwise disjoint (no ID an ancestor of another), which is
+// what a tombstone set over top-level entities is. When nothing is
+// excluded the input list is returned unchanged (and must then be
+// treated as shared).
+func Without(list PostingList, exclude []dewey.ID) PostingList {
+	if len(list) == 0 || len(exclude) == 0 {
+		return list
+	}
+	kept := make(PostingList, 0, len(list))
+	i := 0
+	for _, ex := range exclude {
+		// Descendants-or-self of ex form one contiguous block.
+		lo := sort.Search(len(list), func(k int) bool {
+			return list[k].Compare(ex) >= 0
+		})
+		hi := sort.Search(len(list), func(k int) bool {
+			return list[k].Compare(ex) > 0 && !ex.IsAncestorOrSelf(list[k])
+		})
+		if lo < i {
+			lo = i
+		}
+		kept = append(kept, list[i:lo]...)
+		if hi > i {
+			i = hi
+		}
+	}
+	return append(kept, list[i:]...)
+}
+
+// Merge combines a base index with a delta index built over later
+// document positions: every delta posting must follow every base
+// posting of the same term in document order, which holds by
+// construction when the delta indexes entities appended after the
+// base's last top-level child. Shared (unmodified) posting lists are
+// reused, not copied; the inputs must stay immutable afterwards. root
+// is the tree the merged index describes.
+func Merge(root *xmltree.Node, base, delta *Index) *Index {
+	m := &Index{
+		postings: make(map[string]PostingList, len(base.postings)+len(delta.postings)),
+		root:     root,
+		terms:    base.terms + delta.terms,
+		elements: base.elements + delta.elements,
+	}
+	for t, l := range base.postings {
+		d, ok := delta.postings[t]
+		if !ok {
+			m.postings[t] = l
+			continue
+		}
+		nl := make(PostingList, 0, len(l)+len(d))
+		nl = append(append(nl, l...), d...)
+		m.postings[t] = nl
+	}
+	for t, d := range delta.postings {
+		if _, ok := base.postings[t]; !ok {
+			m.postings[t] = d
+		}
+	}
+	// Safety net, mirroring Build: a misuse that violates the append
+	// precondition degrades to a sort, not a corrupt index.
+	m.ensureSorted()
+	return m
+}

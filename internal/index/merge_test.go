@@ -1,0 +1,78 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+func ids(paths ...[]int) PostingList {
+	out := make(PostingList, len(paths))
+	for i, p := range paths {
+		out[i] = dewey.New(p...)
+	}
+	return out
+}
+
+func TestMergeLists(t *testing.T) {
+	a := ids([]int{0}, []int{0, 1}, []int{3})
+	b := ids([]int{1}, []int{2, 0})
+	c := ids([]int{4})
+	got := MergeLists(a, b, c)
+	want := ids([]int{0}, []int{0, 1}, []int{1}, []int{2, 0}, []int{3}, []int{4})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeLists = %v, want %v", got, want)
+	}
+	if out := MergeLists(nil, a, nil); !reflect.DeepEqual(out, a) {
+		t.Fatalf("single non-empty list should pass through, got %v", out)
+	}
+	if out := MergeLists(); out != nil {
+		t.Fatalf("empty merge = %v, want nil", out)
+	}
+}
+
+func TestWithout(t *testing.T) {
+	list := ids([]int{}, []int{0}, []int{0, 2}, []int{1}, []int{2}, []int{2, 1}, []int{3})
+	got := Without(list, []dewey.ID{dewey.New(0), dewey.New(2)})
+	want := ids([]int{}, []int{1}, []int{3})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Without = %v, want %v", got, want)
+	}
+	// Excluding a subtree with no postings is a no-op.
+	if out := Without(list, []dewey.ID{dewey.New(7)}); !reflect.DeepEqual(out, list) {
+		t.Fatalf("Without(absent) = %v, want original", out)
+	}
+	// No exclusions shares the input.
+	if out := Without(list, nil); len(out) != len(list) {
+		t.Fatalf("Without(nil) changed length")
+	}
+}
+
+func TestMergeEqualsColdBuild(t *testing.T) {
+	// Build a tree, index a prefix of its top-level children as the
+	// base and the rest as the delta; the merge must equal the full
+	// build exactly.
+	root := xmltree.MustParseString(`<cat>
+	  <p><name>alpha gps</name><price>10</price></p>
+	  <p><name>beta gps</name><price>20</price></p>
+	  <p><name>gamma radio</name><price>30</price></p>
+	</cat>`)
+	kids := root.ChildElements()
+	base := BuildForest(root, kids[:2])
+	delta := BuildForest(root, kids[2:])
+	all := BuildForest(root, kids)
+	merged := Merge(root, base, delta)
+	if got, want := merged.Stats(), all.Stats(); got != want {
+		t.Fatalf("merged stats = %+v, want %+v", got, want)
+	}
+	for _, term := range all.Vocabulary() {
+		if !reflect.DeepEqual(merged.Lookup(term), all.Lookup(term)) {
+			t.Fatalf("term %q: merged %v, want %v", term, merged.Lookup(term), all.Lookup(term))
+		}
+	}
+	if len(merged.Vocabulary()) != len(all.Vocabulary()) {
+		t.Fatalf("vocabulary drift")
+	}
+}

@@ -13,17 +13,20 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/shard"
 	"repro/internal/xmltree"
 	"repro/internal/xseek"
 )
 
 // FormatVersion identifies the single-index snapshot container format;
-// ShardedFormatVersion the multi-shard layout. The index and schema
-// sections carry their own wire versions on top. Load dispatches on
-// the header, so either layout reopens transparently.
+// ShardedFormatVersion the multi-shard layout; LiveFormatVersion the
+// live layout (base snapshot + pending-write journal, see live.go).
+// The index and schema sections carry their own wire versions on top.
+// Load dispatches on the header, so any layout reopens transparently.
 const (
 	FormatVersion        = 1
 	ShardedFormatVersion = 2
+	LiveFormatVersion    = 3
 )
 
 // magic is the first token of the header line.
@@ -93,23 +96,34 @@ func (e *envelope) checksum() uint32 {
 
 // Save writes a snapshot of eng's derived state to w — the
 // single-index layout for a monolithic engine, the multi-shard layout
-// (per-shard sections with individual checksums) for a sharded one.
-// meta's CorpusName and Seed are recorded as given; the corpus
-// fingerprint is taken from the engine's own tree.
+// (per-shard sections with individual checksums) for a sharded one,
+// and the live layout (base sections plus a journal of pending writes)
+// for an engine that has accepted updates. meta's CorpusName and Seed
+// are recorded as given; the corpus fingerprint is taken from the
+// engine's own tree.
 func Save(w io.Writer, eng *engine.Engine, meta Meta) error {
-	root := eng.Root()
+	if live := eng.Live(); live != nil && live.Epoch() > 0 {
+		return saveLive(w, live, meta)
+	}
+	return saveParts(w, eng.Root(), eng.Xseek(), eng.Sharded(), meta)
+}
+
+// saveParts writes the immutable layouts (v1/v2) for an executor given
+// by its parts: sh selects the multi-shard layout, otherwise x the
+// single-index one. root supplies the corpus fingerprint.
+func saveParts(w io.Writer, root *xmltree.Node, x *xseek.Engine, sh *shard.Engine, meta Meta) error {
 	meta.RootTag = root.Tag
 	meta.NodeCount, meta.ContentHash = fingerprint(root)
-	if sh := eng.Sharded(); sh != nil {
+	if sh != nil {
 		meta.Shards = sh.ShardCount()
 		return saveSharded(w, sh, meta)
 	}
 
 	var idxBuf, schBuf bytes.Buffer
-	if err := eng.Index().Save(&idxBuf); err != nil {
+	if err := x.Index().Save(&idxBuf); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if err := eng.Schema().Save(&schBuf); err != nil {
+	if err := x.Schema().Save(&schBuf); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	if _, err := fmt.Fprintf(w, "%s %d\n", magic, FormatVersion); err != nil {
@@ -149,8 +163,14 @@ func Load(r io.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, M
 		return loadSingle(br, root, cfg)
 	case ShardedFormatVersion:
 		return loadSharded(br, root, cfg)
+	case LiveFormatVersion:
+		// The live layout is self-contained: its base tree travels in
+		// the snapshot (the live corpus has writes the caller's tree
+		// cannot know about), so the passed root is ignored.
+		return loadLive(br, cfg)
 	default:
-		return nil, Meta{}, fmt.Errorf("persist: format version %d, want %d or %d", version, FormatVersion, ShardedFormatVersion)
+		return nil, Meta{}, fmt.Errorf("persist: format version %d, want %d, %d or %d",
+			version, FormatVersion, ShardedFormatVersion, LiveFormatVersion)
 	}
 }
 

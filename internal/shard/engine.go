@@ -84,12 +84,40 @@ func (l *lazyShard) peek() *xseek.Engine { return l.eng.Load() }
 // aggregated across the finished shards into the shared ranking
 // constants.
 func Build(root *xmltree.Node, k int) *Engine {
+	e, _ := buildReusing(root, k, nil)
+	return e
+}
+
+// BuildReusing is Build with an index-reuse pass over a prior engine of
+// the same corpus lineage: any group of the fresh partition whose
+// segment sequence is identical (same subtree objects, same Dewey IDs)
+// to one of prior's groups adopts prior's already-built index instead
+// of re-indexing. It returns the engine plus how many groups were
+// reused. This is the single-shard compaction primitive of the live
+// write path: entities appended at the end of the document land in the
+// trailing groups of the re-balanced partition, so every group whose
+// boundary survives the re-balance (its size overshoot absorbs the
+// growth) carries its index over and only the perturbed shards are
+// rebuilt. The output is identical to Build's for the same root and k.
+func BuildReusing(root *xmltree.Node, k int, prior *Engine) (*Engine, int) {
+	return buildReusing(root, k, prior)
+}
+
+func buildReusing(root *xmltree.Node, k int, prior *Engine) (*Engine, int) {
 	schema := xseek.InferSchemaParallel(root, 0)
 	part := Plan(root, schema, k)
 
+	reused := 0
 	indexes := make([]*index.Index, len(part.Groups))
 	var wg sync.WaitGroup
 	for g, r := range part.Groups {
+		if prior != nil {
+			if idx := prior.reusableIndex(part.Segments[r[0]:r[1]]); idx != nil {
+				indexes[g] = idx
+				reused++
+				continue
+			}
+		}
 		wg.Add(1)
 		go func(g int, lo, hi int) {
 			defer wg.Done()
@@ -108,8 +136,38 @@ func Build(root *xmltree.Node, k int) *Engine {
 	}
 	e.elements += e.spine.Index().Stats().IndexedElements
 	e.initRanking(e.aggregateDF())
-	return e
+	return e, reused
 }
+
+// reusableIndex returns the prior engine's index over exactly the given
+// segment sequence, or nil when no group matches. Matching is by node
+// identity, which implies identical Dewey IDs and content — the only
+// condition under which a prior posting set is still byte-valid.
+func (e *Engine) reusableIndex(segs []*xmltree.Node) *index.Index {
+	for g, r := range e.part.Groups {
+		lo, hi := r[0], r[1]
+		if hi-lo != len(segs) {
+			continue
+		}
+		match := true
+		for i := range segs {
+			if e.part.Segments[lo+i] != segs[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return e.shards[g].get().Index()
+		}
+	}
+	return nil
+}
+
+// SpineIndex returns the index over the spine nodes (document root and
+// wrapper elements above the topmost entities). Together with
+// ShardIndexes it exposes every posting the engine holds — the live
+// write path reads them to compose its base ⊕ delta − tombstones view.
+func (e *Engine) SpineIndex() *index.Index { return e.spine.Index() }
 
 // FromSources assembles a sharded engine whose shard indexes load
 // lazily — typically from a multi-shard snapshot (package persist). k,

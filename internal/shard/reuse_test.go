@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// reuseCorpus builds a corpus of n same-shaped products.
+func reuseCorpus(n int) *xmltree.Node {
+	var b strings.Builder
+	b.WriteString("<shop>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<product><name>item%d</name><kind>gadget</kind></product>", i)
+	}
+	b.WriteString("</shop>")
+	return xmltree.MustParseString(b.String())
+}
+
+func TestBuildReusingMatchesBuildAndReusesShards(t *testing.T) {
+	root := reuseCorpus(12)
+	const k = 4
+	prior := Build(root, k)
+
+	same, reused := BuildReusing(root, k, prior)
+	if reused != k {
+		t.Fatalf("identical corpus: reused %d groups, want %d", reused, k)
+	}
+	assertSameResults(t, same, Build(root, k), "gadget")
+
+	// A structurally equal but distinct tree shares no node objects, so
+	// nothing may be (incorrectly) reused.
+	grown := reuseCorpus(12)
+	fresh, reusedNone := BuildReusing(grown, k, prior)
+	if reusedNone != 0 {
+		t.Fatalf("unrelated trees: reused %d groups, want 0", reusedNone)
+	}
+	assertSameResults(t, fresh, Build(grown, k), "gadget")
+}
+
+func assertSameResults(t *testing.T, a, b *Engine, query string) {
+	t.Helper()
+	ra, errA := a.Search(query)
+	rb, errB := b.Search(query)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("errors differ: %v vs %v", errA, errB)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("result counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Label != rb[i].Label || !ra[i].Node.ID.Equal(rb[i].Node.ID) {
+			t.Fatalf("result %d differs: %s@%s vs %s@%s", i, ra[i].Label, ra[i].Node.ID, rb[i].Label, rb[i].Node.ID)
+		}
+	}
+}
+
+func TestBuildReusingAppendOnSharedTree(t *testing.T) {
+	// The real compaction scenario: the grown tree shares its existing
+	// child objects with the tree the prior engine indexed, so every
+	// group whose boundary survives the re-balance is reused. The first
+	// two products are much heavier than the rest, so group 0's size
+	// overshoot absorbs the appended entity and only the last group is
+	// rebuilt.
+	var b strings.Builder
+	b.WriteString("<shop>")
+	for i := 0; i < 4; i++ {
+		reviews := 0
+		if i < 2 {
+			reviews = 5
+		}
+		fmt.Fprintf(&b, "<product><name>item%d</name><kind>gadget</kind>", i)
+		for r := 0; r < reviews; r++ {
+			fmt.Fprintf(&b, "<review>opinion %d</review>", r)
+		}
+		b.WriteString("</product>")
+	}
+	b.WriteString("</shop>")
+	root := xmltree.MustParseString(b.String())
+	const k = 2
+	prior := Build(root, k)
+
+	p := xmltree.NewElement("product")
+	p.Leaf("name", "item4").Leaf("kind", "gadget")
+	p.AssignIDs(root.ID.Child(len(root.Children)))
+	p.Parent = root
+	root.Children = append(root.Children, p)
+
+	eng, reused := BuildReusing(root, k, prior)
+	if reused != 1 {
+		t.Fatalf("append-at-end compaction reused %d shards, want 1", reused)
+	}
+	assertSameResults(t, eng, Build(root, k), "gadget")
+}

@@ -1,0 +1,69 @@
+package update
+
+// freqs is the live per-term document-frequency table. Copying the
+// whole vocabulary on every write would dominate the cost of an add
+// (the base table has one entry per corpus term), so the table is an
+// immutable base map shared by every state since the last compaction
+// plus a small copy-on-write overlay of adjustments from the pending
+// writes. Aggregates (distinct live terms, total postings) are
+// maintained alongside so index statistics stay O(1).
+type freqs struct {
+	base map[string]int // shared, never mutated after construction
+	over map[string]int // pending adjustments; entries may zero a term out
+	// terms is the number of distinct live terms (df > 0); postings is
+	// their sum — together the cold index's Stats.
+	terms, postings int
+}
+
+func newFreqs(base map[string]int) freqs {
+	f := freqs{base: base, terms: len(base)}
+	for _, n := range base {
+		f.postings += n
+	}
+	return f
+}
+
+// get returns the live document frequency of term (0 when absent).
+func (f freqs) get(term string) int { return f.base[term] + f.over[term] }
+
+// each visits every live term once with its frequency, in map order.
+func (f freqs) each(fn func(term string, df int)) {
+	for t, n := range f.base {
+		if d, ok := f.over[t]; ok {
+			if n+d > 0 {
+				fn(t, n+d)
+			}
+			continue
+		}
+		fn(t, n)
+	}
+	for t, d := range f.over {
+		if _, inBase := f.base[t]; !inBase && d > 0 {
+			fn(t, d)
+		}
+	}
+}
+
+// adjusted returns a new table with the signed per-term deltas applied
+// to a copied overlay; the base stays shared. sign is +1 for an added
+// subtree's contributions, -1 for a removed one's.
+func (f freqs) adjusted(contrib map[string]int, sign int) freqs {
+	nf := freqs{base: f.base, terms: f.terms, postings: f.postings,
+		over: make(map[string]int, len(f.over)+len(contrib))}
+	for t, d := range f.over {
+		nf.over[t] = d
+	}
+	for t, d := range contrib {
+		before := nf.base[t] + nf.over[t]
+		nf.over[t] += sign * d
+		after := nf.base[t] + nf.over[t]
+		nf.postings += after - before
+		switch {
+		case before == 0 && after > 0:
+			nf.terms++
+		case before > 0 && after == 0:
+			nf.terms--
+		}
+	}
+	return nf
+}

@@ -1,0 +1,216 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/slca"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// This file is the composite read path: every query runs against
+// base ⊕ delta − tombstones at the posting-list level, so the SLCA,
+// entity-mapping, ranking, and spell-correction stages all behave
+// exactly as a cold engine over the live logical corpus would.
+
+// list materializes the live composite posting list for one term:
+// base lists (one per shard plus spine for a sharded base) merged with
+// the delta list, minus every posting under a tombstone. Filtering
+// must happen before SLCA computation — removing a subtree's witnesses
+// can surface new, shallower SLCAs, not just hide old ones.
+func (s *state) list(term string) index.PostingList {
+	parts := s.src.postings(term)
+	if s.delta != nil {
+		parts = append(parts, s.delta.Lookup(term))
+	}
+	if len(s.tombstones) > 0 {
+		for i := range parts {
+			parts[i] = index.Without(parts[i], s.tombstones)
+		}
+	}
+	return index.MergeLists(parts...)
+}
+
+// lists resolves every term's composite list, sharing work between
+// duplicate terms.
+func (s *state) lists(terms []string) []index.PostingList {
+	cache := make(map[string]index.PostingList, len(terms))
+	out := make([]index.PostingList, len(terms))
+	for i, t := range terms {
+		l, ok := cache[t]
+		if !ok {
+			l = s.list(t)
+			cache[t] = l
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// nodeAt resolves a Dewey ID against the live tree. Only the top
+// ordinal needs special handling: removals leave holes in the root's
+// ordinal sequence, so it is looked up in the ordinal-sorted live
+// child table; below a top-level child, subtrees are untouched and
+// positional resolution applies.
+func (s *state) nodeAt(id dewey.ID) *xmltree.Node {
+	if len(id) == 0 {
+		return s.root
+	}
+	i := sort.Search(len(s.top), func(k int) bool { return s.top[k].ord >= id[0] })
+	if i == len(s.top) || s.top[i].ord != id[0] {
+		return nil
+	}
+	return s.top[i].node.NodeAt(id[1:])
+}
+
+// Search runs a keyword query over the live corpus with exactly the
+// monolithic pipeline semantics: tokenize → whole-corpus keyword check
+// → plan → SLCA over composite lists → entity mapping. Results come
+// back in document order; globally absent keywords produce the same
+// NoMatchError a cold engine reports.
+func (e *Engine) Search(query string) ([]*xseek.Result, error) {
+	s := e.view()
+	terms := index.TokenizeQuery(query)
+	if len(terms) == 0 {
+		return nil, xseek.ErrEmptyQuery
+	}
+	var missing []string
+	for _, t := range terms {
+		if s.df.get(t) == 0 {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, &index.NoMatchError{Terms: missing}
+	}
+	lists := s.lists(terms)
+	alg := slca.Plan(index.StatsOf(lists))
+	if alg == slca.AlgIndexedLookup {
+		e.plannerIndexed.Add(1)
+	} else {
+		e.plannerScan.Add(1)
+	}
+	return s.mapToEntities(slca.ComputeWith(alg, lists))
+}
+
+// mapToEntities is the entity-map + label stage over the live tree,
+// mirroring the xseek pipeline: lift each SLCA to its nearest enclosing
+// entity under the live schema, merge matches sharing an entity, label,
+// and sort into document order.
+func (s *state) mapToEntities(matches []dewey.ID) ([]*xseek.Result, error) {
+	var out []*xseek.Result
+	seen := make(map[string]bool)
+	for _, m := range matches {
+		n := s.nodeAt(m)
+		if n == nil {
+			return nil, fmt.Errorf("update: internal: SLCA %v not in live tree", m)
+		}
+		resultRoot := s.schema.NearestEntity(n)
+		if resultRoot == nil {
+			resultRoot = n
+		}
+		key := resultRoot.ID.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, &xseek.Result{Node: resultRoot, Match: n, Label: xseek.LabelFor(resultRoot)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node.ID.Compare(out[j].Node.ID) < 0 })
+	return out, nil
+}
+
+// RankResults scores and orders a result set with the exact cold-build
+// TF-IDF: term frequencies counted on the composite lists, inverse
+// document frequencies derived from the live (maintained) corpus
+// statistics, stable sort keeping document order on ties.
+func (e *Engine) RankResults(results []*xseek.Result, query string) []*xseek.RankedResult {
+	out := e.scoreResults(e.view(), results, query)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// RankPage returns the options' window of the RankResults ordering.
+func (e *Engine) RankPage(results []*xseek.Result, query string, opts xseek.SearchOptions) []*xseek.RankedResult {
+	lo, hi := opts.Window(len(results))
+	return e.RankResults(results, query)[lo:hi]
+}
+
+// scoreResults computes TF-IDF scores in input order — the live twin of
+// the xseek and shard scoring stages, sharing their weight formulas so
+// scores are bit-identical.
+func (e *Engine) scoreResults(s *state, results []*xseek.Result, query string) []*xseek.RankedResult {
+	terms := index.TokenizeQuery(query)
+	lists := make(map[string]index.PostingList, len(terms))
+	out := make([]*xseek.RankedResult, len(results))
+	for i, r := range results {
+		score := 0.0
+		for _, t := range terms {
+			df := s.df.get(t)
+			if df == 0 {
+				continue
+			}
+			l, ok := lists[t]
+			if !ok {
+				l = s.list(t)
+				lists[t] = l
+			}
+			tf := index.CountUnder(l, r.Node.ID)
+			if tf == 0 {
+				continue
+			}
+			score += xseek.TermWeight(tf, xseek.IDF(s.totalNodes, df))
+		}
+		out[i] = &xseek.RankedResult{Result: r, Score: score}
+	}
+	return out
+}
+
+// CleanQuery spell-corrects each keyword against the live vocabulary
+// with the single-index candidate ranking (distance, then frequency,
+// then term).
+func (e *Engine) CleanQuery(query string) []string {
+	s := e.view()
+	terms := index.TokenizeQuery(query)
+	out := make([]string, len(terms))
+	for i, t := range terms {
+		if s.df.get(t) > 0 {
+			out[i] = t
+			continue
+		}
+		if sugg := index.SuggestIn(s.eachTerm, t, 2); len(sugg) > 0 {
+			out[i] = sugg[0]
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}
+
+func (s *state) eachTerm(f func(term string, df int)) {
+	s.df.each(f)
+}
+
+// Root returns the live document tree. Mutations replace it (the
+// returned tree itself is immutable), so do not retain it across
+// writes.
+func (e *Engine) Root() *xmltree.Node { return e.view().root }
+
+// Schema returns the live schema summary, maintained to equal a cold
+// inference of the current logical corpus.
+func (e *Engine) Schema() *xseek.Schema { return e.view().schema }
+
+// TotalNodes returns the live corpus node count.
+func (e *Engine) TotalNodes() int { return e.view().totalNodes }
+
+// DocFreq returns the number of live corpus nodes containing term.
+func (e *Engine) DocFreq(term string) int { return e.view().df.get(term) }
+
+// PlannerDecisions reports the SLCA cost-planner tallies for queries
+// executed on the live read path.
+func (e *Engine) PlannerDecisions() (indexedLookup, scanEager int64) {
+	return e.plannerIndexed.Load(), e.plannerScan.Load()
+}

@@ -1,0 +1,114 @@
+package xseek
+
+import "repro/internal/xmltree"
+
+// This file exposes schema inference in a decomposed, incrementally
+// recomposable form for the live write path (package update): the
+// evidence a single top-level subtree contributes is collected once and
+// cached, and the whole-corpus schema is recomposed from the cached
+// pieces after every add/remove — exactly equal to InferSchema over the
+// logical tree, without re-walking unchanged subtrees.
+
+// Evidence is the schema-inference contribution of one subtree: the
+// per-node-type instance tallies and sibling maxima observed inside it.
+// Evidence values are immutable once collected and may be shared by any
+// number of ComposeSchema calls.
+type Evidence struct {
+	types map[string]*typeInfo
+}
+
+// CollectEvidence gathers the evidence of the subtree rooted at child,
+// whose parent is the document root with tag rootTag. It observes
+// everything InferSchema's visit of that child observes except the
+// child's own sibling count under the root, which belongs to the root
+// and is supplied by ComposeSchema.
+func CollectEvidence(child *xmltree.Node, rootTag string) *Evidence {
+	local := &Schema{types: make(map[string]*typeInfo)}
+	local.visit(child, rootTag+"/"+child.Tag)
+	return &Evidence{types: local.types}
+}
+
+// ComposeSchema assembles the whole-corpus schema from the document
+// root plus the evidence of each of its live element children, in any
+// order. children must be exactly the root's live element children
+// (the sibling counts among them are the root's own evidence); ev maps
+// each child to its collected Evidence. The result equals
+// InferSchema over the tree the arguments describe — same instance
+// counts, leaf tallies, and sibling maxima on every path.
+func ComposeSchema(root *xmltree.Node, children []*xmltree.Node, ev func(*xmltree.Node) *Evidence) *Schema {
+	s := &Schema{types: make(map[string]*typeInfo)}
+	rootInfo := &typeInfo{path: root.Tag, tag: root.Tag, instances: 1}
+	if rootIsLeafOver(root, children) {
+		rootInfo.leafInstances = 1
+	}
+	s.types[root.Tag] = rootInfo
+	for _, c := range children {
+		for path, info := range ev(c).types {
+			dst := s.types[path]
+			if dst == nil {
+				// Copy: cached evidence must never be mutated by a merge.
+				cp := *info
+				s.types[path] = &cp
+				continue
+			}
+			dst.instances += info.instances
+			dst.leafInstances += info.leafInstances
+			if info.maxSiblings > dst.maxSiblings {
+				dst.maxSiblings = info.maxSiblings
+			}
+		}
+	}
+	counts := make(map[string]int)
+	for _, c := range children {
+		counts[c.Tag]++
+	}
+	for tag, n := range counts {
+		if ci := s.types[root.Tag+"/"+tag]; ci != nil && n > ci.maxSiblings {
+			ci.maxSiblings = n
+		}
+	}
+	return s
+}
+
+// WithChildEvidence returns a copy of s with one more top-level
+// child's evidence folded in — the O(distinct paths) add-path twin of
+// ComposeSchema. siblingCount is the new number of live root children
+// sharing the child's tag. Additions only ever grow instance sums and
+// sibling maxima, so the fold equals a full recomposition; removals
+// must recompose (maxima cannot be decremented).
+func (s *Schema) WithChildEvidence(ev *Evidence, rootTag, childTag string, siblingCount int) *Schema {
+	ns := &Schema{types: make(map[string]*typeInfo, len(s.types)+len(ev.types))}
+	for p, info := range s.types {
+		cp := *info
+		ns.types[p] = &cp
+	}
+	// The root has an element child now, so it is no longer a leaf.
+	if ri := ns.types[rootTag]; ri != nil {
+		ri.leafInstances = 0
+	}
+	for p, info := range ev.types {
+		dst := ns.types[p]
+		if dst == nil {
+			cp := *info
+			ns.types[p] = &cp
+			continue
+		}
+		dst.instances += info.instances
+		dst.leafInstances += info.leafInstances
+		if info.maxSiblings > dst.maxSiblings {
+			dst.maxSiblings = info.maxSiblings
+		}
+	}
+	if ci := ns.types[rootTag+"/"+childTag]; ci != nil && siblingCount > ci.maxSiblings {
+		ci.maxSiblings = siblingCount
+	}
+	return ns
+}
+
+// rootIsLeafOver reports whether the root counts as a leaf element for
+// schema purposes given its live element children: leaf means no
+// element children at all (its text children, which never change under
+// entity adds/removes, don't disqualify it).
+func rootIsLeafOver(root *xmltree.Node, children []*xmltree.Node) bool {
+	return root.IsElement() && len(children) == 0
+}

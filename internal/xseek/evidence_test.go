@@ -1,0 +1,61 @@
+package xseek
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// schemasEqual compares two schemas on every path either knows about:
+// identical path sets and identical category + instance evidence.
+func schemasEqual(t *testing.T, got, want *Schema) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Paths(), want.Paths()) {
+		t.Fatalf("paths: got %v, want %v", got.Paths(), want.Paths())
+	}
+	for _, p := range want.Paths() {
+		if got.CategoryOf(p) != want.CategoryOf(p) {
+			t.Fatalf("path %q: category %v, want %v", p, got.CategoryOf(p), want.CategoryOf(p))
+		}
+		if got.Instances(p) != want.Instances(p) {
+			t.Fatalf("path %q: instances %d, want %d", p, got.Instances(p), want.Instances(p))
+		}
+	}
+}
+
+func TestComposeSchemaEqualsInferSchema(t *testing.T) {
+	root := xmltree.MustParseString(`<shop>
+	  <product><name>a</name><review>good</review><review>bad</review></product>
+	  <product><name>b</name><review>ok</review></product>
+	  <info>opening hours</info>
+	</shop>`)
+	kids := root.ChildElements()
+	cache := make(map[*xmltree.Node]*Evidence)
+	ev := func(c *xmltree.Node) *Evidence {
+		if e := cache[c]; e != nil {
+			return e
+		}
+		e := CollectEvidence(c, root.Tag)
+		cache[c] = e
+		return e
+	}
+	schemasEqual(t, ComposeSchema(root, kids, ev), InferSchema(root))
+
+	// Removing one product must recompose to exactly the schema a cold
+	// inference of the pruned tree produces — including the category
+	// flip of <product> from entity to non-entity when only one is left.
+	pruned := root.Clone()
+	pruned.Children = append([]*xmltree.Node{}, pruned.Children[1:]...)
+	pruned.AssignIDs(nil)
+	cold := InferSchema(pruned)
+	composed := ComposeSchema(root, kids[1:], ev)
+	schemasEqual(t, composed, cold)
+	if composed.CategoryOf("shop/product") == EntityNode {
+		t.Fatalf("single remaining product should not be an entity")
+	}
+
+	// Composition must not have mutated the cached evidence: composing
+	// the full child set again still equals the cold full schema.
+	schemasEqual(t, ComposeSchema(root, kids, ev), InferSchema(root))
+}

@@ -1,0 +1,62 @@
+package xsact
+
+import (
+	"fmt"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// This file is the facade over the live write path (internal/update):
+// incremental entity ingest and deletion on an already-built Document,
+// with reads served from an epoch-swapped composite of the immutable
+// base plus the pending delta and tombstones. Search results after any
+// sequence of writes are indistinguishable from re-parsing the updated
+// corpus from scratch — at a small fraction of the cost.
+
+// AddEntity parses an XML fragment (one element subtree) and appends
+// it as a new top-level entity of the live corpus. The entity is
+// searchable as soon as AddEntity returns. It returns the entity's ID
+// string — the handle RemoveEntity and the HTTP API accept.
+func (d *Document) AddEntity(xmlFragment string) (string, error) {
+	n, err := xmltree.ParseString(xmlFragment)
+	if err != nil {
+		return "", fmt.Errorf("xsact: add entity: %w", err)
+	}
+	id, err := d.eng.AddEntity(n)
+	if err != nil {
+		return "", err
+	}
+	return id.String(), nil
+}
+
+// RemoveEntity removes the top-level entity with the given ID string
+// (as reported by AddEntity, Result.Describe listings, or the JSON
+// API's id field) from the live corpus. The entity stops matching
+// queries immediately; its index postings are masked by a tombstone
+// until the next compaction drops them physically.
+func (d *Document) RemoveEntity(id string) error {
+	did, err := dewey.Parse(id)
+	if err != nil {
+		return fmt.Errorf("xsact: remove entity %q: %w", id, err)
+	}
+	return d.eng.RemoveEntity(did)
+}
+
+// Compact folds pending additions and removals back into the
+// document's base index under an atomic epoch swap — concurrent
+// searches are never blocked. Compaction happens automatically when
+// Options.AutoCompactEvery is set; calling it explicitly is useful
+// before snapshotting or after a burst of removals.
+func (d *Document) Compact() error { return d.eng.Compact() }
+
+// PendingUpdates reports the write backlog awaiting compaction: how
+// many added entities sit in the delta index and how many removals are
+// masked by tombstones. Both are zero for a never-written document and
+// right after a compaction.
+func (d *Document) PendingUpdates() (deltaEntities, tombstones int) {
+	if live := d.eng.Live(); live != nil {
+		return live.Pending()
+	}
+	return 0, 0
+}

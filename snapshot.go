@@ -12,15 +12,23 @@ import (
 // SaveSnapshot writes the document's derived state — inverted index,
 // inferred schema, and corpus metadata — so a later process can reopen
 // the same XML with LoadSnapshot and skip index construction and
-// schema inference entirely.
+// schema inference entirely. A document with live updates is written
+// in the journaled live layout: the base snapshot plus the pending
+// writes, replayed on load.
 func (d *Document) SaveSnapshot(w io.Writer) error {
 	return persist.Save(w, d.eng, persist.Meta{})
 }
 
 // LoadSnapshot parses the XML document and attaches a snapshot written
 // by SaveSnapshot over the same XML. It fails when the snapshot is
-// corrupt, from an old format version, or taken from a different
-// document; callers should fall back to Parse, which rebuilds.
+// corrupt or from an old format version; callers should fall back to
+// Parse, which rebuilds. An immutable snapshot is additionally
+// rejected when it was taken from a different document (corpus
+// fingerprint check). A live snapshot instead carries its own base
+// document — the caller's XML cannot know about applied writes — so
+// its identity rests on the snapshot's internal checksums and
+// fingerprint, the xml argument is superseded, and the returned
+// Document resumes with every pending write intact.
 func LoadSnapshot(xml, snapshot io.Reader) (*Document, error) {
 	root, err := xmltree.Parse(xml)
 	if err != nil {
@@ -30,7 +38,7 @@ func LoadSnapshot(xml, snapshot io.Reader) (*Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Document{root: root, eng: eng}, nil
+	return &Document{root: eng.Root(), eng: eng}, nil
 }
 
 // LoadSnapshotString is LoadSnapshot over an in-memory document.

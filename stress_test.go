@@ -6,6 +6,8 @@ package xsact
 // period of time" despite that. Skipped with -short.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -58,6 +60,107 @@ func TestStressHundredsOfReviews(t *testing.T) {
 		t.Fatalf("DFS generation took %v over hundreds-of-reviews corpus", genTime)
 	}
 	t.Logf("extract=%v generate=%v over %d results", extractTime, genTime, len(results))
+}
+
+// TestStressLiveUpdatesUnderLoad hammers a live document with
+// concurrent searchers, rankers, and snippet readers while a writer
+// streams adds, removes, and compactions through the facade. Run with
+// -race this exercises the full serving stack's epoch-swap coherence:
+// cached outcomes must never leak across writes, and every observed
+// answer must be well-formed. Skipped with -short.
+func TestStressLiveUpdatesUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			doc, err := BuiltinDatasetWith("reviews", 3, Options{Shards: shards, AutoCompactEvery: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			var readers sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				readers.Add(1)
+				go func(r int) {
+					defer readers.Done()
+					queries := []string{"tomtom gps", "camera", "stressterm", "gps"}
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						q := queries[(i+r)%len(queries)]
+						results, _, total, err := doc.SearchRankedPage(q, 5, 0)
+						if err != nil {
+							continue
+						}
+						if len(results) > total {
+							t.Errorf("page of %d results from a total of %d", len(results), total)
+							return
+						}
+						if len(results) >= 2 {
+							if _, err := Compare(results[:2], CompareOptions{SizeBound: 6}); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+						for _, res := range results {
+							if res.Describe() == "" {
+								t.Error("empty result description")
+								return
+							}
+						}
+					}
+				}(r)
+			}
+
+			var added []string
+			for op := 0; op < 80; op++ {
+				switch {
+				case op%4 == 3 && len(added) > 0:
+					// A background auto-compaction may have renumbered and
+					// invalidated the handle; that's the documented contract
+					// (IDs are positional addresses), so a miss is fine.
+					_ = doc.RemoveEntity(added[0])
+					added = added[1:]
+				case op%10 == 9:
+					if err := doc.Compact(); err != nil {
+						t.Fatal(err)
+					}
+					added = nil // compaction renumbers; drop stale handles
+				default:
+					id, err := doc.AddEntity(fmt.Sprintf(
+						"<product><name>StressItem %d</name><category>stressterm gadget</category></product>", op))
+					if err != nil {
+						t.Fatal(err)
+					}
+					added = append(added, id)
+				}
+			}
+			close(stop)
+			readers.Wait()
+
+			// The writer's entities that survived must be searchable, and
+			// the backlog must drain on a final compaction.
+			if err := doc.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if delta, tombs := doc.PendingUpdates(); delta != 0 || tombs != 0 {
+				t.Fatalf("backlog after final compaction: %d/%d", delta, tombs)
+			}
+			results, err := doc.Search("stressterm")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) == 0 {
+				t.Fatal("no stress entities survived")
+			}
+		})
+	}
 }
 
 func TestStressHundredsOfProductsPerBrand(t *testing.T) {

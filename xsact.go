@@ -37,9 +37,12 @@ func (d *Document) Engine() *engine.Engine { return d.eng }
 // Document is a parsed, indexed XML corpus ready for search. It is a
 // thin wrapper over the concurrent serving engine (internal/engine):
 // searches, feature statistics, and generated DFS sets are cached
-// there, and every method is safe for concurrent use.
+// there, and every method is safe for concurrent use. The corpus is
+// live — AddEntity/RemoveEntity/Compact mutate it while it serves —
+// so corpus reads go through the engine, not the construction-time
+// root kept here.
 type Document struct {
-	root *xmltree.Node
+	root *xmltree.Node // the tree at construction; the live tree is eng.Root()
 	eng  *engine.Engine
 }
 
@@ -52,12 +55,16 @@ type Options struct {
 	// engine; 0 or 1 keeps the single monolithic index. The count is
 	// clamped to the number of top-level entities in the corpus.
 	Shards int
+	// AutoCompactEvery compacts the live write path in the background
+	// once that many uncompacted writes (AddEntity/RemoveEntity calls)
+	// are pending. 0 leaves compaction to explicit Compact calls.
+	AutoCompactEvery int
 }
 
 // engineConfig translates the facade options to the engine layer's
 // configuration.
 func (o Options) engineConfig() engine.Config {
-	return engine.Config{Shards: o.Shards}
+	return engine.Config{Shards: o.Shards, AutoCompactThreshold: o.AutoCompactEvery}
 }
 
 // Parse reads an XML document and builds the search engine (inverted
@@ -124,8 +131,9 @@ func BuiltinDatasetWith(name string, seed int64, opts Options) (*Document, error
 // (1 when unsharded).
 func (d *Document) Shards() int { return d.eng.ShardCount() }
 
-// XML serializes the document back to XML.
-func (d *Document) XML() string { return xmltree.XMLString(d.root) }
+// XML serializes the document back to XML. It reflects live updates:
+// added entities appear, removed ones don't.
+func (d *Document) XML() string { return xmltree.XMLString(d.eng.Root()) }
 
 // Result is one search result: an entity subtree of the document.
 type Result struct {
