@@ -58,7 +58,7 @@ type searchResponse struct {
 	Results  []apiResult `json:"results"`
 }
 
-// apiSearch serves GET /api/v1/search?dataset=...&q=...[&limit=N&offset=M]
+// apiSearch serves GET /api/v1/search?dataset=...&q=...[&limit=N&offset=M][&exec=...]
 // — dataset may be omitted (first dataset) or "Any (auto-select)" for
 // database selection; limit/offset select a window of the result list
 // (limit 0 or absent returns everything). A query whose keywords match
@@ -66,6 +66,14 @@ type searchResponse struct {
 // missing keywords listed; an offset past the end is a well-formed
 // empty page. Result indices are positions in the full list, so a
 // paginated client passes them to compare/snippet unchanged.
+//
+// exec selects the execution strategy: "eager" or "auto" (the default)
+// materializes the full result list and slices the window, reporting
+// the exact total; "stream" pulls lazily from a resumable per-query
+// cursor that stops at the window's end — the cheapest way to page
+// forward through a huge result list — and reports total -1 until some
+// window reaches the end of the results. Both spellings return the
+// same results in the same order.
 func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 	query := r.FormValue("q")
 	if query == "" {
@@ -78,7 +86,18 @@ func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	limit, offset := pageParams(r)
-	page, cleaned, err := eng.SearchCleanedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+	var page *engine.Page
+	var cleaned []string
+	var err error
+	switch r.FormValue("exec") {
+	case "", "auto", "eager":
+		page, cleaned, err = eng.SearchCleanedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+	case "stream":
+		page, cleaned, err = eng.SearchCleanedStreamPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+	default:
+		writeJSONError(w, http.StatusBadRequest, "bad exec parameter (want auto, eager, or stream)")
+		return
+	}
 	resp := searchResponse{Dataset: ds, Query: query, Cleaned: cleaned, Results: []apiResult{}}
 	if err != nil {
 		var noMatch *index.NoMatchError

@@ -199,6 +199,66 @@ func TestAPISearch(t *testing.T) {
 	}
 }
 
+// TestAPISearchStreamed: exec=stream serves the same window as the
+// eager default, reports total -1 while the stream has not reached the
+// end of the results, discovers the exact total once a window drains
+// the stream, and rejects unknown exec values.
+func TestAPISearchStreamed(t *testing.T) {
+	srv := testServer(t)
+	base := srv.URL + "/api/v1/search?dataset=Product+Reviews&q=tomtom+gps"
+	_, eagerBody := get(t, base+"&limit=1")
+	eager := decodeJSON[searchResponse](t, eagerBody)
+	if eager.Total <= 1 {
+		t.Fatalf("fixture too small for early termination: total %d", eager.Total)
+	}
+
+	code, body := get(t, base+"&limit=1&exec=stream")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	streamed := decodeJSON[searchResponse](t, body)
+	if streamed.Total != -1 {
+		t.Fatalf("early-stopped streamed total = %d, want -1", streamed.Total)
+	}
+	if len(streamed.Results) != len(eager.Results) {
+		t.Fatalf("streamed window has %d results, eager %d", len(streamed.Results), len(eager.Results))
+	}
+	for i := range eager.Results {
+		if streamed.Results[i] != eager.Results[i] {
+			t.Fatalf("streamed result %d = %+v, eager %+v", i, streamed.Results[i], eager.Results[i])
+		}
+	}
+
+	// An unbounded streamed request drains the cursor: exact total, and
+	// the full lists agree.
+	_, body = get(t, base+"&exec=stream")
+	drained := decodeJSON[searchResponse](t, body)
+	if drained.Total != eager.Total || len(drained.Results) != eager.Total {
+		t.Fatalf("drained stream: total %d, %d results, want %d", drained.Total, len(drained.Results), eager.Total)
+	}
+
+	// eager and auto are synonyms of the default.
+	for _, exec := range []string{"eager", "auto"} {
+		_, body = get(t, base+"&limit=1&exec="+exec)
+		if resp := decodeJSON[searchResponse](t, body); resp.Total != eager.Total {
+			t.Fatalf("exec=%s total = %d, want %d", exec, resp.Total, eager.Total)
+		}
+	}
+
+	code, body = get(t, base+"&exec=bogus")
+	if code != http.StatusBadRequest || !strings.Contains(body, `"error"`) {
+		t.Fatalf("bad exec: status %d body %s", code, body)
+	}
+
+	// The streamed counters surface in the metrics endpoint.
+	_, body = get(t, srv.URL+"/api/v1/metrics")
+	for _, field := range []string{"stream_hits", "stream_misses", "stream_cursor_len", "planner_streamed", "ranked_streamed", "ranked_eager"} {
+		if !strings.Contains(body, `"`+field+`"`) {
+			t.Fatalf("metrics missing %q: %s", field, body)
+		}
+	}
+}
+
 func TestAPISearchNoMatch(t *testing.T) {
 	srv := testServer(t)
 	code, body := get(t, srv.URL+"/api/v1/search?dataset=Movies&q=zzznope")

@@ -51,10 +51,11 @@ func (d *Document) SearchPage(query string, limit, offset int) ([]*Result, int, 
 
 // SearchRankedPage is SearchPage over the relevance ordering: the top
 // offset+limit results are selected with a bounded heap, skipping the
-// full sort when the window ends before the result list does. Scoring
-// still touches every result (scores are recomputed per call, like
-// SearchRanked). Concatenating consecutive pages reproduces
-// SearchRanked.
+// full sort when the window ends before the result list does. Small
+// windows over large uncached result sets route automatically to the
+// engine's streamed pipeline, which never materializes the full result
+// list; both routes return identical pages and exact totals.
+// Concatenating consecutive pages reproduces SearchRanked.
 func (d *Document) SearchRankedPage(query string, limit, offset int) ([]*Result, []float64, int, error) {
 	page, err := d.eng.SearchRankedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
 	if err != nil {
@@ -67,6 +68,32 @@ func (d *Document) SearchRankedPage(query string, limit, offset int) ([]*Result,
 		scores[i] = r.Score
 	}
 	return out, scores, page.Total, nil
+}
+
+// TotalUnknown is the total reported by SearchStreamPage when the
+// underlying stream stopped at the window's end without reaching the
+// last result — the exact total would cost draining the stream, which
+// is precisely what streamed paging avoids.
+const TotalUnknown = xseek.StreamTotalUnknown
+
+// SearchStreamPage is SearchPage over the lazy streaming pipeline: the
+// engine pulls results one at a time from an early-terminating
+// iterator stack and stops at the window's end, so the first page of a
+// huge result list costs one page of work. Consecutive pages resume a
+// cached cursor instead of re-searching. The returned total is
+// TotalUnknown until some window reaches the end of the results;
+// within any fixed epoch, concatenating consecutive pages reproduces
+// Search's full result list.
+func (d *Document) SearchStreamPage(query string, limit, offset int) ([]*Result, int, error) {
+	page, err := d.eng.SearchStreamPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]*Result, len(page.Results))
+	for i, r := range page.Results {
+		out[i] = &Result{doc: d, res: r, Label: r.Label}
+	}
+	return out, page.Total, nil
 }
 
 // SearchCleaned spell-corrects the query against the corpus vocabulary

@@ -112,6 +112,23 @@ func (id ID) LCA(other ID) ID {
 	return out
 }
 
+// PrefixLCA is LCA without the copy: the result is a capacity-pinned
+// subslice of id's backing array. It is safe to retain and to append
+// to (the pinned capacity forces append to reallocate), but callers
+// must not write its components in place. The SLCA hot loops use it to
+// fold candidates without allocating per comparison.
+func (id ID) PrefixLCA(other ID) ID {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	i := 0
+	for i < n && id[i] == other[i] {
+		i++
+	}
+	return id[:i:i]
+}
+
 // String renders the ID in dotted form, e.g. "0.2.1". The root renders
 // as "/".
 func (id ID) String() string {

@@ -121,6 +121,24 @@ func TestLCA(t *testing.T) {
 		if !rev.Equal(c.want) {
 			t.Errorf("LCA not symmetric: LCA(%v,%v) = %v", c.b, c.a, rev)
 		}
+		if p := c.a.PrefixLCA(c.b); !p.Equal(c.want) {
+			t.Errorf("PrefixLCA(%v,%v) = %v, want %v", c.a, c.b, p, c.want)
+		}
+	}
+}
+
+// TestPrefixLCACapPinned: PrefixLCA results share the receiver's
+// backing array but pin capacity, so appending to the result cannot
+// overwrite the receiver's later components.
+func TestPrefixLCACapPinned(t *testing.T) {
+	a := New(0, 1, 2)
+	p := a.PrefixLCA(New(0, 1, 9))
+	if cap(p) != len(p) {
+		t.Fatalf("cap(%v) = %d, want pinned to len %d", p, cap(p), len(p))
+	}
+	_ = append(p, 77)
+	if !a.Equal(New(0, 1, 2)) {
+		t.Fatalf("append through PrefixLCA result mutated receiver: %v", a)
 	}
 }
 

@@ -32,6 +32,10 @@ type Config struct {
 	// summarize, but diverse traffic must not grow the cache without
 	// bound).
 	StatsCacheSize int
+	// StreamCursorCacheSize bounds the resumable stream-cursor LRU
+	// behind SearchStreamPage (each entry holds a live lazy pipeline
+	// plus its consumed prefix). Default 32.
+	StreamCursorCacheSize int
 	// Shards selects the sharded executor with that many index shards
 	// (clamped to the corpus's top-level entity count). 0 or 1 keeps
 	// the monolithic single-index executor. Results are identical
@@ -55,6 +59,9 @@ func (c Config) normalized() Config {
 	}
 	if c.StatsCacheSize == 0 {
 		c.StatsCacheSize = 4096
+	}
+	if c.StreamCursorCacheSize == 0 {
+		c.StreamCursorCacheSize = 32
 	}
 	return c
 }
@@ -85,6 +92,17 @@ type Metrics struct {
 	// own leg of a fan-out).
 	PlannerIndexedLookup int64 `json:"planner_indexed_lookup"`
 	PlannerScanEager     int64 `json:"planner_scan_eager"`
+	// Streamed-execution counters: PlannerStreamed is the executor's
+	// count of ranked pages that ran the lazy early-terminating
+	// pipeline; RankedStreamed/RankedEager split SearchRankedPage's
+	// serving-level routing decisions; the Stream* trio tracks the
+	// resumable doc-order stream-cursor cache behind SearchStreamPage.
+	PlannerStreamed int64 `json:"planner_streamed"`
+	RankedStreamed  int64 `json:"ranked_streamed"`
+	RankedEager     int64 `json:"ranked_eager"`
+	StreamHits      int64 `json:"stream_hits"`
+	StreamMisses    int64 `json:"stream_misses"`
+	StreamCursorLen int   `json:"stream_cursor_len"`
 	// Shards is the executor's shard count (1 = monolithic index);
 	// ShardRebuilds counts shards rebuilt from the tree because their
 	// snapshot section was missing or corrupt.
@@ -116,6 +134,14 @@ type executor interface {
 	PlannerDecisions() (indexedLookup, scanEager int64)
 	TotalNodes() int
 	DocFreq(term string) int
+	// Streamed read paths: a lazy doc-order cursor, the early-
+	// terminating ranked page (bit-identical to Search + RankPage), the
+	// result-count estimate the stream planner keys on, and the
+	// executor's streamed-decision counter.
+	SearchStream(query string) (xseek.Cursor, error)
+	SearchRankedPageStream(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, error)
+	EstimateResults(query string) int
+	StreamedDecisions() int64
 }
 
 // executorBox is the engine's current executor with its concrete
@@ -165,16 +191,21 @@ type Engine struct {
 
 	compacting atomic.Bool // auto-compaction single-flight guard
 
-	statsMu sync.Mutex
-	stats   *lru // result-root Dewey ID + label → cacheEntry{*feature.Stats}
-	queryMu sync.Mutex
-	queries *lru // normalized query → queryOutcome
-	dfsMu   sync.Mutex
-	dfs     *lru // selection key → cacheEntry{[]*core.DFS}
+	statsMu  sync.Mutex
+	stats    *lru // result-root Dewey ID + label → cacheEntry{*feature.Stats}
+	queryMu  sync.Mutex
+	queries  *lru // normalized query → queryOutcome
+	dfsMu    sync.Mutex
+	dfs      *lru // selection key → cacheEntry{[]*core.DFS}
+	streamMu sync.Mutex
+	streams  *lru // normalized query → *streamCursor
 
-	queryHits, queryMisses atomic.Int64
-	statsHits, statsMisses atomic.Int64
-	dfsHits, dfsMisses     atomic.Int64
+	queryHits, queryMisses   atomic.Int64
+	statsHits, statsMisses   atomic.Int64
+	dfsHits, dfsMisses       atomic.Int64
+	streamHits, streamMisses atomic.Int64
+
+	rankedStreamed, rankedEager atomic.Int64
 
 	queryEvictions, statsEvictions, dfsEvictions atomic.Int64
 }
@@ -219,6 +250,7 @@ func newServing(cfg Config) *Engine {
 		stats:   newLRU(cfg.StatsCacheSize),
 		queries: newLRU(cfg.QueryCacheSize),
 		dfs:     newLRU(cfg.DFSCacheSize),
+		streams: newLRU(cfg.StreamCursorCacheSize),
 	}
 }
 
@@ -405,6 +437,9 @@ func (e *Engine) purgeCaches() {
 	e.dfsMu.Lock()
 	e.dfs.purge()
 	e.dfsMu.Unlock()
+	e.streamMu.Lock()
+	e.streams.purge()
+	e.streamMu.Unlock()
 }
 
 // Metrics returns a snapshot of the cache, planner, and live-update
@@ -422,7 +457,12 @@ func (e *Engine) Metrics() Metrics {
 		DFSHits:        e.dfsHits.Load(), DFSMisses: e.dfsMisses.Load(),
 		DFSEvictions:         e.dfsEvictions.Load(),
 		PlannerIndexedLookup: indexed, PlannerScanEager: scan,
-		Shards: 1,
+		PlannerStreamed: box.exec.StreamedDecisions(),
+		RankedStreamed:  e.rankedStreamed.Load(),
+		RankedEager:     e.rankedEager.Load(),
+		StreamHits:      e.streamHits.Load(),
+		StreamMisses:    e.streamMisses.Load(),
+		Shards:          1,
 	}
 	if sh := box.sharded(); sh != nil {
 		m.Shards = sh.ShardCount()
@@ -443,6 +483,9 @@ func (e *Engine) Metrics() Metrics {
 	e.dfsMu.Lock()
 	m.DFSCacheLen = e.dfs.len()
 	e.dfsMu.Unlock()
+	e.streamMu.Lock()
+	m.StreamCursorLen = e.streams.len()
+	e.streamMu.Unlock()
 	return m
 }
 
@@ -592,22 +635,41 @@ func (e *Engine) SearchCleanedPage(query string, opts xseek.SearchOptions) (*Pag
 }
 
 // SearchRankedPage searches through the cache and returns the options'
-// window of the relevance ordering, selected with a bounded heap
-// instead of a full sort when the window ends before the result list
-// does. Like SearchRanked, the search and scoring are retried together
-// until they observe one stable epoch.
+// window of the relevance ordering. On a query-cache hit the cached
+// result list is re-scored eagerly (windowing over it is nearly free);
+// on a miss with a small bounded window over a large estimated result
+// set it routes to the executor's streamed pipeline, which never
+// materializes the full result list. Both routes produce bit-identical
+// pages and exact totals. Like SearchRanked, each attempt is retried
+// until it observes one stable epoch.
+//
+// The streamed route deliberately does not populate the query cache —
+// it never computes the full result list, and a partial entry would
+// poison doc-order paging. A later Search of the same query warms the
+// cache as usual, after which ranked pages go eager.
 func (e *Engine) SearchRankedPage(query string, opts xseek.SearchOptions) (*RankedPage, error) {
 	var out *RankedPage
 	for i := 0; i < rankedAttempts; i++ {
 		box := e.box()
 		epoch := box.epoch()
-		results, err := e.Search(query)
-		if err != nil {
-			return nil, err
+		if e.routeStreamed(box, epoch, query, opts) {
+			page, total, err := box.exec.SearchRankedPageStream(query, opts)
+			if err != nil {
+				return nil, err
+			}
+			e.rankedStreamed.Add(1)
+			lo, _ := opts.Window(total)
+			out = &RankedPage{Results: page, Total: total, Offset: lo}
+		} else {
+			results, err := e.Search(query)
+			if err != nil {
+				return nil, err
+			}
+			e.rankedEager.Add(1)
+			page := box.exec.RankPage(results, query, opts)
+			lo, _ := opts.Window(len(results))
+			out = &RankedPage{Results: page, Total: len(results), Offset: lo}
 		}
-		page := box.exec.RankPage(results, query, opts)
-		lo, _ := opts.Window(len(results))
-		out = &RankedPage{Results: page, Total: len(results), Offset: lo}
 		if box.epoch() == epoch {
 			break
 		}

@@ -50,6 +50,10 @@ func (idx *Index) ensureSorted() {
 			idx.postings[term] = list
 		}
 	}
+	// Every construction path (Build, BuildForest, BuildNodes, Merge,
+	// the parallel builder) funnels through here, so the skip ladders
+	// are derived exactly once per index.
+	idx.buildSkips()
 }
 
 // CountUnder returns how many posting IDs fall inside the subtree

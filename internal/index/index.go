@@ -25,6 +25,9 @@ type Index struct {
 	root     *xmltree.Node
 	terms    int // total term occurrences, for stats
 	elements int // distinct elements with at least one posting
+	// skips holds the skip-pointer ladders of long posting lists (see
+	// skips.go); nil until buildSkips runs, absent for short lists.
+	skips map[string]PostingList
 }
 
 // Build constructs an index over the tree rooted at root. The tree must
@@ -258,5 +261,6 @@ func Load(r io.Reader, root *xmltree.Node) (*Index, error) {
 		}
 		idx.postings[term] = list
 	}
+	idx.buildSkips()
 	return idx, nil
 }

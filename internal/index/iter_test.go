@@ -1,0 +1,198 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dewey"
+)
+
+// randomList builds a sorted, duplicate-free posting list of n random
+// Dewey IDs up to the given depth.
+func randomList(r *rand.Rand, n, depth int) PostingList {
+	seen := make(map[string]bool)
+	var out PostingList
+	for len(out) < n {
+		d := 1 + r.Intn(depth)
+		id := make(dewey.ID, d)
+		for i := range id {
+			id[i] = r.Intn(8)
+		}
+		if seen[id.String()] {
+			continue
+		}
+		seen[id.String()] = true
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func eq(t *testing.T, got, want PostingList, what string) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: got %v, want %v", what, got, want)
+	}
+}
+
+func TestListIterCollectRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		l := randomList(r, r.Intn(50), 4)
+		eq(t, CollectIter(ListIter(l)), l, "gallop")
+		eq(t, CollectIter(ListIterLinear(l)), l, "linear")
+	}
+}
+
+func TestMergeIterEqualsMergeLists(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		// Disjoint node sets: partition one random list.
+		all := randomList(r, 60, 4)
+		k := 1 + r.Intn(4)
+		parts := make([]PostingList, k)
+		for _, id := range all {
+			g := r.Intn(k)
+			parts[g] = append(parts[g], id)
+		}
+		its := make([]Iter, k)
+		for i, p := range parts {
+			its[i] = ListIter(p)
+		}
+		eq(t, CollectIter(MergeIter(its...)), MergeLists(parts...), "merge")
+	}
+}
+
+func TestWithoutIterEqualsWithout(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		l := randomList(r, 50, 4)
+		// Disjoint top-level tombstones, like the live path's.
+		var excl []dewey.ID
+		for ord := 0; ord < 8; ord++ {
+			if r.Intn(3) == 0 {
+				excl = append(excl, dewey.New(ord))
+			}
+		}
+		eq(t, CollectIter(WithoutIter(ListIter(l), excl)), Without(l, excl), "without")
+	}
+}
+
+// TestIterSeekPredAgainstBruteForce drives Seek with a random monotone
+// target sequence through a composed merge-minus-tombstones cursor and
+// checks every Seek and PredOf answer against the materialized
+// composite list.
+func TestIterSeekPredAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		all := randomList(r, 80, 4)
+		parts := make([]PostingList, 3)
+		for _, id := range all {
+			g := r.Intn(3)
+			parts[g] = append(parts[g], id)
+		}
+		var excl []dewey.ID
+		for ord := 0; ord < 8; ord += 2 {
+			if r.Intn(2) == 0 {
+				excl = append(excl, dewey.New(ord))
+			}
+		}
+		want := Without(MergeLists(parts...), excl)
+
+		it := WithoutIter(MergeIter(ListIter(parts[0]), ListIterLinear(parts[1]), ListIter(parts[2])), excl)
+		targets := randomList(r, 30, 4) // sorted: a valid monotone seek sequence
+		for _, tgt := range targets {
+			gotV, gotOK := it.Seek(tgt)
+			wi := sort.Search(len(want), func(k int) bool { return want[k].Compare(tgt) >= 0 })
+			if wantOK := wi < len(want); gotOK != wantOK || (gotOK && !gotV.Equal(want[wi])) {
+				t.Fatalf("Seek(%v): got %v/%v, want index %d of %v", tgt, gotV, gotOK, wi, want)
+			}
+			gotP, gotPOK := it.PredOf(tgt)
+			pi := sort.Search(len(want), func(k int) bool { return want[k].Compare(tgt) >= 0 })
+			if wantPOK := pi > 0; gotPOK != wantPOK || (gotPOK && !gotP.Equal(want[pi-1])) {
+				t.Fatalf("PredOf(%v): got %v/%v, want %v", tgt, gotP, gotPOK, want)
+			}
+		}
+	}
+}
+
+// TestSkipLadderSeek checks that the skip-accelerated cursor answers
+// exactly like the plain galloping one on a ladder-bearing list.
+func TestSkipLadderSeek(t *testing.T) {
+	n := skipMinLen + 500
+	list := make(PostingList, n)
+	for i := range list {
+		list[i] = dewey.New(0, i, 0)
+	}
+	idx := &Index{postings: map[string]PostingList{"t": list}}
+	idx.buildSkips()
+	if got, want := idx.SkipBlocks("t"), n/skipInterval; got != want {
+		t.Fatalf("SkipBlocks = %d, want %d", got, want)
+	}
+
+	r := rand.New(rand.NewSource(5))
+	withSkips := idx.TermIter("t")
+	plain := ListIter(list)
+	tgt := 0
+	for i := 0; i < 200; i++ {
+		tgt += r.Intn(20)
+		id := dewey.New(0, tgt, r.Intn(2))
+		a, aok := withSkips.Seek(id)
+		b, bok := plain.Seek(id)
+		if aok != bok || (aok && !a.Equal(b)) {
+			t.Fatalf("Seek(%v): skip %v/%v, plain %v/%v", id, a, aok, b, bok)
+		}
+		ap, apok := withSkips.PredOf(id)
+		bp, bpok := plain.PredOf(id)
+		if apok != bpok || (apok && !ap.Equal(bp)) {
+			t.Fatalf("PredOf(%v): skip %v/%v, plain %v/%v", id, ap, apok, bp, bpok)
+		}
+	}
+}
+
+// TestCounterEqualsCountUnder feeds document-ordered (possibly nested)
+// roots to the monotone Counter and compares with CountUnder.
+func TestCounterEqualsCountUnder(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		list := randomList(r, 60, 4)
+		roots := randomList(r, 20, 3)
+		roots = append(roots, dewey.Root()) // root counts everything
+		sort.Slice(roots, func(i, j int) bool { return roots[i].Compare(roots[j]) < 0 })
+		c := NewCounter(list)
+		for _, root := range roots {
+			if got, want := c.CountUnder(root), CountUnder(list, root); got != want {
+				t.Fatalf("CountUnder(%v) = %d, want %d", root, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeIterDrainThenSeekExhausted(t *testing.T) {
+	it := MergeIter(ListIter(PostingList{dewey.New(0)}), ListIter(nil))
+	if v, ok := it.Next(); !ok || !v.Equal(dewey.New(0)) {
+		t.Fatalf("Next = %v/%v", v, ok)
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("expected exhaustion")
+	}
+	if _, ok := it.Seek(dewey.New(5)); ok {
+		t.Fatal("Seek past exhaustion should fail")
+	}
+}
+
+func TestWithoutIterRootTombstone(t *testing.T) {
+	l := PostingList{dewey.New(0), dewey.New(1, 2)}
+	it := WithoutIter(ListIter(l), []dewey.ID{dewey.Root()})
+	if _, ok := it.Next(); ok {
+		t.Fatal("root tombstone should exclude everything")
+	}
+	if _, ok := it.PredOf(dewey.New(9)); ok {
+		t.Fatal("root tombstone PredOf should find nothing")
+	}
+}

@@ -16,21 +16,52 @@ import (
 // it to present per-shard (plus spine, plus delta) lists as the single
 // list a monolithic index would hold.
 func MergeLists(lists ...PostingList) PostingList {
-	var nonEmpty []PostingList
-	total := 0
+	// First pass allocates nothing: count the non-empty inputs and
+	// check whether they already chain end-to-start in document order —
+	// the common shape on the live read path, where base shards and the
+	// delta cover successive Dewey ranges.
+	n, total := 0, 0
+	var first, second PostingList
+	chained := true
+	var prevLast dewey.ID
 	for _, l := range lists {
-		if len(l) > 0 {
-			nonEmpty = append(nonEmpty, l)
-			total += len(l)
+		if len(l) == 0 {
+			continue
 		}
+		if n == 0 {
+			first = l
+		} else if n == 1 {
+			second = l
+		}
+		if n > 0 && prevLast.Compare(l[0]) >= 0 {
+			chained = false
+		}
+		prevLast = l[len(l)-1]
+		n++
+		total += len(l)
 	}
-	switch len(nonEmpty) {
+	switch n {
 	case 0:
 		return nil
 	case 1:
-		return nonEmpty[0]
+		return first
 	}
 	out := make(PostingList, 0, total)
+	if chained {
+		for _, l := range lists {
+			out = append(out, l...)
+		}
+		return out
+	}
+	if n == 2 {
+		return mergeTwo(out, first, second)
+	}
+	nonEmpty := make([]PostingList, 0, n)
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+		}
+	}
 	pos := make([]int, len(nonEmpty))
 	for len(out) < total {
 		best := -1
@@ -48,6 +79,23 @@ func MergeLists(lists ...PostingList) PostingList {
 	return out
 }
 
+// mergeTwo merges two overlapping document-ordered lists into out
+// (empty, pre-sized) without the k-way scan's per-element overhead.
+func mergeTwo(out, a, b PostingList) PostingList {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Compare(b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 // Without returns list minus every posting that falls inside one of
 // the subtrees rooted at exclude. exclude must be sorted in document
 // order and pairwise disjoint (no ID an ancestor of another), which is
@@ -58,16 +106,29 @@ func Without(list PostingList, exclude []dewey.ID) PostingList {
 	if len(list) == 0 || len(exclude) == 0 {
 		return list
 	}
-	kept := make(PostingList, 0, len(list))
+	// Pass 1, allocation-free: measure how much the exclusion actually
+	// removes. Most live reads exclude nothing from most lists (the
+	// tombstoned entities rarely contain a given term), and those calls
+	// must not copy — Without runs per term per part on every query.
+	removed := 0
 	i := 0
 	for _, ex := range exclude {
-		// Descendants-or-self of ex form one contiguous block.
-		lo := sort.Search(len(list), func(k int) bool {
-			return list[k].Compare(ex) >= 0
-		})
-		hi := sort.Search(len(list), func(k int) bool {
-			return list[k].Compare(ex) > 0 && !ex.IsAncestorOrSelf(list[k])
-		})
+		lo, hi := excludedBlock(list, ex)
+		if lo < i {
+			lo = i
+		}
+		if hi > lo {
+			removed += hi - lo
+			i = hi
+		}
+	}
+	if removed == 0 {
+		return list
+	}
+	kept := make(PostingList, 0, len(list)-removed)
+	i = 0
+	for _, ex := range exclude {
+		lo, hi := excludedBlock(list, ex)
 		if lo < i {
 			lo = i
 		}
@@ -77,6 +138,19 @@ func Without(list PostingList, exclude []dewey.ID) PostingList {
 		}
 	}
 	return append(kept, list[i:]...)
+}
+
+// excludedBlock bounds the contiguous run of list that falls inside
+// ex's subtree: descendants-or-self of ex form one block in document
+// order, so two binary searches delimit it.
+func excludedBlock(list PostingList, ex dewey.ID) (lo, hi int) {
+	lo = sort.Search(len(list), func(k int) bool {
+		return list[k].Compare(ex) >= 0
+	})
+	hi = sort.Search(len(list), func(k int) bool {
+		return list[k].Compare(ex) > 0 && !ex.IsAncestorOrSelf(list[k])
+	})
+	return lo, hi
 }
 
 // Merge combines a base index with a delta index built over later

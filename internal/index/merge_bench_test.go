@@ -1,0 +1,141 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/dewey"
+)
+
+// The live read path runs MergeLists and Without per term on every
+// query; these benchmarks track their allocation behaviour, and the
+// companion tests pin the zero-alloc fast paths so a regression fails
+// loudly rather than just slowing live reads down.
+
+func benchParts(nParts, perPart int) []PostingList {
+	parts := make([]PostingList, nParts)
+	for p := 0; p < nParts; p++ {
+		l := make(PostingList, perPart)
+		for i := 0; i < perPart; i++ {
+			// Chained ranges: part p owns top-level ordinals [p*perPart, ...).
+			l[i] = dewey.New(p*perPart+i, 0)
+		}
+		parts[p] = l
+	}
+	return parts
+}
+
+func interleavedParts(nParts, perPart int) []PostingList {
+	parts := make([]PostingList, nParts)
+	for p := 0; p < nParts; p++ {
+		l := make(PostingList, perPart)
+		for i := 0; i < perPart; i++ {
+			l[i] = dewey.New(i*nParts+p, 0)
+		}
+		parts[p] = l
+	}
+	return parts
+}
+
+func TestWithoutNoOverlapAllocsNothing(t *testing.T) {
+	list := benchParts(1, 4096)[0]
+	excl := []dewey.ID{dewey.New(100000), dewey.New(100007)}
+	if got := testing.AllocsPerRun(20, func() {
+		if out := Without(list, excl); len(out) != len(list) {
+			t.Fatal("unexpected exclusion")
+		}
+	}); got != 0 {
+		t.Fatalf("Without with no overlap allocated %v times per run, want 0", got)
+	}
+}
+
+func TestMergeListsChainedSingleAlloc(t *testing.T) {
+	parts := benchParts(4, 1024)
+	if got := testing.AllocsPerRun(20, func() {
+		if out := MergeLists(parts...); len(out) != 4*1024 {
+			t.Fatal("bad merge length")
+		}
+	}); got > 1 {
+		t.Fatalf("chained MergeLists allocated %v times per run, want <= 1", got)
+	}
+}
+
+func BenchmarkWithoutNoOverlap(b *testing.B) {
+	list := benchParts(1, 8192)[0]
+	excl := []dewey.ID{dewey.New(1 << 30)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Without(list, excl)
+	}
+}
+
+func BenchmarkWithoutSparseOverlap(b *testing.B) {
+	list := benchParts(1, 8192)[0]
+	// Tombstone 4 of the 8192 top-level entities.
+	excl := []dewey.ID{dewey.New(10), dewey.New(1000), dewey.New(4000), dewey.New(8000)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Without(list, excl)
+	}
+}
+
+func BenchmarkMergeListsChained(b *testing.B) {
+	parts := benchParts(8, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeLists(parts...)
+	}
+}
+
+func BenchmarkMergeListsTwoWay(b *testing.B) {
+	parts := interleavedParts(2, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeLists(parts...)
+	}
+}
+
+func BenchmarkMergeListsKWay(b *testing.B) {
+	parts := interleavedParts(8, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeLists(parts...)
+	}
+}
+
+// BenchmarkLazyComposite pits the eager compose (MergeLists + Without)
+// against the lazy cursor for a top-k style consumer that only needs
+// the first few postings.
+func BenchmarkLazyComposite(b *testing.B) {
+	parts := interleavedParts(4, 4096)
+	excl := []dewey.ID{dewey.New(7), dewey.New(4001)}
+	b.Run("eager-all", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			withouts := make([]PostingList, len(parts))
+			for j, p := range parts {
+				withouts[j] = Without(p, excl)
+			}
+			MergeLists(withouts...)
+		}
+	})
+	b.Run("lazy-first-16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			its := make([]Iter, len(parts))
+			for j, p := range parts {
+				its[j] = ListIter(p)
+			}
+			it := WithoutIter(MergeIter(its...), excl)
+			for k := 0; k < 16; k++ {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+		}
+	})
+}

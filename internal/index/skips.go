@@ -1,0 +1,83 @@
+package index
+
+import "repro/internal/dewey"
+
+// Skip-pointer ladders: for long posting lists the index precomputes a
+// sampled ladder — the last ID of every skipInterval-sized block — so
+// a streamed query's Seek jumps whole blocks with one binary search
+// over the (64x smaller) ladder instead of galloping through the list.
+// Ladders are built once per index (Build/Load/Merge all funnel
+// through the same hook) and shared by every query; short lists stay
+// ladder-free and fall back to plain galloping, which is already
+// O(log gap) there.
+
+const (
+	// skipInterval is the block size one ladder entry summarizes.
+	skipInterval = 64
+	// skipMinLen is the list length below which a ladder isn't worth
+	// its construction and memory: galloping a short list is cheap.
+	skipMinLen = 1024
+)
+
+// buildSkips (re)derives the skip ladders for every qualifying posting
+// list. Ladder entries alias the list's IDs, so the memory cost is one
+// slice header per block.
+func (idx *Index) buildSkips() {
+	if idx.skips != nil {
+		idx.skips = nil
+	}
+	for term, list := range idx.postings {
+		if len(list) < skipMinLen {
+			continue
+		}
+		list = packList(list)
+		idx.postings[term] = list
+		if idx.skips == nil {
+			idx.skips = make(map[string]PostingList)
+		}
+		blocks := len(list) / skipInterval
+		ladder := make(PostingList, blocks)
+		for b := 0; b < blocks; b++ {
+			ladder[b] = list[(b+1)*skipInterval-1]
+		}
+		idx.skips[term] = ladder
+	}
+}
+
+// packList rewrites a long posting list so all its IDs share one
+// contiguous arena. Postings otherwise alias tree-node IDs scattered
+// across the heap by the parse, making every gallop probe a cache
+// miss; a packed list is walked in sequential memory, which is most of
+// what the ladder's block search pays for. Entries are capacity-pinned
+// subslices, keeping the same immutability guarantees as the tree IDs
+// they replace.
+func packList(list PostingList) PostingList {
+	total := 0
+	for _, id := range list {
+		total += len(id)
+	}
+	arena := make([]int, 0, total)
+	packed := make(PostingList, len(list))
+	for i, id := range list {
+		start := len(arena)
+		arena = append(arena, id...)
+		packed[i] = dewey.ID(arena[start:len(arena):len(arena)])
+	}
+	return packed
+}
+
+// TermIter returns a cursor over term's posting list, accelerated by
+// the term's skip ladder when one exists. An absent term yields an
+// exhausted cursor.
+func (idx *Index) TermIter(term string) Iter {
+	list := idx.postings[term]
+	if len(list) == 0 {
+		return EmptyIter()
+	}
+	return &sliceIter{list: list, skips: idx.skips[term]}
+}
+
+// SkipBlocks reports how many ladder entries term's posting list
+// carries (0 when the list is short enough to go ladder-free) — an
+// observability hook for tests and metrics.
+func (idx *Index) SkipBlocks(term string) int { return len(idx.skips[term]) }

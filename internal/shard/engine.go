@@ -45,6 +45,9 @@ type Engine struct {
 	elements int
 
 	rebuilds atomic.Int64
+	// plannerStreamed counts ranked pages that ran the streamed
+	// fan-out (SearchRankedPageStream).
+	plannerStreamed atomic.Int64
 }
 
 // lazyShard materializes one shard's pipeline engine on first use. A

@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/slca"
+	"repro/internal/xseek"
+)
+
+// This file is the fan-out's streamed ranked path: each shard runs the
+// lazy SLCA → entity → bounded-heap pipeline over its own index
+// (collecting its kept SLCAs on the fly for the spine fix-up), and the
+// per-shard top lists merge through the existing K-way rank merge. No
+// shard ever materializes its full result list — only its top
+// Offset+Limit survive per leg — yet the page, scores, and total are
+// bit-identical to Search + RankPage.
+
+// SearchRankedPageStream returns the options' window of the relevance
+// ranking plus the exact total, running every shard leg streamed. An
+// unbounded window (Limit <= 0) has nothing to terminate early and
+// falls back to the eager path.
+func (e *Engine) SearchRankedPageStream(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, error) {
+	lo := opts.Offset
+	if lo < 0 {
+		lo = 0
+	}
+	hi := 0
+	if opts.Limit > 0 {
+		if n := lo + opts.Limit; n > lo { // overflow-safe, mirroring Window
+			hi = n
+		}
+	}
+	if hi == 0 {
+		results, err := e.Search(query)
+		if err != nil {
+			return nil, 0, err
+		}
+		return e.RankPage(results, query, opts), len(results), nil
+	}
+
+	terms := index.TokenizeQuery(query)
+	if len(terms) == 0 {
+		return nil, 0, xseek.ErrEmptyQuery
+	}
+	var missing []string
+	for _, t := range terms {
+		if e.df[t] == 0 {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, 0, &index.NoMatchError{Terms: missing}
+	}
+	e.plannerStreamed.Add(1)
+
+	type shardOut struct {
+		top   []*xseek.RankedResult // the shard's own top-hi, rank order
+		slcas []dewey.ID            // kept (non-spine) SLCAs, document order
+		total int                   // the shard's full entity-result count
+		err   error
+	}
+	outs := make([]shardOut, len(e.shards))
+	core.ForEachParallel(len(e.shards), 0, func(g int) {
+		sh := e.shards[g].get()
+		q, err := sh.Compile(query)
+		if err != nil {
+			// A keyword missing from this shard silences the shard only.
+			var noMatch *index.NoMatchError
+			if !errors.As(err, &noMatch) {
+				outs[g].err = err
+			}
+			return
+		}
+		it, err := q.SLCAIter()
+		if err != nil {
+			outs[g].err = err
+			return
+		}
+		// Drop cross-segment artifacts (spine-owned SLCAs) before entity
+		// mapping, collecting the survivors for the spine fix-up — the
+		// streamed twin of the kept-filter in Search.
+		filtered := slca.FilterTee(it,
+			func(id dewey.ID) bool { return !e.spineSet[id.String()] },
+			func(id dewey.ID) { outs[g].slcas = append(outs[g].slcas, id) },
+		)
+		es := xseek.NewEntityStream(filtered, e.root, e.schema)
+		top, total, err := xseek.ConsumeRankedStream(es, xseek.SearchOptions{Limit: hi}, sh.StreamScorer(terms))
+		outs[g].top, outs[g].total, outs[g].err = top, total, err
+	})
+
+	total := 0
+	var segSLCAs []dewey.ID // groups are contiguous, so the concat is sorted
+	streams := make([][]*xseek.RankedResult, 0, len(outs)+1)
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, 0, o.err
+		}
+		total += o.total
+		segSLCAs = append(segSLCAs, o.slcas...)
+		if len(o.top) > 0 {
+			streams = append(streams, o.top)
+		}
+	}
+
+	// Spine fix-up with whole-corpus knowledge, exactly as in Search;
+	// the handful of spine results is scored and cut like the eager
+	// RankPage's spine bucket.
+	if spineIDs := e.spineSLCAs(terms, segSLCAs); len(spineIDs) > 0 {
+		spineRes, err := e.spine.MapToEntities(spineIDs)
+		if err != nil {
+			return nil, 0, err
+		}
+		total += len(spineRes)
+		spine := e.RankPage(spineRes, query, xseek.SearchOptions{Limit: hi})
+		if len(spine) > 0 {
+			streams = append(streams, spine)
+		}
+	}
+
+	merged := mergeRankedStreams(streams, hi)
+	if lo > len(merged) {
+		lo = len(merged)
+	}
+	return merged[lo:], total, nil
+}
+
+// SearchStream returns a doc-order result cursor. The fan-out's
+// doc-order answer needs every shard's results merged before the first
+// emission can be trusted, so this materializes via Search and wraps
+// the list — a true per-shard lazy merge is future work; the serving
+// layer's cursor cache still benefits from the uniform interface.
+func (e *Engine) SearchStream(query string) (xseek.Cursor, error) {
+	results, err := e.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	return xseek.SliceCursor(results), nil
+}
+
+// EstimateResults bounds the query's result count for stream planning:
+// the smallest aggregate document frequency, 0 when the query cannot
+// match anywhere.
+func (e *Engine) EstimateResults(query string) int {
+	terms := index.TokenizeQuery(query)
+	if len(terms) == 0 {
+		return 0
+	}
+	est := -1
+	for _, t := range terms {
+		df := e.df[t]
+		if df == 0 {
+			return 0
+		}
+		if est == -1 || df < est {
+			est = df
+		}
+	}
+	return est
+}
+
+// StreamedDecisions reports how many ranked pages ran the streamed
+// fan-out on this engine.
+func (e *Engine) StreamedDecisions() int64 { return e.plannerStreamed.Load() }

@@ -57,11 +57,22 @@ func KnownAlgorithm(alg Algorithm) bool {
 }
 
 // Planner-decision counters for the package-level Compute entry point.
-// Servers that need per-corpus counts plan explicitly (xseek.Engine).
+// These are process-wide totals: every Compute call in the process —
+// across any number of engines, corpora, and tests — lands in the same
+// two counters, so they cannot attribute decisions to a corpus and
+// would double-count a query that multiple engines route through
+// Compute. The engine-level counters (xseek.Engine.PlannerDecisions,
+// update.Engine.PlannerDecisions, shard.Engine.PlannerDecisions) are
+// the authoritative per-corpus tallies — the engines call Plan
+// directly and count on their own atomics, never through Compute — and
+// they are what the serving layer's metrics surface.
 var plannedIndexed, plannedScan atomic.Int64
 
-// PlannerDecisions reports how many Compute calls the planner routed
-// to each eager algorithm since process start.
+// PlannerDecisions reports how many package-level Compute calls the
+// planner routed to each eager algorithm since process start. This is
+// a process-wide diagnostic total, not a per-corpus figure; see the
+// counter comment above and prefer the engine-level counters for
+// metrics.
 func PlannerDecisions() (indexedLookup, scanEager int64) {
 	return plannedIndexed.Load(), plannedScan.Load()
 }

@@ -37,6 +37,10 @@ type Engine struct {
 	// queries, surfaced through the serving layer's metrics.
 	plannerIndexed atomic.Int64
 	plannerScan    atomic.Int64
+	// plannerStreamed counts ranked pages the planner's third choice
+	// routed to the lazy pipeline (orthogonal to the algorithm
+	// counters above: a streamed query still picks a seek discipline).
+	plannerStreamed atomic.Int64
 }
 
 // New builds an engine (index + schema summary) over root. The tree
@@ -91,6 +95,10 @@ func (e *Engine) PlannerDecisions() (indexedLookup, scanEager int64) {
 	return e.plannerIndexed.Load(), e.plannerScan.Load()
 }
 
+// StreamedDecisions reports how many ranked pages the planner routed
+// to the streamed (early-terminating) pipeline on this engine.
+func (e *Engine) StreamedDecisions() int64 { return e.plannerStreamed.Load() }
+
 // Result is one search result: the entity subtree that contains an
 // SLCA match, as XSeek's return-node inference dictates.
 type Result struct {
@@ -115,6 +123,9 @@ type SearchOptions struct {
 	// Offset skips that many results from the start; out-of-range
 	// offsets yield an empty window, not an error.
 	Offset int
+	// Mode picks the execution strategy: ExecAuto (default) defers to
+	// the planner, ExecEager and ExecStream force a pipeline.
+	Mode ExecMode
 }
 
 // Window clamps the options to [lo, hi) slice bounds over a full
@@ -194,14 +205,55 @@ func (q *Query) Execute() ([]*Result, error) {
 }
 
 // ExecutePage runs Execute and returns the options' window of the
-// result list plus the full result count.
+// result list plus the full result count. Under ExecStream the page is
+// pulled lazily and the pipeline stops as soon as Offset+Limit results
+// exist; if that stops before exhaustion the Total is
+// StreamTotalUnknown. ExecAuto keeps doc-order pages eager — only the
+// ranked path auto-routes, since its Total stays exact.
 func (q *Query) ExecutePage(opts SearchOptions) ([]*Result, int, error) {
+	if opts.Mode == ExecStream {
+		return q.executePageStream(opts)
+	}
 	all, err := q.Execute()
 	if err != nil {
 		return nil, 0, err
 	}
 	lo, hi := opts.Window(len(all))
 	return all[lo:hi], len(all), nil
+}
+
+// executePageStream cuts a doc-order page from the lazy pipeline,
+// pulling only until the window is full.
+func (q *Query) executePageStream(opts SearchOptions) ([]*Result, int, error) {
+	rs, err := q.Stream()
+	if err != nil {
+		return nil, 0, err
+	}
+	lo := opts.Offset
+	if lo < 0 {
+		lo = 0
+	}
+	need := 0 // 0: no bound, drain the stream
+	if opts.Limit > 0 {
+		if n := lo + opts.Limit; n > lo {
+			need = n
+		}
+	}
+	var page []*Result
+	for need == 0 || rs.Emitted() < need {
+		r, ok := rs.Next()
+		if !ok {
+			if err := rs.Err(); err != nil {
+				return nil, 0, err
+			}
+			// Exhausted: the emitted count is the exact total.
+			return page, rs.Emitted(), nil
+		}
+		if rs.Emitted() > lo {
+			page = append(page, r)
+		}
+	}
+	return page, StreamTotalUnknown, nil
 }
 
 // mapToEntities is the entity-map + label stage shared by the SLCA and

@@ -23,8 +23,13 @@ func IDF(totalNodes, df int) float64 {
 // formula in one place is what makes sharded scores bit-identical to
 // monolithic ones.
 func TermWeight(tf int, idf float64) float64 {
-	if tf == 0 {
+	switch tf {
+	case 0:
 		return 0
+	case 1:
+		// log(1) == 0 exactly, so the weight is the bare IDF — worth
+		// special-casing because single occurrences dominate real text.
+		return idf
 	}
 	return (1 + math.Log(float64(tf))) * idf
 }

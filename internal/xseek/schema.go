@@ -2,6 +2,8 @@ package xseek
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -48,6 +50,13 @@ type typeInfo struct {
 // ("products/product/name").
 type Schema struct {
 	types map[string]*typeInfo
+
+	// children links each type to its child types by tag, derived
+	// lazily (once — Schemas are immutable after construction) so the
+	// streaming path walker can classify nodes with two pointer-keyed
+	// map hits instead of building a path string per node.
+	childOnce sync.Once
+	children  map[*typeInfo]map[string]*typeInfo
 }
 
 // InferSchema builds the schema summary for the tree rooted at root.
@@ -130,6 +139,46 @@ func (s *Schema) NearestEntity(n *xmltree.Node) *xmltree.Node {
 	}
 	return nil
 }
+
+// linkChildren derives the child-type links from the path-keyed type
+// map. Idempotent and cheap (one pass over the types); every Schema
+// construction path funnels through it on first walker use.
+func (s *Schema) linkChildren() {
+	s.childOnce.Do(func() {
+		s.children = make(map[*typeInfo]map[string]*typeInfo, len(s.types))
+		for path, info := range s.types {
+			cut := strings.LastIndexByte(path, '/')
+			if cut < 0 {
+				continue // a root type has no parent
+			}
+			parent := s.types[path[:cut]]
+			if parent == nil {
+				continue
+			}
+			m := s.children[parent]
+			if m == nil {
+				m = make(map[string]*typeInfo)
+				s.children[parent] = m
+			}
+			m[info.tag] = info
+		}
+	})
+}
+
+// typeOf returns the type at a root-level path (the root's own tag).
+func (s *Schema) typeOf(path string) *typeInfo { return s.types[path] }
+
+// childType resolves the type of a child element by tag under parent;
+// nil parents or unknown tags yield nil (connection semantics).
+func (s *Schema) childType(parent *typeInfo, tag string) *typeInfo {
+	if parent == nil {
+		return nil
+	}
+	return s.children[parent][tag]
+}
+
+// isEntityInfo mirrors CategoryOf's entity rule on a resolved type.
+func isEntityInfo(info *typeInfo) bool { return info != nil && info.maxSiblings > 1 }
 
 // Paths returns every known node-type path in lexicographic order.
 func (s *Schema) Paths() []string {

@@ -1,0 +1,123 @@
+package xseek
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// streamBenchCorpus builds n sibling entities, each carrying several
+// leaf attributes and deliberately NO name-like field: the eager path
+// materializes a labelled Result for every match (paying the label
+// fallback's child scans and Sprintf per result), while the streamed
+// path labels only the hits that survive the bounded heap. The common
+// term appears in every entity, the rare term in every skew-th — the
+// same shape BENCH_PLANNER.json calibrates the SLCA planner on.
+func streamBenchCorpus(n, skew int) *Engine {
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<item>")
+		fmt.Fprintf(&b, "<desc>common widget %d</desc>", i)
+		if i%skew == 0 {
+			b.WriteString("<tag>rare</tag>")
+		}
+		for a := 0; a < 24; a++ {
+			fmt.Fprintf(&b, "<attr%d>v%d</attr%d>", a, (i+a)%97, a)
+		}
+		b.WriteString("</item>")
+	}
+	b.WriteString("</catalog>")
+	return NewParallel(xmltree.MustParseString(b.String()))
+}
+
+// BenchmarkStreamTopK contrasts the eager ranked page (materialize and
+// label every result, then heap-select the window) with the streamed
+// pipeline (lazy iterators end-to-end, labels only for survivors)
+// across window size × posting-list skew. BENCH_STREAM.json records a
+// run. limit=0 ranks everything — the shape with no early termination
+// to exploit, where streamed should merely stay competitive.
+func BenchmarkStreamTopK(b *testing.B) {
+	const nEntities = 20000
+	for _, skew := range []int{1, 48, 256} {
+		b.Run(fmt.Sprintf("skew=%d", skew), func(b *testing.B) {
+			e := streamBenchCorpus(nEntities, skew)
+			for _, limit := range []int{10, 100, 0} {
+				ls := fmt.Sprint(limit)
+				if limit == 0 {
+					ls = "all"
+				}
+				opts := SearchOptions{Limit: limit}
+				b.Run(fmt.Sprintf("limit=%s/eager", ls), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						eo := opts
+						eo.Mode = ExecEager
+						if _, _, err := e.SearchRankedPage("common rare", eo); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.Run(fmt.Sprintf("limit=%s/streamed", ls), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := e.SearchRankedPageStream("common rare", opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestStreamTopKSpeedup is the benchmark's claim as a regression
+// guard: a small ranked window over a skewed workload must run
+// markedly faster streamed than eager. The asserted floor is
+// deliberately below the benchmarked ratio (BENCH_STREAM.json records
+// the real number) so CI timing noise cannot flake the suite.
+func TestStreamTopKSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	e := streamBenchCorpus(20000, 48)
+	opts := SearchOptions{Limit: 10}
+	query := "common rare"
+
+	// Warm both paths once (first-touch schema child links, page cache).
+	eager := opts
+	eager.Mode = ExecEager
+	if _, _, err := e.SearchRankedPage(query, eager); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.SearchRankedPageStream(query, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 30
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, _, err := e.SearchRankedPage(query, eager); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eagerTime := time.Since(start) / rounds
+
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, _, err := e.SearchRankedPageStream(query, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamTime := time.Since(start) / rounds
+
+	ratio := float64(eagerTime) / float64(streamTime)
+	t.Logf("eager %v, streamed %v (%.1fx faster)", eagerTime, streamTime, ratio)
+	if ratio < 4 {
+		t.Fatalf("streamed top-k only %.1fx faster than eager (stream %v, eager %v)",
+			ratio, streamTime, eagerTime)
+	}
+}

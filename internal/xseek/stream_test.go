@@ -1,0 +1,284 @@
+package xseek
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// randomNestedDoc builds a corpus with entities at several nesting
+// depths (shelf* > book* > note*) and a small keyword vocabulary, so
+// streamed entity mapping has to handle nested results, duplicate
+// SLCA→entity hits, and out-of-order ancestor entities.
+func randomNestedDoc(r *rand.Rand, shelves int) string {
+	vocab := []string{"alpha", "beta", "gamma", "delta", "omega"}
+	pick := func() string { return vocab[r.Intn(len(vocab))] }
+	var b strings.Builder
+	b.WriteString("<lib>")
+	for s := 0; s < shelves; s++ {
+		b.WriteString("<shelf>")
+		fmt.Fprintf(&b, "<code>%s</code>", pick())
+		for k := 0; k < 1+r.Intn(3); k++ {
+			b.WriteString("<book>")
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "<name>B%d-%d %s</name>", s, k, pick())
+			}
+			for n := 0; n < r.Intn(3); n++ {
+				fmt.Fprintf(&b, "<note>%s %s</note>", pick(), pick())
+			}
+			b.WriteString("</book>")
+		}
+		b.WriteString("</shelf>")
+	}
+	b.WriteString("</lib>")
+	return b.String()
+}
+
+var streamQueries = []string{
+	"alpha", "beta", "omega",
+	"alpha beta", "gamma delta", "alpha omega",
+	"alpha beta gamma",
+}
+
+// TestStreamEqualsExecute: draining the doc-order result stream must
+// reproduce Execute exactly — same entities, same match nodes, same
+// labels, same order — across random nested corpora and queries.
+func TestStreamEqualsExecute(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		e := New(xmltree.MustParseString(randomNestedDoc(r, 1+r.Intn(6))))
+		for _, query := range streamQueries {
+			q, err := e.Compile(query)
+			if err != nil {
+				continue // vocabulary miss on a tiny corpus
+			}
+			want, err := q.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := q.Stream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []*Result
+			for {
+				res, ok := rs.Next()
+				if !ok {
+					break
+				}
+				got = append(got, res)
+			}
+			if err := rs.Err(); err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, got, want, fmt.Sprintf("trial %d query %q", trial, query))
+		}
+	}
+}
+
+// TestStreamPrefixInvariance: the first k pulls of the stream equal
+// the first k results of Execute for every k — the property paging
+// relies on.
+func TestStreamPrefixInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		e := New(xmltree.MustParseString(randomNestedDoc(r, 2+r.Intn(5))))
+		for _, query := range streamQueries {
+			q, err := e.Compile(query)
+			if err != nil {
+				continue
+			}
+			want, err := q.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, 5} {
+				if k > len(want) {
+					k = len(want)
+				}
+				rs, err := q.Stream()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []*Result
+				for i := 0; i < k; i++ {
+					res, ok := rs.Next()
+					if !ok {
+						break
+					}
+					got = append(got, res)
+				}
+				compareResults(t, got, want[:k], fmt.Sprintf("trial %d query %q prefix %d", trial, query, k))
+			}
+		}
+	}
+}
+
+// TestRankStreamEqualsEagerRankedPage: the streamed ranked pipeline
+// must be bit-identical to the eager one — scores, order, labels,
+// window clamping, and totals — for every paging shape.
+func TestRankStreamEqualsEagerRankedPage(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	optsGrid := []SearchOptions{
+		{},
+		{Limit: 1},
+		{Limit: 3},
+		{Limit: 3, Offset: 2},
+		{Limit: 100},
+		{Offset: 4},
+		{Limit: 2, Offset: 999},
+		{Limit: -1, Offset: -5},
+	}
+	for trial := 0; trial < 25; trial++ {
+		e := New(xmltree.MustParseString(randomNestedDoc(r, 2+r.Intn(6))))
+		for _, query := range streamQueries {
+			for _, opts := range optsGrid {
+				eagerOpts, streamOpts := opts, opts
+				eagerOpts.Mode = ExecEager
+				streamOpts.Mode = ExecStream
+				want, wantTotal, errW := e.SearchRankedPage(query, eagerOpts)
+				got, gotTotal, errG := e.SearchRankedPage(query, streamOpts)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("query %q opts %+v: eager err %v vs stream err %v", query, opts, errW, errG)
+				}
+				if errW != nil {
+					continue
+				}
+				if gotTotal != wantTotal {
+					t.Fatalf("query %q opts %+v: total %d want %d", query, opts, gotTotal, wantTotal)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("query %q opts %+v: %d results want %d", query, opts, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Node != want[i].Node || got[i].Score != want[i].Score || got[i].Label != want[i].Label {
+						t.Fatalf("query %q opts %+v: rank %d diverges: got (%q score %v) want (%q score %v)",
+							query, opts, i, got[i].Label, got[i].Score, want[i].Label, want[i].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecutePageStreamMode: doc-order pages under ExecStream match
+// the eager pages; the total is exact when the stream was exhausted
+// and StreamTotalUnknown when early termination cut it short.
+func TestExecutePageStreamMode(t *testing.T) {
+	e := New(xmltree.MustParseString(pagedDoc(23)))
+	for _, opts := range []SearchOptions{
+		{Limit: 5},
+		{Limit: 5, Offset: 10},
+		{Limit: 100},
+		{},
+		{Limit: 5, Offset: 99},
+	} {
+		eager, total, err := e.SearchPage("gps", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamOpts := opts
+		streamOpts.Mode = ExecStream
+		got, streamTotal, err := e.SearchPage("gps", streamOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(eager) {
+			t.Fatalf("opts %+v: %d results want %d", opts, len(got), len(eager))
+		}
+		for i := range eager {
+			if got[i].Node != eager[i].Node || got[i].Label != eager[i].Label {
+				t.Fatalf("opts %+v: page diverges at %d", opts, i)
+			}
+		}
+		earlyStop := opts.Limit > 0 && opts.Offset+opts.Limit < total
+		if earlyStop {
+			if streamTotal != StreamTotalUnknown {
+				t.Fatalf("opts %+v: early-stopped total = %d, want StreamTotalUnknown", opts, streamTotal)
+			}
+		} else if streamTotal != total {
+			t.Fatalf("opts %+v: exhausted total = %d, want %d", opts, streamTotal, total)
+		}
+	}
+}
+
+// TestAutoModeRoutesSmallWindowsStreamed: on a corpus whose driving
+// list dwarfs the requested window, ExecAuto must take the streamed
+// path (counter advances) and still return the eager answer.
+func TestAutoModeRoutesSmallWindowsStreamed(t *testing.T) {
+	e := New(xmltree.MustParseString(pagedDoc(60)))
+	before := e.StreamedDecisions()
+	got, total, err := e.SearchRankedPage("gps", SearchOptions{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.StreamedDecisions() != before+1 {
+		t.Fatalf("streamed decisions = %d, want %d", e.StreamedDecisions(), before+1)
+	}
+	want, wantTotal, err := e.SearchRankedPage("gps", SearchOptions{Limit: 3, Mode: ExecEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal || len(got) != len(want) {
+		t.Fatalf("auto (%d of %d) vs eager (%d of %d)", len(got), total, len(want), wantTotal)
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node || got[i].Score != want[i].Score {
+			t.Fatalf("auto page diverges at %d", i)
+		}
+	}
+	// A window spanning the whole corpus must stay eager.
+	before = e.StreamedDecisions()
+	if _, _, err := e.SearchRankedPage("gps", SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if e.StreamedDecisions() != before {
+		t.Fatal("unbounded query took the streamed path")
+	}
+}
+
+// TestStreamErrorOnUnknownAlgorithm mirrors Execute's override
+// contract on the lazy path.
+func TestStreamErrorOnUnknownAlgorithm(t *testing.T) {
+	e := New(xmltree.MustParseString(pagedDoc(4)))
+	q, err := e.Compile("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Alg = "bogus"
+	if _, err := q.Stream(); err == nil {
+		t.Fatal("unknown algorithm must fail the stream")
+	}
+	if _, _, err := q.RankStream(SearchOptions{Limit: 1}); err == nil {
+		t.Fatal("unknown algorithm must fail the ranked stream")
+	}
+}
+
+func compareResults(t *testing.T, got, want []*Result, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d (got %v want %v)", ctx, len(got), len(want), labels(got), labels(want))
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node {
+			t.Fatalf("%s: result %d entity %s, want %s", ctx, i, got[i].Node.ID, want[i].Node.ID)
+		}
+		if got[i].Match != want[i].Match {
+			t.Fatalf("%s: result %d match %s, want %s", ctx, i, got[i].Match.ID, want[i].Match.ID)
+		}
+		if got[i].Label != want[i].Label {
+			t.Fatalf("%s: result %d label %q, want %q", ctx, i, got[i].Label, want[i].Label)
+		}
+	}
+}
+
+func labels(rs []*Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Label
+	}
+	return out
+}
