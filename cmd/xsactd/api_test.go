@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/persist"
 	"repro/internal/xmltree"
 )
 
@@ -84,7 +85,9 @@ func TestSnapshotLifecycle(t *testing.T) {
 	}
 
 	var first *engine.Engine
-	out := captureLog(t, func() { first = buildEngine("Product Reviews", "reviews", 5, dir, 1, 0, gen) })
+	out := captureLog(t, func() {
+		first = buildEngine("Product Reviews", "reviews", 5, dir, 1, 0, persist.CompactFormatVersion, gen)
+	})
 	if !strings.Contains(out, "wrote snapshot") {
 		t.Fatalf("first build should write a snapshot, log:\n%s", out)
 	}
@@ -94,7 +97,9 @@ func TestSnapshotLifecycle(t *testing.T) {
 	}
 
 	var second *engine.Engine
-	out = captureLog(t, func() { second = buildEngine("Product Reviews", "reviews", 5, dir, 1, 0, gen) })
+	out = captureLog(t, func() {
+		second = buildEngine("Product Reviews", "reviews", 5, dir, 1, 0, persist.CompactFormatVersion, gen)
+	})
 	if !strings.Contains(out, "loaded from snapshot") {
 		t.Fatalf("second startup should load the snapshot, log:\n%s", out)
 	}
@@ -121,7 +126,9 @@ func TestSnapshotLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	var third *engine.Engine
-	out = captureLog(t, func() { third = buildEngine("Product Reviews", "reviews", 5, dir, 1, 0, gen) })
+	out = captureLog(t, func() {
+		third = buildEngine("Product Reviews", "reviews", 5, dir, 1, 0, persist.CompactFormatVersion, gen)
+	})
 	if !strings.Contains(out, "rebuilding") || !strings.Contains(out, "wrote snapshot") {
 		t.Fatalf("corrupt snapshot should rebuild and rewrite, log:\n%s", out)
 	}
@@ -136,7 +143,7 @@ func TestSnapshotLifecycle(t *testing.T) {
 func TestServerSecondStartupFromSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	serve := func() (string, string) {
-		s, err := newServer(1, dir, 1, 0)
+		s, err := newServer(1, dir, 1, 0, persist.CompactFormatVersion)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,6 +6,8 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+
+	"repro/internal/persist"
 )
 
 // request performs an arbitrary-method HTTP call with an optional body.
@@ -133,7 +135,7 @@ func TestServerWritesSurviveRestart(t *testing.T) {
 	dir := t.TempDir()
 	const ds = "Movies"
 
-	s1, err := newServer(1, dir, 1, 0)
+	s1, err := newServer(1, dir, 1, 0, persist.CompactFormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestServerWritesSurviveRestart(t *testing.T) {
 		t.Fatalf("entity not searchable on first server: %d", got)
 	}
 
-	s2, err := newServer(1, dir, 1, 0)
+	s2, err := newServer(1, dir, 1, 0, persist.CompactFormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}

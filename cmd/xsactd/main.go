@@ -11,6 +11,10 @@
 // With -snapshot-dir, an engine's derived state (inverted index +
 // inferred schema) is reloaded from disk when a valid snapshot exists
 // and written back after a fresh build, so restarts skip the rebuild.
+// -snapshot-format picks the layout written: the default "v4" compact
+// layout is mmap-ed on load and decodes postings lazily as queries
+// touch them (near-zero restart); "gob" writes the legacy layouts.
+// Loading accepts every layout regardless of the flag.
 //
 // With -shards N each corpus is split into N index shards (at
 // top-level entity boundaries) that build in parallel and serve
@@ -31,7 +35,7 @@
 //
 // Usage:
 //
-//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-shards N] [-compact-every N]
+//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-snapshot-format v4|gob] [-shards N] [-compact-every N]
 package main
 
 import (
@@ -40,6 +44,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+
+	"repro/internal/persist"
 )
 
 func main() {
@@ -47,18 +53,37 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		seed         = flag.Int64("seed", 1, "dataset seed")
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for engine snapshots (empty = rebuild on every start)")
+		snapFormat   = flag.String("snapshot-format", "v4", "snapshot layout to write: v4 (compact, mmap-ed on load) or gob (legacy v1/v2/v3); every layout still loads")
 		shards       = flag.Int("shards", 1, "index shards per dataset (1 = monolithic index)")
 		compactEvery = flag.Int("compact-every", 64, "auto-compact the live write path after this many pending writes (0 = manual compaction only)")
 	)
 	flag.Parse()
 
-	srv, err := newServer(*seed, *snapshotDir, *shards, *compactEvery)
+	format, err := snapshotFormat(*snapFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xsactd:", err)
+		os.Exit(1)
+	}
+	srv, err := newServer(*seed, *snapshotDir, *shards, *compactEvery, format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsactd:", err)
 		os.Exit(1)
 	}
 	log.Printf("xsactd listening on %s (datasets: %v, shards: %d)", *addr, srv.datasetNames(), *shards)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// snapshotFormat maps the -snapshot-format flag to a persist format
+// selector: "v4" writes the compact mmap-able layout, "gob" the legacy
+// automatic v1/v2/v3 one. Reading is format-agnostic either way.
+func snapshotFormat(name string) (int, error) {
+	switch name {
+	case "v4":
+		return persist.CompactFormatVersion, nil
+	case "gob":
+		return 0, nil
+	}
+	return 0, fmt.Errorf("-snapshot-format %q: want v4 or gob", name)
 }
 
 // datasetNames lists the loaded corpora in menu order.

@@ -83,6 +83,7 @@ type server struct {
 	slugs       map[string]string // dataset name → snapshot file slug
 	seed        int64
 	snapshotDir string
+	snapFormat  int // persist.SaveFileFormat selector (0 = legacy gob)
 	shards      int
 	// snapMu serializes post-write snapshot saves: each save captures
 	// the engine's state at save time (under the lock), so rename order
@@ -99,14 +100,14 @@ type server struct {
 // engine with that many index shards (and keeps their snapshots in
 // per-layout files, so switching the flag never misreads a snapshot of
 // the other layout).
-func newServer(seed int64, snapshotDir string, shards, compactEvery int) (*server, error) {
+func newServer(seed int64, snapshotDir string, shards, compactEvery, snapFormat int) (*server, error) {
 	s := &server{
 		datasets: make(map[string]*lazyEngine), slugs: make(map[string]string),
-		seed: seed, snapshotDir: snapshotDir, shards: shards,
+		seed: seed, snapshotDir: snapshotDir, snapFormat: snapFormat, shards: shards,
 	}
 	add := func(name, slug string, gen func() *xmltree.Node) {
 		s.datasets[name] = &lazyEngine{build: func() *engine.Engine {
-			return buildEngine(name, slug, seed, snapshotDir, shards, compactEvery, gen)
+			return buildEngine(name, slug, seed, snapshotDir, shards, compactEvery, snapFormat, gen)
 		}}
 		s.order = append(s.order, name)
 		s.slugs[name] = slug
@@ -129,7 +130,7 @@ func newServer(seed int64, snapshotDir string, shards, compactEvery int) (*serve
 // rebuild (and is replaced by a fresh snapshot afterwards); a
 // multi-shard snapshot with one corrupt shard section loads anyway and
 // rebuilds only that shard lazily.
-func buildEngine(name, slug string, seed int64, dir string, shards, compactEvery int, gen func() *xmltree.Node) *engine.Engine {
+func buildEngine(name, slug string, seed int64, dir string, shards, compactEvery, snapFormat int, gen func() *xmltree.Node) *engine.Engine {
 	root := gen()
 	cfg := engine.Config{Shards: shards, AutoCompactThreshold: compactEvery}
 	if dir == "" {
@@ -152,7 +153,7 @@ func buildEngine(name, slug string, seed int64, dir string, shards, compactEvery
 		log.Printf("xsactd: %s: snapshot %s unusable (%v); rebuilding", name, path, err)
 	}
 	built := engine.NewWithConfig(root, cfg)
-	if err := persist.SaveFile(path, built, persist.Meta{CorpusName: name, Seed: seed}); err != nil {
+	if err := persist.SaveFileFormat(path, built, persist.Meta{CorpusName: name, Seed: seed}, snapFormat); err != nil {
 		log.Printf("xsactd: %s: writing snapshot %s failed: %v", name, path, err)
 	} else {
 		log.Printf("xsactd: %s: wrote snapshot %s", name, path)
@@ -195,9 +196,11 @@ func (s *server) routes() http.Handler {
 }
 
 // saveSnapshot persists a dataset's engine after a successful write so
-// a restart replays it (live engines snapshot in the journaled v3
-// layout). Failures are logged, never fatal: the live engine still
-// serves the write, it just won't survive a restart.
+// a restart replays it (a live engine with pending writes snapshots in
+// the journaled v3 layout whatever format was requested — v4 carries
+// no journal; once compacted it snapshots as a self-contained v4).
+// Failures are logged, never fatal: the live engine still serves the
+// write, it just won't survive a restart.
 func (s *server) saveSnapshot(name string) {
 	if s.snapshotDir == "" {
 		return
@@ -209,7 +212,7 @@ func (s *server) saveSnapshot(name string) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	path := filepath.Join(s.snapshotDir, snapshotFile(s.slugs[name], s.seed, s.shards))
-	if err := persist.SaveFile(path, eng, persist.Meta{CorpusName: name, Seed: s.seed}); err != nil {
+	if err := persist.SaveFileFormat(path, eng, persist.Meta{CorpusName: name, Seed: s.seed}, s.snapFormat); err != nil {
 		log.Printf("xsactd: %s: writing snapshot %s failed: %v", name, path, err)
 	}
 }

@@ -7,11 +7,13 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+
+	"repro/internal/persist"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s, err := newServer(1, "", 1, 0)
+	s, err := newServer(1, "", 1, 0, persist.CompactFormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestNotFound(t *testing.T) {
 }
 
 func TestDatasetNames(t *testing.T) {
-	s, err := newServer(1, "", 1, 0)
+	s, err := newServer(1, "", 1, 0, persist.CompactFormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}

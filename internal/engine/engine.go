@@ -48,6 +48,12 @@ type Config struct {
 	// explicitly). Compaction runs under an epoch swap and never blocks
 	// in-flight queries.
 	AutoCompactThreshold int
+	// MaterializePostings makes a compact (v4) snapshot decode every
+	// posting list into the heap at load, the pre-v4 resident behavior:
+	// maximum steady-state query speed at the cost of the cold-start
+	// and memory wins. Off (the default) decodes blocks lazily as
+	// queries touch them.
+	MaterializePostings bool
 }
 
 func (c Config) normalized() Config {
@@ -108,6 +114,13 @@ type Metrics struct {
 	// snapshot section was missing or corrupt.
 	Shards        int   `json:"shards"`
 	ShardRebuilds int64 `json:"shard_rebuilds"`
+	// Index residency: IndexBytes is the compact snapshot payload
+	// backing the index (0 when fully heap-built), ResidentBlocks the
+	// 64-posting blocks decoded into the heap. A freshly mmap-loaded
+	// engine reports large IndexBytes and near-zero ResidentBlocks;
+	// the gap closing is queries faulting lists in.
+	IndexBytes     int64 `json:"index_bytes"`
+	ResidentBlocks int64 `json:"resident_blocks"`
 	// Live-update counters: lifetime writes and compactions, the state
 	// epoch (bumped by every write and compaction), and the pending
 	// backlog awaiting compaction. All zero until the first write makes
@@ -467,6 +480,11 @@ func (e *Engine) Metrics() Metrics {
 	if sh := box.sharded(); sh != nil {
 		m.Shards = sh.ShardCount()
 		m.ShardRebuilds = sh.Rebuilds()
+		ms := sh.MemStats()
+		m.IndexBytes, m.ResidentBlocks = ms.DataBytes, ms.ResidentBlocks
+	} else if x := box.xseek(); x != nil {
+		ms := x.Index().MemStats()
+		m.IndexBytes, m.ResidentBlocks = ms.DataBytes, ms.ResidentBlocks
 	}
 	if box.live != nil {
 		m.Updates = box.live.Updates()

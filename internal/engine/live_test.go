@@ -133,6 +133,14 @@ func TestMetricsConsistentUnderRace(t *testing.T) {
 	stop := make(chan struct{})
 	var writer, readers sync.WaitGroup
 
+	// One write up front so the final progress check cannot be starved
+	// by scheduling: on a loaded single-core runner the readers can
+	// finish all their iterations before the writer goroutine ever
+	// runs.
+	if _, err := e.AddEntity(xmltree.MustParseString("<product><name>seed</name><kind>gps</kind></product>")); err != nil {
+		t.Fatal(err)
+	}
+
 	writer.Add(1)
 	go func() {
 		defer writer.Done()

@@ -18,7 +18,15 @@ import (
 // This is the per-shard build primitive of package shard: each shard
 // indexes only its own segment subtrees.
 func BuildForest(root *xmltree.Node, trees []*xmltree.Node) *Index {
-	idx := &Index{postings: make(map[string]PostingList), root: root}
+	return BuildForestShared(root, trees, nil)
+}
+
+// BuildForestShared is BuildForest interning into st (fresh when nil).
+// The live write path builds delta indexes against the base index's
+// table so base and delta agree on symbol IDs, and the sharded build
+// gives every shard one table.
+func BuildForestShared(root *xmltree.Node, trees []*xmltree.Node, st *SymbolTable) *Index {
+	idx := newIndex(root, st)
 	for _, t := range trees {
 		idx.indexSubtree(t)
 	}
@@ -32,7 +40,12 @@ func BuildForest(root *xmltree.Node, trees []*xmltree.Node) *Index {
 // (document root, wrapper elements) that sit above every shard's
 // segments and therefore belong to no shard.
 func BuildNodes(root *xmltree.Node, nodes []*xmltree.Node) *Index {
-	idx := &Index{postings: make(map[string]PostingList), root: root}
+	return BuildNodesShared(root, nodes, nil)
+}
+
+// BuildNodesShared is BuildNodes interning into st (fresh when nil).
+func BuildNodesShared(root *xmltree.Node, nodes []*xmltree.Node, st *SymbolTable) *Index {
+	idx := newIndex(root, st)
 	for _, n := range nodes {
 		idx.indexNode(n)
 	}
@@ -44,10 +57,11 @@ func BuildNodes(root *xmltree.Node, nodes []*xmltree.Node) *Index {
 // The check is linear and the sort only runs on a violation, so builds
 // that post in document order pay one scan, not an O(n log n) sort.
 func (idx *Index) ensureSorted() {
-	for term, list := range idx.postings {
+	idx.lids = nil // the build is over; drop the intern memo
+	for id, list := range idx.postings {
 		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 }) {
 			sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
-			idx.postings[term] = list
+			idx.postings[id] = list
 		}
 	}
 	// Every construction path (Build, BuildForest, BuildNodes, Merge,

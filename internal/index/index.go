@@ -20,24 +20,48 @@ type PostingList []dewey.ID
 // attribute values, or equals a token of its tag name. Only element
 // nodes are posted; the element owning a text node is what keyword
 // search should return.
+//
+// Terms are interned through a SymbolTable (possibly shared with other
+// indexes — see intern.go) and every internal map is keyed by the
+// dense uint32 symbol ID; the string-keyed API resolves through the
+// table. Postings live either in the heap map or, for snapshot-opened
+// indexes, in a compact varint payload decoded lazily (compact.go).
 type Index struct {
-	postings map[string]PostingList
+	symbols  *SymbolTable
+	postings map[uint32]PostingList
 	root     *xmltree.Node
 	terms    int // total term occurrences, for stats
 	elements int // distinct elements with at least one posting
 	// skips holds the skip-pointer ladders of long posting lists (see
 	// skips.go); nil until buildSkips runs, absent for short lists.
-	skips map[string]PostingList
+	skips map[uint32]PostingList
+	// compact backs a snapshot-opened index: lists absent from the
+	// postings map are served (and materialized on demand) from it.
+	compact *compactPostings
+	// lids memoizes term→ID for this builder so indexing pays one
+	// synchronized table hit per distinct term, not per posting.
+	// Dropped when the build finishes.
+	lids map[string]uint32
+}
+
+// newIndex returns an empty index over root interning into st (a fresh
+// table when nil).
+func newIndex(root *xmltree.Node, st *SymbolTable) *Index {
+	if st == nil {
+		st = NewSymbolTable()
+	}
+	return &Index{
+		symbols:  st,
+		postings: make(map[uint32]PostingList),
+		root:     root,
+	}
 }
 
 // Build constructs an index over the tree rooted at root. The tree must
 // already carry Dewey IDs (xmltree.Parse assigns them; call AssignIDs
 // after manual construction).
 func Build(root *xmltree.Node) *Index {
-	idx := &Index{
-		postings: make(map[string]PostingList),
-		root:     root,
-	}
+	idx := newIndex(root, nil)
 	idx.indexSubtree(root)
 	// Walk is preorder, which is document order, so lists are already
 	// sorted; ensureSorted is a safety net for hand-built trees whose
@@ -46,21 +70,38 @@ func Build(root *xmltree.Node) *Index {
 	return idx
 }
 
+// intern resolves term to its symbol ID through the build-local memo.
+func (idx *Index) intern(term string) uint32 {
+	if id, ok := idx.lids[term]; ok {
+		return id
+	}
+	id := idx.symbols.Intern(term)
+	if idx.lids == nil {
+		idx.lids = make(map[string]uint32)
+	}
+	idx.lids[term] = id
+	return id
+}
+
 // indexNode posts the terms of a single element node.
 func (idx *Index) indexNode(n *xmltree.Node) {
 	if n.Kind != xmltree.Element {
 		return
 	}
-	seen := make(map[string]bool)
+	seen := make(map[uint32]bool)
 	add := func(term string) {
-		if term == "" || seen[term] {
+		if term == "" {
+			return
+		}
+		id := idx.intern(term)
+		if seen[id] {
 			return
 		}
 		if len(seen) == 0 {
 			idx.elements++
 		}
-		seen[term] = true
-		idx.postings[term] = append(idx.postings[term], n.ID)
+		seen[id] = true
+		idx.postings[id] = append(idx.postings[id], n.ID)
 		idx.terms++
 	}
 	for _, t := range Tokenize(n.Tag) {
@@ -91,30 +132,97 @@ func (idx *Index) indexSubtree(root *xmltree.Node) {
 // Root returns the tree the index was built over.
 func (idx *Index) Root() *xmltree.Node { return idx.root }
 
+// Symbols returns the index's symbol table. Shared tables are common:
+// deltas intern into their base's table, shards into their engine's.
+func (idx *Index) Symbols() *SymbolTable { return idx.symbols }
+
+// TermID resolves term through the symbol table. Note a shared table
+// may know terms this particular index holds no postings for.
+func (idx *Index) TermID(term string) (uint32, bool) { return idx.symbols.ID(term) }
+
+// lookupID returns the posting list behind a symbol ID, materializing
+// compact-backed lists on first touch.
+func (idx *Index) lookupID(id uint32) PostingList {
+	if l, ok := idx.postings[id]; ok {
+		return l
+	}
+	if idx.compact != nil {
+		return idx.compact.materialize(id)
+	}
+	return nil
+}
+
 // Lookup returns the posting list for term (already lowercased by
 // Tokenize conventions). The returned slice must not be modified.
 func (idx *Index) Lookup(term string) PostingList {
-	return idx.postings[term]
+	id, ok := idx.symbols.ID(term)
+	if !ok {
+		return nil
+	}
+	return idx.lookupID(id)
 }
 
 // DocFreq returns the number of nodes containing term.
-func (idx *Index) DocFreq(term string) int { return len(idx.postings[term]) }
+func (idx *Index) DocFreq(term string) int {
+	id, ok := idx.symbols.ID(term)
+	if !ok {
+		return 0
+	}
+	return idx.docFreqID(id)
+}
+
+func (idx *Index) docFreqID(id uint32) int {
+	if l, ok := idx.postings[id]; ok {
+		return len(l)
+	}
+	if idx.compact != nil {
+		return idx.compact.count(id)
+	}
+	return 0
+}
+
+// EachTermID calls f for every indexed term's symbol ID and document
+// frequency without resolving names — the cheapest whole-vocabulary
+// walk. Compact-backed indexes answer from the directory alone.
+func (idx *Index) EachTermID(f func(id uint32, df int)) {
+	if idx.compact != nil {
+		idx.compact.each(f)
+		return
+	}
+	for id, l := range idx.postings {
+		f(id, len(l))
+	}
+}
 
 // EachTerm calls f for every indexed term with its document frequency,
 // in unspecified order — the allocation- and sort-free walk for
 // callers that aggregate over the whole vocabulary.
 func (idx *Index) EachTerm(f func(term string, df int)) {
-	for t, l := range idx.postings {
-		f(t, len(l))
+	idx.EachTermID(func(id uint32, df int) {
+		f(idx.symbols.Name(id), df)
+	})
+}
+
+// eachList visits every non-empty posting list by symbol ID,
+// materializing compact-backed lists.
+func (idx *Index) eachList(f func(id uint32, list PostingList)) {
+	if idx.compact != nil {
+		idx.compact.each(func(id uint32, _ int) {
+			f(id, idx.compact.materialize(id))
+		})
+		return
+	}
+	for id, l := range idx.postings {
+		f(id, l)
 	}
 }
 
 // Vocabulary returns all indexed terms in lexicographic order.
 func (idx *Index) Vocabulary() []string {
-	terms := make([]string, 0, len(idx.postings))
-	for t := range idx.postings {
-		terms = append(terms, t)
-	}
+	var terms []string
+	idx.EachTermID(func(id uint32, _ int) {
+		terms = append(terms, idx.symbols.Name(id))
+	})
 	sort.Strings(terms)
 	return terms
 }
@@ -129,12 +237,39 @@ type Stats struct {
 
 // Stats returns summary statistics for the index.
 func (idx *Index) Stats() Stats {
-	s := Stats{Terms: len(idx.postings)}
-	for _, l := range idx.postings {
-		s.Postings += len(l)
-	}
-	s.IndexedElements = idx.elements
+	s := Stats{IndexedElements: idx.elements}
+	idx.EachTermID(func(_ uint32, df int) {
+		s.Terms++
+		s.Postings += df
+	})
 	return s
+}
+
+// MemStats reports where the index's postings live. For a fully
+// in-heap index DataBytes is 0 and every list is resident; for a
+// compact-backed (snapshot-opened) index DataBytes is the payload size
+// and the resident numbers grow only as queries decode lists.
+type MemStats struct {
+	DataBytes      int64 `json:"data_bytes"`      // compact payload backing the index
+	ResidentLists  int64 `json:"resident_lists"`  // lists decoded into the heap
+	ResidentBlocks int64 `json:"resident_blocks"` // 64-posting blocks decoded into the heap
+}
+
+// MemStats returns the index's residency counters.
+func (idx *Index) MemStats() MemStats {
+	var ms MemStats
+	for _, l := range idx.postings {
+		ms.ResidentLists++
+		ms.ResidentBlocks += int64((len(l) + compactBlock - 1) / compactBlock)
+	}
+	if cp := idx.compact; cp != nil {
+		ms.DataBytes = int64(len(cp.data))
+		cp.mu.RLock()
+		ms.ResidentLists += int64(len(cp.resident))
+		ms.ResidentBlocks += int64(cp.residentBlocks)
+		cp.mu.RUnlock()
+	}
+	return ms
 }
 
 // PlanStats summarizes the shape of a query's posting lists so callers
@@ -181,7 +316,7 @@ func (idx *Index) QueryLists(terms []string) ([]PostingList, PlanStats, error) {
 	lists := make([]PostingList, len(terms))
 	var missing []string
 	for i, t := range terms {
-		lists[i] = idx.postings[t]
+		lists[i] = idx.Lookup(t)
 		if len(lists[i]) == 0 {
 			missing = append(missing, t)
 		}
@@ -208,6 +343,9 @@ func (e *NoMatchError) Error() string {
 const WireVersion = 2
 
 // gobIndex is the wire form for Save/Load. Dewey IDs flatten to []int.
+// Terms stay strings on this wire so v1-v3 snapshots keep loading
+// regardless of symbol assignment; the v4 snapshot uses the compact
+// ID-keyed layout instead (compact.go).
 type gobIndex struct {
 	Version  int
 	Postings map[string][][]int
@@ -221,17 +359,17 @@ type gobIndex struct {
 func (idx *Index) Save(w io.Writer) error {
 	g := gobIndex{
 		Version:  WireVersion,
-		Postings: make(map[string][][]int, len(idx.postings)),
+		Postings: make(map[string][][]int),
 		Terms:    idx.terms,
 		Elements: idx.elements,
 	}
-	for term, list := range idx.postings {
+	idx.eachList(func(id uint32, list PostingList) {
 		ids := make([][]int, len(list))
-		for i, id := range list {
-			ids[i] = []int(id)
+		for i, pid := range list {
+			ids[i] = []int(pid)
 		}
-		g.Postings[term] = ids
-	}
+		g.Postings[idx.symbols.Name(id)] = ids
+	})
 	if err := gob.NewEncoder(w).Encode(&g); err != nil {
 		return fmt.Errorf("index: save: %w", err)
 	}
@@ -239,7 +377,8 @@ func (idx *Index) Save(w io.Writer) error {
 }
 
 // Load reads postings written by Save and attaches them to root. An
-// index written under a different wire version is rejected.
+// index written under a different wire version is rejected. Terms are
+// interned into a fresh table.
 func Load(r io.Reader, root *xmltree.Node) (*Index, error) {
 	var g gobIndex
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
@@ -248,19 +387,17 @@ func Load(r io.Reader, root *xmltree.Node) (*Index, error) {
 	if g.Version != WireVersion {
 		return nil, fmt.Errorf("index: load: wire version %d, want %d", g.Version, WireVersion)
 	}
-	idx := &Index{
-		postings: make(map[string]PostingList, len(g.Postings)),
-		root:     root,
-		terms:    g.Terms,
-		elements: g.Elements,
-	}
+	idx := newIndex(root, nil)
+	idx.terms = g.Terms
+	idx.elements = g.Elements
 	for term, ids := range g.Postings {
 		list := make(PostingList, len(ids))
 		for i, id := range ids {
 			list[i] = dewey.ID(id)
 		}
-		idx.postings[term] = list
+		idx.postings[idx.intern(term)] = list
 	}
+	idx.lids = nil
 	idx.buildSkips()
 	return idx, nil
 }

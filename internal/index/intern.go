@@ -1,0 +1,127 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// SymbolTable interns the strings an index keys by — terms and the
+// element-label tokens that indexNode posts — into dense uint32 IDs.
+// IDs are assigned in first-sight order, so a table is append-only and
+// an ID, once handed out, never changes meaning. All posting maps are
+// keyed by these IDs; the strings live in exactly one place.
+//
+// A table may be shared: the live write path builds delta indexes
+// against the base index's table so base and delta lists for the same
+// term carry the same ID, and a sharded build gives every shard (and
+// the spine) one table. Sharing is what makes Merge's same-table fast
+// path and the v4 snapshot's single symbol section possible.
+//
+// The RWMutex makes Intern safe against concurrent readers: queries
+// resolve terms through ID/Name while writes intern new delta terms
+// into the same table.
+type SymbolTable struct {
+	mu    sync.RWMutex
+	names []string
+	ids   map[string]uint32
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]uint32)}
+}
+
+// Intern returns s's ID, assigning the next dense ID on first sight.
+func (st *SymbolTable) Intern(s string) uint32 {
+	st.mu.RLock()
+	id, ok := st.ids[s]
+	st.mu.RUnlock()
+	if ok {
+		return id
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	id = uint32(len(st.names))
+	st.names = append(st.names, s)
+	st.ids[s] = id
+	return id
+}
+
+// ID returns s's ID if s has been interned.
+func (st *SymbolTable) ID(s string) (uint32, bool) {
+	st.mu.RLock()
+	id, ok := st.ids[s]
+	st.mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the string behind id ("" for IDs the table never
+// assigned).
+func (st *SymbolTable) Name(id uint32) string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if int(id) >= len(st.names) {
+		return ""
+	}
+	return st.names[id]
+}
+
+// Len returns the number of interned symbols. IDs are always in
+// [0, Len).
+func (st *SymbolTable) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.names)
+}
+
+// AppendEncoded appends the table's binary form to b: a uvarint symbol
+// count, then each name as uvarint length + bytes, in ID order. This
+// is the v4 snapshot's symbol section.
+func (st *SymbolTable) AppendEncoded(b []byte) []byte {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	b = binary.AppendUvarint(b, uint64(len(st.names)))
+	for _, s := range st.names {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// DecodeSymbolTable parses AppendEncoded's form. The whole input must
+// be consumed; trailing bytes are corruption.
+func DecodeSymbolTable(data []byte) (*SymbolTable, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("index: symbol table: corrupt count")
+	}
+	pos := k
+	// Every symbol costs at least its one-byte length prefix, so a count
+	// beyond the remaining bytes is corruption, not a huge allocation.
+	if n > uint64(len(data)-pos)+1 {
+		return nil, fmt.Errorf("index: symbol table: count %d exceeds payload", n)
+	}
+	st := &SymbolTable{
+		names: make([]string, 0, n),
+		ids:   make(map[string]uint32, n),
+	}
+	for i := uint64(0); i < n; i++ {
+		ln, k := binary.Uvarint(data[pos:])
+		if k <= 0 || uint64(len(data)-pos-k) < ln {
+			return nil, fmt.Errorf("index: symbol table: corrupt name %d", i)
+		}
+		pos += k
+		name := string(data[pos : pos+int(ln)])
+		pos += int(ln)
+		st.ids[name] = uint32(len(st.names))
+		st.names = append(st.names, name)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("index: symbol table: %d trailing bytes", len(data)-pos)
+	}
+	return st, nil
+}

@@ -129,7 +129,8 @@ func TestSkipLadderSeek(t *testing.T) {
 	for i := range list {
 		list[i] = dewey.New(0, i, 0)
 	}
-	idx := &Index{postings: map[string]PostingList{"t": list}}
+	idx := newIndex(nil, nil)
+	idx.postings[idx.intern("t")] = list
 	idx.buildSkips()
 	if got, want := idx.SkipBlocks("t"), n/skipInterval; got != want {
 		t.Fatalf("SkipBlocks = %d, want %d", got, want)

@@ -162,26 +162,32 @@ func excludedBlock(list PostingList, ex dewey.ID) (lo, hi int) {
 // is the tree the merged index describes.
 func Merge(root *xmltree.Node, base, delta *Index) *Index {
 	m := &Index{
-		postings: make(map[string]PostingList, len(base.postings)+len(delta.postings)),
+		symbols:  base.symbols,
+		postings: make(map[uint32]PostingList),
 		root:     root,
 		terms:    base.terms + delta.terms,
 		elements: base.elements + delta.elements,
 	}
-	for t, l := range base.postings {
-		d, ok := delta.postings[t]
+	base.eachList(func(id uint32, l PostingList) {
+		m.postings[id] = l
+	})
+	// When delta shares base's table (the live write path builds it
+	// that way) IDs line up and the merge is ID-direct; a foreign-table
+	// delta remaps by name, costing one intern per delta term.
+	sameTable := delta.symbols == base.symbols
+	delta.eachList(func(did uint32, d PostingList) {
+		id := did
+		if !sameTable {
+			id = base.symbols.Intern(delta.symbols.Name(did))
+		}
+		l, ok := m.postings[id]
 		if !ok {
-			m.postings[t] = l
-			continue
+			m.postings[id] = d
+			return
 		}
 		nl := make(PostingList, 0, len(l)+len(d))
-		nl = append(append(nl, l...), d...)
-		m.postings[t] = nl
-	}
-	for t, d := range delta.postings {
-		if _, ok := base.postings[t]; !ok {
-			m.postings[t] = d
-		}
-	}
+		m.postings[id] = append(append(nl, l...), d...)
+	})
 	// Safety net, mirroring Build: a misuse that violates the append
 	// precondition degrades to a sort, not a corrupt index.
 	m.ensureSorted()

@@ -27,10 +27,13 @@ func BuildParallel(root *xmltree.Node, workers int) *Index {
 	}
 
 	// Root node itself: its postings precede every descendant's.
-	idx := &Index{postings: make(map[string]PostingList), root: root}
+	idx := newIndex(root, nil)
 	idx.indexNode(root)
 
-	// Chunk children evenly; each chunk builds a private partial index.
+	// Chunk children evenly; each chunk builds a private partial index
+	// sharing the final index's symbol table (Intern is synchronized,
+	// and each partial memoizes term→ID locally), so the merge below
+	// concatenates lists by ID with no string handling.
 	chunks := splitChunks(len(kids), workers)
 	partials := make([]*Index, len(chunks))
 	var wg sync.WaitGroup
@@ -38,7 +41,7 @@ func BuildParallel(root *xmltree.Node, workers int) *Index {
 		wg.Add(1)
 		go func(ci int, lo, hi int) {
 			defer wg.Done()
-			p := &Index{postings: make(map[string]PostingList)}
+			p := newIndex(nil, idx.symbols)
 			for _, c := range kids[lo:hi] {
 				p.indexSubtree(c)
 			}
@@ -49,8 +52,8 @@ func BuildParallel(root *xmltree.Node, workers int) *Index {
 
 	// Merge in chunk order: per-term lists concatenate sorted.
 	for _, p := range partials {
-		for term, list := range p.postings {
-			idx.postings[term] = append(idx.postings[term], list...)
+		for id, list := range p.postings {
+			idx.postings[id] = append(idx.postings[id], list...)
 		}
 		idx.terms += p.terms
 		idx.elements += p.elements

@@ -16,7 +16,8 @@ func TestBuildParallelMatchesBuild(t *testing.T) {
 		if got, want := len(par.postings), len(serial.postings); got != want {
 			t.Fatalf("workers=%d: %d terms, want %d", workers, got, want)
 		}
-		for term, want := range serial.postings {
+		for id, want := range serial.postings {
+			term := serial.symbols.Name(id)
 			got := par.Lookup(term)
 			if len(got) != len(want) {
 				t.Fatalf("workers=%d: term %q has %d postings, want %d", workers, term, len(got), len(want))

@@ -9,7 +9,9 @@ import "repro/internal/dewey"
 // Ladders are built once per index (Build/Load/Merge all funnel
 // through the same hook) and shared by every query; short lists stay
 // ladder-free and fall back to plain galloping, which is already
-// O(log gap) there.
+// O(log gap) there. Compact-backed lists carry the ladder inside the
+// payload itself: the per-block last IDs double as ladder entries
+// (compact.go).
 
 const (
 	// skipInterval is the block size one ladder entry summarizes.
@@ -26,21 +28,21 @@ func (idx *Index) buildSkips() {
 	if idx.skips != nil {
 		idx.skips = nil
 	}
-	for term, list := range idx.postings {
+	for id, list := range idx.postings {
 		if len(list) < skipMinLen {
 			continue
 		}
 		list = packList(list)
-		idx.postings[term] = list
+		idx.postings[id] = list
 		if idx.skips == nil {
-			idx.skips = make(map[string]PostingList)
+			idx.skips = make(map[uint32]PostingList)
 		}
 		blocks := len(list) / skipInterval
 		ladder := make(PostingList, blocks)
 		for b := 0; b < blocks; b++ {
 			ladder[b] = list[(b+1)*skipInterval-1]
 		}
-		idx.skips[term] = ladder
+		idx.skips[id] = ladder
 	}
 }
 
@@ -68,16 +70,41 @@ func packList(list PostingList) PostingList {
 
 // TermIter returns a cursor over term's posting list, accelerated by
 // the term's skip ladder when one exists. An absent term yields an
-// exhausted cursor.
+// exhausted cursor. Compact-backed lists are cursored in place — one
+// decoded block at a time — until something materializes them.
 func (idx *Index) TermIter(term string) Iter {
-	list := idx.postings[term]
-	if len(list) == 0 {
+	id, ok := idx.symbols.ID(term)
+	if !ok {
 		return EmptyIter()
 	}
-	return &sliceIter{list: list, skips: idx.skips[term]}
+	if list, ok := idx.postings[id]; ok {
+		if len(list) == 0 {
+			return EmptyIter()
+		}
+		return &sliceIter{list: list, skips: idx.skips[id]}
+	}
+	if idx.compact != nil {
+		return idx.compact.iter(id)
+	}
+	return EmptyIter()
 }
 
 // SkipBlocks reports how many ladder entries term's posting list
 // carries (0 when the list is short enough to go ladder-free) — an
 // observability hook for tests and metrics.
-func (idx *Index) SkipBlocks(term string) int { return len(idx.skips[term]) }
+func (idx *Index) SkipBlocks(term string) int {
+	id, ok := idx.symbols.ID(term)
+	if !ok {
+		return 0
+	}
+	if l, ok := idx.skips[id]; ok {
+		return len(l)
+	}
+	if _, ok := idx.postings[id]; ok {
+		return 0
+	}
+	if idx.compact != nil {
+		return idx.compact.skipBlocks(id)
+	}
+	return 0
+}

@@ -102,6 +102,15 @@ func loadLive(br *bufio.Reader, cfg engine.Config) (*engine.Engine, Meta, error)
 	if err != nil {
 		return nil, Meta{}, fmt.Errorf("persist: parse live base: %w", err)
 	}
+	// Version skew fails closed: no writer produces a v3 envelope
+	// around a v4 base (SaveFormat writes compacted live corpora as
+	// self-contained v4, journaled ones as all-v3), so finding one
+	// means mismatched tooling stitched sections together. Refusing
+	// here sends the caller to a rebuild instead of trusting a base
+	// whose combination was never tested against this journal.
+	if bytes.HasPrefix(env.Base, []byte(fmt.Sprintf("%s %d\n", magic, CompactFormatVersion))) {
+		return nil, Meta{}, fmt.Errorf("persist: v3 live envelope wrapping a v4 base: version skew, rebuild required")
+	}
 	eng, _, err := Load(bytes.NewReader(env.Base), root, cfg)
 	if err != nil {
 		return nil, Meta{}, fmt.Errorf("persist: live base: %w", err)

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// mapFile on platforms without mmap support reads the whole file — the
+// io.ReaderAt-style fallback: same lazy block decode, no page-fault
+// residency win.
+func mapFile(f *os.File) (data []byte, cleanup func(), err error) {
+	return readFileFallback(f)
+}

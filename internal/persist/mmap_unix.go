@@ -1,0 +1,34 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The returned cleanup releases the mapping
+// and must only be called on load-error paths: a mapping backing a
+// served engine stays alive for the engine's (in practice the
+// process's) lifetime, which is the point — postings fault in by page
+// instead of being decoded up front. Falls back to a plain read when
+// the file cannot be mapped (pipes, some filesystems).
+func mapFile(f *os.File) (data []byte, cleanup func(), err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("persist: snapshot too large to map (%d bytes)", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFileFallback(f)
+	}
+	return b, func() { _ = syscall.Munmap(b) }, nil
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"repro/internal/engine"
 	"repro/internal/index"
@@ -57,9 +58,24 @@ type Meta struct {
 func fingerprint(root *xmltree.Node) (count int, hash uint64) {
 	h := fnv.New64a()
 	var sep = []byte{0}
+	// idBuf renders each node's Dewey ID with the same bytes as
+	// dewey.ID.String — the walk runs on every snapshot save, load, and
+	// mmap open, and a per-node String() allocation dominates the
+	// otherwise near-zero v4 open cost.
+	idBuf := make([]byte, 0, 64)
 	root.Walk(func(n *xmltree.Node) bool {
 		count++
-		h.Write([]byte(n.ID.String()))
+		idBuf = idBuf[:0]
+		if len(n.ID) == 0 {
+			idBuf = append(idBuf, '/')
+		}
+		for i, c := range n.ID {
+			if i > 0 {
+				idBuf = append(idBuf, '.')
+			}
+			idBuf = strconv.AppendInt(idBuf, int64(c), 10)
+		}
+		h.Write(idBuf)
 		h.Write([]byte{byte(n.Kind)})
 		h.Write([]byte(n.Tag))
 		h.Write(sep)
@@ -168,9 +184,18 @@ func Load(r io.Reader, root *xmltree.Node, cfg engine.Config) (*engine.Engine, M
 		// the snapshot (the live corpus has writes the caller's tree
 		// cannot know about), so the passed root is ignored.
 		return loadLive(br, cfg)
+	case CompactFormatVersion:
+		// The generic reader path buys none of the mapping win: read
+		// the sections into memory and serve them lazily from there.
+		// LoadFile has the mmap fast path.
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, Meta{}, fmt.Errorf("persist: read v4 sections: %w", err)
+		}
+		return loadV4(data, root, cfg)
 	default:
-		return nil, Meta{}, fmt.Errorf("persist: format version %d, want %d, %d or %d",
-			version, FormatVersion, ShardedFormatVersion, LiveFormatVersion)
+		return nil, Meta{}, fmt.Errorf("persist: format version %d, want %d, %d, %d or %d",
+			version, FormatVersion, ShardedFormatVersion, LiveFormatVersion, CompactFormatVersion)
 	}
 }
 
@@ -211,6 +236,12 @@ func verifyFingerprint(meta Meta, root *xmltree.Node) error {
 // SaveFile writes a snapshot to path atomically (temp file + rename),
 // creating parent directories as needed.
 func SaveFile(path string, eng *engine.Engine, meta Meta) error {
+	return SaveFileFormat(path, eng, meta, 0)
+}
+
+// SaveFileFormat is SaveFile with an explicit snapshot format (see
+// SaveFormat).
+func SaveFileFormat(path string, eng *engine.Engine, meta Meta, format int) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("persist: %w", err)
@@ -220,7 +251,7 @@ func SaveFile(path string, eng *engine.Engine, meta Meta) error {
 		return fmt.Errorf("persist: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := Save(tmp, eng, meta); err != nil {
+	if err := SaveFormat(tmp, eng, meta, format); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -233,12 +264,67 @@ func SaveFile(path string, eng *engine.Engine, meta Meta) error {
 	return nil
 }
 
-// LoadFile is Load over the file at path.
+// LoadFile is Load over the file at path, with one upgrade: a v4
+// snapshot is mmap-ed (where the platform allows) and served straight
+// out of the mapping — the near-zero-restart path, where postings page
+// in lazily as queries touch them. The mapping backs the returned
+// engine and is intentionally never unmapped while it serves.
 func LoadFile(path string, root *xmltree.Node, cfg engine.Config) (*engine.Engine, Meta, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, Meta{}, fmt.Errorf("persist: %w", err)
 	}
 	defer f.Close()
-	return Load(f, root, cfg)
+	version, err := sniffVersion(f)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+	if version != CompactFormatVersion {
+		return Load(f, root, cfg)
+	}
+	data, cleanup, err := mapFile(f)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		cleanup()
+		return nil, Meta{}, fmt.Errorf("persist: v4 snapshot missing header line")
+	}
+	eng, meta, err := loadV4(data[nl+1:], root, cfg)
+	if err != nil {
+		cleanup()
+		return nil, Meta{}, err
+	}
+	return eng, meta, nil
+}
+
+// sniffVersion reads just the header line's format version.
+func sniffVersion(f *os.File) (int, error) {
+	header, err := bufio.NewReader(io.LimitReader(f, 64)).ReadString('\n')
+	if err != nil {
+		return 0, fmt.Errorf("persist: read header: %w", err)
+	}
+	var gotMagic string
+	var version int
+	if _, err := fmt.Sscanf(header, "%s %d", &gotMagic, &version); err != nil || gotMagic != magic {
+		return 0, fmt.Errorf("persist: not a snapshot (header %q)", header)
+	}
+	return version, nil
+}
+
+// readFileFallback reads the whole file from the start — the
+// platform-independent fallback behind mapFile.
+func readFileFallback(f *os.File) ([]byte, func(), error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	return data, func() {}, nil
 }

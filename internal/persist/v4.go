@@ -1,0 +1,357 @@
+package persist
+
+// This file implements the compact snapshot layout (format version 4):
+// after the usual header line, a flat sequence of self-describing
+// binary sections, each `[1-byte kind][uint64 LE length][payload]
+// [uint32 LE crc32]`. Unlike the gob envelopes of v1-v3, every section
+// is addressable without decoding its neighbours, so LoadFile can mmap
+// the whole file and serve postings straight out of the mapping: the
+// symbol table and postings payloads are the index.SymbolTable /
+// index.OpenCompact byte forms, decoded lazily block by block as
+// queries touch them. Cold start touches only the section directory,
+// the symbol table, the schema, and the corpus fingerprint walk.
+//
+// Section kinds, in file order:
+//
+//	'M'  head: gob(v4Head) — Meta plus the aggregate element count
+//	'X'  optional: the document XML, making the snapshot self-contained
+//	     (written when saving a compacted live corpus, whose tree the
+//	     loading caller cannot regenerate; Load then ignores its root
+//	     argument, as v3 does)
+//	'Y'  symbol table (index.SymbolTable.AppendEncoded)
+//	'S'  schema (xseek.Schema.Save)
+//	'F'  sharded only: gob term→document-frequency table
+//	'P'  postings payload (index.EncodeCompact): one for a monolithic
+//	     engine, K in group order for a sharded one
+//
+// CRC policy: every section except sharded 'P' sections is verified at
+// load — fail closed into a rebuild. Sharded 'P' sections verify
+// lazily on first touch, and a corrupt one rebuilds only that shard
+// (the v2 semantics, counted in Rebuilds).
+//
+// A live engine with journaled (uncompacted) writes cannot be saved as
+// v4 — the layout has no journal section by design; SaveFormat falls
+// back to v3 for it, and loadLive rejects a v3 envelope wrapping a v4
+// base (a combination no writer produces — version skew fails closed).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/shard"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// CompactFormatVersion identifies the mmap-able sectioned layout.
+const CompactFormatVersion = 4
+
+// Section kinds.
+const (
+	secHead    = 'M'
+	secXML     = 'X'
+	secSymbols = 'Y'
+	secSchema  = 'S'
+	secFreqs   = 'F'
+	secPost    = 'P'
+)
+
+// v4Head is the gob payload of the 'M' section.
+type v4Head struct {
+	Meta            Meta
+	IndexedElements int
+}
+
+// v4Section is one parsed section. Data aliases the snapshot bytes
+// (the mapping, when mmap-ed); Sum is the stored CRC, verified eagerly
+// or lazily per the policy above.
+type v4Section struct {
+	Kind byte
+	Data []byte
+	Sum  uint32
+}
+
+func (s v4Section) verify() error {
+	if got := crc32.ChecksumIEEE(s.Data); got != s.Sum {
+		return fmt.Errorf("persist: v4 section %q checksum mismatch (%08x, want %08x): snapshot corrupt", s.Kind, got, s.Sum)
+	}
+	return nil
+}
+
+// writeV4Section writes one framed section.
+func writeV4Section(w io.Writer, kind byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: v4 section %q: %w", kind, err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("persist: v4 section %q: %w", kind, err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("persist: v4 section %q: %w", kind, err)
+	}
+	return nil
+}
+
+// parseV4Sections splits the post-header bytes into sections without
+// copying or verifying payloads.
+func parseV4Sections(data []byte) ([]v4Section, error) {
+	var out []v4Section
+	pos := 0
+	for pos < len(data) {
+		if len(data)-pos < 13 {
+			return nil, fmt.Errorf("persist: v4: truncated section header at offset %d", pos)
+		}
+		kind := data[pos]
+		n := binary.LittleEndian.Uint64(data[pos+1 : pos+9])
+		pos += 9
+		if n > uint64(len(data)-pos-4) {
+			return nil, fmt.Errorf("persist: v4: section %q truncated (%d bytes declared, %d available)", kind, n, len(data)-pos-4)
+		}
+		payload := data[pos : pos+int(n)]
+		pos += int(n)
+		sum := binary.LittleEndian.Uint32(data[pos : pos+4])
+		pos += 4
+		out = append(out, v4Section{Kind: kind, Data: payload, Sum: sum})
+	}
+	return out, nil
+}
+
+// SaveFormat is Save with an explicit snapshot format: 0 selects the
+// automatic legacy layout (v1/v2/v3, exactly Save's behavior) and
+// CompactFormatVersion the sectioned mmap-able layout. A live engine
+// with uncompacted writes falls back to v3 even when v4 is requested —
+// the journal must travel, and only v3 carries one; the next
+// compaction makes the corpus v4-eligible again.
+func SaveFormat(w io.Writer, eng *engine.Engine, meta Meta, format int) error {
+	switch format {
+	case 0:
+		return Save(w, eng, meta)
+	case CompactFormatVersion:
+	default:
+		return fmt.Errorf("persist: save format %d not supported (want 0 or %d)", format, CompactFormatVersion)
+	}
+	if live := eng.Live(); live != nil && live.Epoch() > 0 {
+		baseRoot, x, sh, journal := live.SnapshotParts()
+		if len(journal) > 0 {
+			return saveLive(w, live, meta)
+		}
+		// Compacted: the base is the whole corpus. Serialize the tree
+		// into the snapshot ('X' section) so a restart reconstructs the
+		// written-to corpus no generator can reproduce, and fingerprint
+		// the re-parse — exactly the tree Load will hand back.
+		baseXML := xmltree.XMLString(baseRoot)
+		reparsed, err := xmltree.ParseString(baseXML)
+		if err != nil {
+			return fmt.Errorf("persist: live base does not round-trip: %w", err)
+		}
+		return saveV4(w, reparsed, x, sh, []byte(baseXML), meta)
+	}
+	return saveV4(w, eng.Root(), eng.Xseek(), eng.Sharded(), nil, meta)
+}
+
+// saveV4 writes the sectioned layout. xml, when non-nil, becomes the
+// self-containing 'X' section.
+func saveV4(w io.Writer, root *xmltree.Node, x *xseek.Engine, sh *shard.Engine, xml []byte, meta Meta) error {
+	meta.RootTag = root.Tag
+	meta.NodeCount, meta.ContentHash = fingerprint(root)
+
+	// One symbol table for every postings section, interned in sorted
+	// vocabulary order so snapshot bytes are deterministic.
+	st := index.NewSymbolTable()
+	head := v4Head{Meta: meta}
+	var idxs []*index.Index
+	if sh != nil {
+		head.Meta.Shards = sh.ShardCount()
+		head.IndexedElements = sh.IndexStats().IndexedElements
+		idxs = sh.ShardIndexes()
+		for _, t := range sh.SpineIndex().Vocabulary() {
+			st.Intern(t)
+		}
+	} else {
+		idxs = []*index.Index{x.Index()}
+	}
+	for _, idx := range idxs {
+		for _, t := range idx.Vocabulary() {
+			st.Intern(t)
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s %d\n", magic, CompactFormatVersion); err != nil {
+		return fmt.Errorf("persist: write header: %w", err)
+	}
+	var headBuf bytes.Buffer
+	if err := gob.NewEncoder(&headBuf).Encode(&head); err != nil {
+		return fmt.Errorf("persist: encode head: %w", err)
+	}
+	if err := writeV4Section(w, secHead, headBuf.Bytes()); err != nil {
+		return err
+	}
+	if xml != nil {
+		if err := writeV4Section(w, secXML, xml); err != nil {
+			return err
+		}
+	}
+	if err := writeV4Section(w, secSymbols, st.AppendEncoded(nil)); err != nil {
+		return err
+	}
+	var schBuf bytes.Buffer
+	var schema *xseek.Schema
+	if sh != nil {
+		schema = sh.Schema()
+	} else {
+		schema = x.Schema()
+	}
+	if err := schema.Save(&schBuf); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := writeV4Section(w, secSchema, schBuf.Bytes()); err != nil {
+		return err
+	}
+	if sh != nil {
+		var dfBuf bytes.Buffer
+		if err := gob.NewEncoder(&dfBuf).Encode(sh.TermFrequencies()); err != nil {
+			return fmt.Errorf("persist: encode term frequencies: %w", err)
+		}
+		if err := writeV4Section(w, secFreqs, dfBuf.Bytes()); err != nil {
+			return err
+		}
+	}
+	for g, idx := range idxs {
+		payload, err := index.EncodeCompact(idx, st)
+		if err != nil {
+			return fmt.Errorf("persist: postings %d: %w", g, err)
+		}
+		if err := writeV4Section(w, secPost, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadV4 assembles a serving engine over the section bytes (everything
+// after the header line). data may be an mmap-ed region: postings
+// sections are handed to the index layer as-is and decoded lazily, so
+// data must stay valid for the engine's lifetime.
+func loadV4(data []byte, root *xmltree.Node, cfg engine.Config) (*engine.Engine, Meta, error) {
+	secs, err := parseV4Sections(data)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	var head *v4Head
+	var symSec, schSec, xmlSec, freqSec *v4Section
+	var posts []v4Section
+	for i := range secs {
+		s := &secs[i]
+		switch s.Kind {
+		case secHead:
+			if err := s.verify(); err != nil {
+				return nil, Meta{}, err
+			}
+			head = &v4Head{}
+			if err := gob.NewDecoder(bytes.NewReader(s.Data)).Decode(head); err != nil {
+				return nil, Meta{}, fmt.Errorf("persist: decode head: %w", err)
+			}
+		case secXML:
+			xmlSec = s
+		case secSymbols:
+			symSec = s
+		case secSchema:
+			schSec = s
+		case secFreqs:
+			freqSec = s
+		case secPost:
+			posts = append(posts, *s)
+		default:
+			return nil, Meta{}, fmt.Errorf("persist: v4: unknown section kind %q", s.Kind)
+		}
+	}
+	if head == nil || symSec == nil || schSec == nil || len(posts) == 0 {
+		return nil, Meta{}, fmt.Errorf("persist: v4: missing required sections")
+	}
+	if xmlSec != nil {
+		// Self-contained snapshot: the tree travels with it, and the
+		// caller's root (a generator corpus that cannot know about
+		// compacted writes) is ignored, as in v3.
+		if err := xmlSec.verify(); err != nil {
+			return nil, Meta{}, err
+		}
+		root, err = xmltree.ParseString(string(xmlSec.Data))
+		if err != nil {
+			return nil, Meta{}, fmt.Errorf("persist: parse embedded corpus: %w", err)
+		}
+	}
+	if err := verifyFingerprint(head.Meta, root); err != nil {
+		return nil, Meta{}, err
+	}
+	if err := symSec.verify(); err != nil {
+		return nil, Meta{}, err
+	}
+	st, err := index.DecodeSymbolTable(symSec.Data)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+	if err := schSec.verify(); err != nil {
+		return nil, Meta{}, err
+	}
+	schema, err := xseek.LoadSchema(bytes.NewReader(schSec.Data))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+
+	if head.Meta.Shards == 0 {
+		if len(posts) != 1 {
+			return nil, Meta{}, fmt.Errorf("persist: v4: %d postings sections for a monolithic snapshot", len(posts))
+		}
+		if err := posts[0].verify(); err != nil {
+			return nil, Meta{}, err
+		}
+		idx, err := index.OpenCompact(root, st, posts[0].Data, cfg.MaterializePostings)
+		if err != nil {
+			return nil, Meta{}, fmt.Errorf("persist: %w", err)
+		}
+		return engine.FromXseek(xseek.FromParts(root, idx, schema), cfg), head.Meta, nil
+	}
+
+	if freqSec == nil {
+		return nil, Meta{}, fmt.Errorf("persist: v4: sharded snapshot missing frequency section")
+	}
+	if err := freqSec.verify(); err != nil {
+		return nil, Meta{}, err
+	}
+	var df map[string]int
+	if err := gob.NewDecoder(bytes.NewReader(freqSec.Data)).Decode(&df); err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: decode term frequencies: %w", err)
+	}
+	if head.Meta.Shards != len(posts) {
+		return nil, Meta{}, fmt.Errorf("persist: snapshot declares %d shards but carries %d postings sections", head.Meta.Shards, len(posts))
+	}
+	loaders := make([]func() (*index.Index, error), len(posts))
+	lroot := root
+	for g := range posts {
+		sec := posts[g]
+		loaders[g] = func() (*index.Index, error) {
+			// Lazy per-shard verification: a flipped bit in one shard's
+			// postings rebuilds that shard, not the corpus.
+			if err := sec.verify(); err != nil {
+				return nil, err
+			}
+			return index.OpenCompact(lroot, st, sec.Data, cfg.MaterializePostings)
+		}
+	}
+	sh, err := shard.FromSourcesShared(root, schema, head.Meta.Shards, df, head.IndexedElements, loaders, st)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return engine.FromSharded(sh, cfg), head.Meta, nil
+}

@@ -1,0 +1,412 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// v4SnapshotOf saves eng in the compact v4 layout.
+func v4SnapshotOf(t testing.TB, eng *engine.Engine, meta Meta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveFormat(&buf, eng, meta, CompactFormatVersion); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// rankedFingerprint canonicalizes an engine's ranked answers — labels,
+// scores, and paging envelopes — over a query set at several windows.
+// Two engines with equal fingerprints are observationally identical to
+// a ranked-search client.
+func rankedFingerprint(t *testing.T, eng *engine.Engine, queries ...string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, q := range queries {
+		for _, opts := range []xseek.SearchOptions{
+			{},
+			{Limit: 1},
+			{Limit: 2, Offset: 1},
+			{Limit: 8},
+		} {
+			page, err := eng.SearchRankedPage(q, opts)
+			if err != nil {
+				t.Fatalf("%q: %v", q, err)
+			}
+			fmt.Fprintf(&b, "q=%s limit=%d offset=%d total=%d at=%d\n", q, opts.Limit, opts.Offset, page.Total, page.Offset)
+			for _, r := range page.Results {
+				fmt.Fprintf(&b, "  %s %s %.17g\n", r.Label, r.Node.ID, r.Score)
+			}
+		}
+	}
+	st := eng.IndexStats()
+	fmt.Fprintf(&b, "stats=%+v nodes=%d\n", st, eng.TotalNodes())
+	return b.String()
+}
+
+var v4Queries = []string{"tomtom gps", "garmin", "canon camera", "easy camera", "tomtom"}
+
+// TestV4RoundTripEquivalence: an engine loaded from a v4 snapshot must
+// be bit-identical to the fresh-built one — same ranked labels, same
+// scores, same paging envelopes — for the monolithic executor and for
+// sharded ones, with and without eager materialization.
+func TestV4RoundTripEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for _, eager := range []bool{false, true} {
+			t.Run(fmt.Sprintf("shards=%d/eager=%v", shards, eager), func(t *testing.T) {
+				fresh := engine.NewWithConfig(testRoot(), engine.Config{Shards: shards})
+				snap := v4SnapshotOf(t, fresh, Meta{CorpusName: "reviews", Seed: 11})
+				if !bytes.HasPrefix(snap, []byte("XSACTSNAP 4\n")) {
+					t.Fatalf("v4 snapshot header = %q", snap[:12])
+				}
+
+				cfg := engine.Config{MaterializePostings: eager}
+				loaded, meta, err := Load(bytes.NewReader(snap), testRoot(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if meta.CorpusName != "reviews" || meta.Seed != 11 {
+					t.Fatalf("meta after load = %+v", meta)
+				}
+				wantShards := shards
+				if wantShards < 2 {
+					wantShards = 0
+				}
+				if meta.Shards != wantShards {
+					t.Fatalf("meta.Shards = %d, want %d", meta.Shards, wantShards)
+				}
+
+				want := rankedFingerprint(t, fresh, v4Queries...)
+				got := rankedFingerprint(t, loaded, v4Queries...)
+				if got != want {
+					t.Fatalf("ranked results diverge after v4 round trip:\n%s\nvs fresh:\n%s", got, want)
+				}
+				if sh := loaded.Sharded(); sh != nil {
+					if n := sh.Rebuilds(); n != 0 {
+						t.Fatalf("clean v4 load rebuilt %d shards, want 0", n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestV4Deterministic: the compact payloads — symbol table and every
+// postings section — are byte-identical across saves of one engine
+// (the table is interned in sorted vocabulary order, so IDs and the
+// delta streams keyed by them cannot drift with map iteration order).
+// The gob-encoded head/schema sections are exempt: gob serializes maps
+// in iteration order, a nondeterminism v4 inherits from the v1-v3 wire
+// forms it shares them with.
+func TestV4Deterministic(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		eng := engine.NewWithConfig(testRoot(), engine.Config{Shards: shards})
+		a := v4SnapshotOf(t, eng, Meta{CorpusName: "reviews", Seed: 11})
+		b := v4SnapshotOf(t, eng, Meta{CorpusName: "reviews", Seed: 11})
+		if len(a) != len(b) {
+			t.Fatalf("shards=%d: two saves of one engine differ in size (%d vs %d bytes)", shards, len(a), len(b))
+		}
+		nPost := 1
+		if shards > 1 {
+			nPost = shards
+		}
+		for _, sec := range []struct {
+			kind byte
+			n    int
+		}{{secSymbols, 1}, {secPost, nPost}} {
+			for i := 0; i < sec.n; i++ {
+				ao, al := v4Span(t, a, sec.kind, i)
+				bo, bl := v4Span(t, b, sec.kind, i)
+				if ao != bo || al != bl || !bytes.Equal(a[ao:ao+al], b[bo:bo+bl]) {
+					t.Fatalf("shards=%d: section %q #%d differs between saves", shards, sec.kind, i)
+				}
+			}
+		}
+	}
+}
+
+// TestV4FileMmapRoundTrip: the LoadFile fast path — mmap where the
+// platform allows — serves the same answers as the generic reader path
+// and as the fresh engine.
+func TestV4FileMmapRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap", "reviews.v4")
+	fresh := engine.NewWithConfig(testRoot(), engine.Config{Shards: 2})
+	if err := SaveFileFormat(path, fresh, Meta{CorpusName: "reviews", Seed: 11}, CompactFormatVersion); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, meta, err := LoadFile(path, testRoot(), engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Shards != 2 {
+		t.Fatalf("meta.Shards = %d, want 2", meta.Shards)
+	}
+	want := rankedFingerprint(t, fresh, v4Queries...)
+	if got := rankedFingerprint(t, loaded, v4Queries...); got != want {
+		t.Fatalf("mmap-loaded engine diverges from fresh:\n%s\nvs\n%s", got, want)
+	}
+
+	// The lazy-decoded index reports its payload footprint.
+	if m := loaded.Metrics(); m.IndexBytes == 0 {
+		t.Fatalf("v4-loaded engine reports IndexBytes = 0")
+	}
+
+	// LoadFile still dispatches legacy layouts through the reader path.
+	legacy := filepath.Join(dir, "reviews.v2")
+	if err := SaveFile(legacy, fresh, Meta{CorpusName: "reviews", Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFile(legacy, testRoot(), engine.Config{}); err != nil {
+		t.Fatalf("LoadFile(v2): %v", err)
+	}
+}
+
+// TestV4LiveCompactedSelfContained: a compacted live corpus saves as a
+// self-contained v4 snapshot (the tree travels in the 'X' section),
+// reloads without the caller knowing the written-to corpus, and
+// accepts the same post-restart writes as an engine that never
+// restarted.
+func TestV4LiveCompactedSelfContained(t *testing.T) {
+	root := xmltree.MustParseString(liveCorpusXML(6))
+	eng := engine.New(root)
+	mustWrite(t, eng, "<product><name>fresh0</name><kind>gps</kind></product>", -1)
+	mustWrite(t, eng, "<product><name>fresh1</name><kind>solar</kind></product>", 1)
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := v4SnapshotOf(t, eng, Meta{CorpusName: "shop", Seed: 7})
+	if !bytes.HasPrefix(snap, []byte("XSACTSNAP 4\n")) {
+		t.Fatalf("compacted live engine snapshot header = %q, want v4", snap[:12])
+	}
+
+	// The caller's root is ignored: pass a tree that cannot possibly
+	// describe the written-to corpus.
+	loaded, _, err := Load(bytes.NewReader(snap), xmltree.MustParseString("<unrelated/>"), engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"gps", "solar", "fresh0", "item3 radio"}
+	if got, want := searchFingerprint(t, loaded, queries...), searchFingerprint(t, eng, queries...); got != want {
+		t.Fatalf("self-contained v4 reload diverges:\n%s\nvs\n%s", got, want)
+	}
+
+	// Interleave further writes on both sides; they must stay in step.
+	for _, e := range []*engine.Engine{eng, loaded} {
+		mustWrite(t, e, "<product><name>post0</name><kind>gps</kind></product>", -1)
+		mustWrite(t, e, "<product><name>post1</name><kind>lunar</kind></product>", 2)
+	}
+	queries = append(queries, "post0", "lunar", "gps")
+	if got, want := searchFingerprint(t, loaded, queries...), searchFingerprint(t, eng, queries...); got != want {
+		t.Fatalf("post-reload writes diverge:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestV4JournaledFallsBackToV3: a live engine with pending journaled
+// writes cannot be represented in v4 (no journal section by design);
+// requesting v4 writes the v3 live layout instead, which reloads.
+func TestV4JournaledFallsBackToV3(t *testing.T) {
+	root := xmltree.MustParseString(liveCorpusXML(4))
+	eng := engine.New(root)
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, eng, "<product><name>pending</name><kind>gps</kind></product>", -1)
+
+	snap := v4SnapshotOf(t, eng, Meta{CorpusName: "shop", Seed: 7})
+	if !bytes.HasPrefix(snap, []byte("XSACTSNAP 3\n")) {
+		t.Fatalf("journaled live engine snapshot header = %q, want v3 fallback", snap[:12])
+	}
+	loaded, _, err := Load(bytes.NewReader(snap), nil, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := searchFingerprint(t, loaded, "pending", "gps"), searchFingerprint(t, eng, "pending", "gps"); got != want {
+		t.Fatalf("v3 fallback reload diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// v4Span locates one raw section in snapshot bytes: the offset and
+// length of its payload (the CRC is the 4 bytes following it). n picks
+// among repeated kinds ('P' appears once per shard).
+func v4Span(t *testing.T, snap []byte, kind byte, n int) (off, size int) {
+	t.Helper()
+	pos := bytes.IndexByte(snap, '\n') + 1
+	if pos == 0 {
+		t.Fatal("snapshot missing header line")
+	}
+	for pos < len(snap) {
+		k := snap[pos]
+		sz := int(binary.LittleEndian.Uint64(snap[pos+1 : pos+9]))
+		if k == kind {
+			if n == 0 {
+				return pos + 9, sz
+			}
+			n--
+		}
+		pos += 9 + sz + 4
+	}
+	t.Fatalf("section %q #%d not found", kind, n)
+	return 0, 0
+}
+
+// flipped returns a copy of snap with the byte at off xor-ed.
+func flipped(snap []byte, off int) []byte {
+	out := append([]byte(nil), snap...)
+	out[off] ^= 0x40
+	return out
+}
+
+// TestV4CorruptionFailsClosed: every flavor of damage to an
+// eagerly-verified region — truncation mid-section, a flipped bit in
+// the symbol table, a monolithic postings payload, or a stored CRC —
+// must fail the load (sending the caller to a rebuild), never serve
+// from the damaged bytes.
+func TestV4CorruptionFailsClosed(t *testing.T) {
+	eng := engine.New(testRoot())
+	snap := v4SnapshotOf(t, eng, Meta{CorpusName: "reviews", Seed: 11})
+	symOff, symLen := v4Span(t, snap, secSymbols, 0)
+	postOff, postLen := v4Span(t, snap, secPost, 0)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated mid-section", snap[:postOff+postLen/2]},
+		{"truncated mid-header", snap[:postOff-5]},
+		{"bit flip in symbol table", flipped(snap, symOff+symLen/2)},
+		{"bit flip in postings payload", flipped(snap, postOff+postLen/2)},
+		{"bit flip in stored CRC", flipped(snap, postOff+postLen+2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Load(bytes.NewReader(tc.data), testRoot(), engine.Config{}); err == nil {
+				t.Fatal("corrupt v4 snapshot loaded without error")
+			}
+
+			// The mmap path must reject it identically.
+			path := filepath.Join(t.TempDir(), "corrupt.v4")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := LoadFile(path, testRoot(), engine.Config{}); err == nil {
+				t.Fatal("corrupt v4 snapshot loaded via LoadFile without error")
+			}
+		})
+	}
+}
+
+// TestV4ShardCorruptionRebuildsOneShard: sharded postings sections are
+// verified lazily; a flipped bit in one shard's payload must not fail
+// the load or poison results — that shard is rebuilt from the tree on
+// first touch, and answers stay exact.
+func TestV4ShardCorruptionRebuildsOneShard(t *testing.T) {
+	fresh := engine.NewWithConfig(testRoot(), engine.Config{Shards: 3})
+	snap := v4SnapshotOf(t, fresh, Meta{CorpusName: "reviews", Seed: 11})
+	postOff, postLen := v4Span(t, snap, secPost, 1)
+
+	loaded, _, err := Load(bytes.NewReader(flipped(snap, postOff+postLen/2)), testRoot(), engine.Config{})
+	if err != nil {
+		t.Fatalf("one corrupt shard section failed the whole load: %v", err)
+	}
+	want := rankedFingerprint(t, fresh, v4Queries...)
+	if got := rankedFingerprint(t, loaded, v4Queries...); got != want {
+		t.Fatalf("results diverge after shard rebuild:\n%s\nvs\n%s", got, want)
+	}
+	if n := loaded.Sharded().Rebuilds(); n != 1 {
+		t.Fatalf("rebuilt %d shards, want exactly the corrupt one", n)
+	}
+}
+
+// TestV4VersionSkewFailsClosed: a v3 live envelope whose base is a v4
+// snapshot is a combination no writer produces; loadLive must refuse
+// it rather than replay a journal over an untested base.
+func TestV4VersionSkewFailsClosed(t *testing.T) {
+	root := xmltree.MustParseString(liveCorpusXML(4))
+	base := v4SnapshotOf(t, engine.New(root), Meta{CorpusName: "shop", Seed: 7})
+
+	env := liveEnvelope{
+		Meta:    Meta{CorpusName: "shop", Seed: 7},
+		BaseXML: []byte(xmltree.XMLString(root)),
+		Base:    base,
+	}
+	env.Checksum = env.checksum()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %d\n", magic, LiveFormatVersion)
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err := Load(bytes.NewReader(buf.Bytes()), root, engine.Config{})
+	if err == nil {
+		t.Fatal("v3 envelope wrapping a v4 base loaded without error")
+	}
+	if !strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("err = %v, want version-skew rejection", err)
+	}
+}
+
+// TestSnapshotCrossVersion: every layout the current build can write —
+// v1 single-index, v2 sharded, v3 live, v4 compact — must load back
+// with matching answers. CI runs this by name as the cross-version
+// compatibility gate.
+func TestSnapshotCrossVersion(t *testing.T) {
+	queries := []string{"tomtom gps", "garmin"}
+
+	write := func(eng *engine.Engine, format int) []byte {
+		var buf bytes.Buffer
+		if err := SaveFormat(&buf, eng, Meta{CorpusName: "reviews", Seed: 11}, format); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	mono := engine.New(testRoot())
+	sharded := engine.NewWithConfig(testRoot(), engine.Config{Shards: 2})
+	live := engine.New(xmltree.MustParseString(liveCorpusXML(4)))
+	mustWrite(t, live, "<product><name>fresh</name><kind>gps</kind></product>", -1)
+
+	cases := []struct {
+		name    string
+		version int
+		snap    []byte
+		ref     *engine.Engine
+		root    *xmltree.Node
+	}{
+		{"v1 single-index", FormatVersion, write(mono, 0), mono, testRoot()},
+		{"v2 sharded", ShardedFormatVersion, write(sharded, 0), sharded, testRoot()},
+		{"v3 live", LiveFormatVersion, write(live, 0), live, nil},
+		{"v4 compact", CompactFormatVersion, write(mono, CompactFormatVersion), mono, testRoot()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			header := fmt.Sprintf("%s %d\n", magic, tc.version)
+			if !bytes.HasPrefix(tc.snap, []byte(header)) {
+				t.Fatalf("snapshot header = %q, want %q", tc.snap[:13], header)
+			}
+			loaded, _, err := Load(bytes.NewReader(tc.snap), tc.root, engine.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := queries
+			if tc.ref == live {
+				qs = []string{"fresh", "gps"}
+			}
+			if got, want := searchFingerprint(t, loaded, qs...), searchFingerprint(t, tc.ref, qs...); got != want {
+				t.Fatalf("%s reload diverges:\n%s\nvs\n%s", tc.name, got, want)
+			}
+		})
+	}
+}

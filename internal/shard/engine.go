@@ -21,6 +21,13 @@ type Engine struct {
 	root   *xmltree.Node
 	schema *xseek.Schema
 	part   Partition
+	// syms is the symbol table shared by the spine index and every
+	// shard built by this engine, so a v4 snapshot writes one symbol
+	// section for all K shards. Indexes adopted from a prior engine
+	// (BuildReusing) may carry their own tables; all cross-index
+	// composition is string-keyed, so that is correct, just less
+	// compact until the next full build.
+	syms *index.SymbolTable
 
 	shards []*lazyShard
 	// spine is a pipeline engine over the tiny spine-only index; it
@@ -109,6 +116,7 @@ func BuildReusing(root *xmltree.Node, k int, prior *Engine) (*Engine, int) {
 func buildReusing(root *xmltree.Node, k int, prior *Engine) (*Engine, int) {
 	schema := xseek.InferSchemaParallel(root, 0)
 	part := Plan(root, schema, k)
+	st := index.NewSymbolTable()
 
 	reused := 0
 	indexes := make([]*index.Index, len(part.Groups))
@@ -124,12 +132,12 @@ func buildReusing(root *xmltree.Node, k int, prior *Engine) (*Engine, int) {
 		wg.Add(1)
 		go func(g int, lo, hi int) {
 			defer wg.Done()
-			indexes[g] = index.BuildForest(root, part.Segments[lo:hi])
+			indexes[g] = index.BuildForestShared(root, part.Segments[lo:hi], st)
 		}(g, r[0], r[1])
 	}
 	wg.Wait()
 
-	e := newEngine(root, schema, part)
+	e := newEngine(root, schema, part, st)
 	e.shards = make([]*lazyShard, len(indexes))
 	for g, idx := range indexes {
 		sh := &lazyShard{}
@@ -181,11 +189,21 @@ func (e *Engine) SpineIndex() *index.Index { return e.spine.Index() }
 // or failing loader falls back to rebuilding that one shard from its
 // own segment subtrees, counted in Rebuilds.
 func FromSources(root *xmltree.Node, schema *xseek.Schema, k int, df map[string]int, elements int, load []func() (*index.Index, error)) (*Engine, error) {
+	return FromSourcesShared(root, schema, k, df, elements, load, nil)
+}
+
+// FromSourcesShared is FromSources with an explicit symbol table (fresh
+// when nil): a v4 snapshot's shard sections all intern through the
+// snapshot's one table, and rebuild fallbacks join it too.
+func FromSourcesShared(root *xmltree.Node, schema *xseek.Schema, k int, df map[string]int, elements int, load []func() (*index.Index, error), st *index.SymbolTable) (*Engine, error) {
 	part := Plan(root, schema, k)
 	if len(load) != len(part.Groups) {
 		return nil, fmt.Errorf("shard: %d shard sources for a %d-group partition", len(load), len(part.Groups))
 	}
-	e := newEngine(root, schema, part)
+	if st == nil {
+		st = index.NewSymbolTable()
+	}
+	e := newEngine(root, schema, part, st)
 	e.initRanking(df)
 	e.elements = elements
 	e.shards = make([]*lazyShard, len(part.Groups))
@@ -200,7 +218,7 @@ func FromSources(root *xmltree.Node, schema *xseek.Schema, k int, df map[string]
 			}
 			e.rebuilds.Add(1)
 			lo, hi := part.Groups[g][0], part.Groups[g][1]
-			idx := index.BuildForest(root, part.Segments[lo:hi])
+			idx := index.BuildForestShared(root, part.Segments[lo:hi], st)
 			return xseek.FromPartsRanked(root, idx, schema, e.totalNodes, e.idf)
 		}
 		e.shards[g] = sh
@@ -213,11 +231,15 @@ func FromSources(root *xmltree.Node, schema *xseek.Schema, k int, df map[string]
 // populated by initRanking: every shard engine holds a reference to
 // this one shared map, so shards materialized before and after the
 // frequencies are aggregated see the same weights.
-func newEngine(root *xmltree.Node, schema *xseek.Schema, part Partition) *Engine {
+func newEngine(root *xmltree.Node, schema *xseek.Schema, part Partition, st *index.SymbolTable) *Engine {
+	if st == nil {
+		st = index.NewSymbolTable()
+	}
 	e := &Engine{
 		root:       root,
 		schema:     schema,
 		part:       part,
+		syms:       st,
 		totalNodes: part.NodeCount, // == root.CountNodes(), free from the partition walk
 		idf:        make(map[string]float64),
 		spineSet:   make(map[string]bool, len(part.Spine)),
@@ -237,8 +259,27 @@ func newEngine(root *xmltree.Node, schema *xseek.Schema, part Partition) *Engine
 			e.groupStart[g] = dewey.Root() // empty group: owns nothing
 		}
 	}
-	e.spine = xseek.FromPartsRanked(root, index.BuildNodes(root, part.Spine), schema, e.totalNodes, e.idf)
+	e.spine = xseek.FromPartsRanked(root, index.BuildNodesShared(root, part.Spine, st), schema, e.totalNodes, e.idf)
 	return e
+}
+
+// Symbols returns the symbol table shared by the spine and the shards
+// this engine built (see the field comment for the reuse caveat).
+func (e *Engine) Symbols() *index.SymbolTable { return e.syms }
+
+// MemStats aggregates index residency over the spine and the
+// materialized shards, without forcing a lazy shard to decode.
+func (e *Engine) MemStats() index.MemStats {
+	ms := e.spine.Index().MemStats()
+	for _, sh := range e.shards {
+		if x := sh.peek(); x != nil {
+			m := x.Index().MemStats()
+			ms.DataBytes += m.DataBytes
+			ms.ResidentLists += m.ResidentLists
+			ms.ResidentBlocks += m.ResidentBlocks
+		}
+	}
+	return ms
 }
 
 // initRanking installs the whole-corpus term statistics, filling the

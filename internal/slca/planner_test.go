@@ -46,7 +46,7 @@ func TestComputeWithUnknownAlgorithm(t *testing.T) {
 }
 
 func TestComputeCountsPlannerDecisions(t *testing.T) {
-	i0, s0 := PlannerDecisions()
+	i0, s0 := plannerDecisions()
 	// Uniform lists → scan; skewed lists → indexed lookup.
 	uniform := []index.PostingList{
 		{dewey.New(0, 0), dewey.New(1, 0)},
@@ -58,7 +58,7 @@ func TestComputeCountsPlannerDecisions(t *testing.T) {
 	}
 	Compute(uniform)
 	Compute(skewed)
-	i1, s1 := PlannerDecisions()
+	i1, s1 := plannerDecisions()
 	if i1-i0 != 1 || s1-s0 != 1 {
 		t.Fatalf("planner deltas = %d indexed, %d scan; want 1 and 1", i1-i0, s1-s0)
 	}

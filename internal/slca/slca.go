@@ -68,12 +68,13 @@ func KnownAlgorithm(alg Algorithm) bool {
 // they are what the serving layer's metrics surface.
 var plannedIndexed, plannedScan atomic.Int64
 
-// PlannerDecisions reports how many package-level Compute calls the
-// planner routed to each eager algorithm since process start. This is
-// a process-wide diagnostic total, not a per-corpus figure; see the
-// counter comment above and prefer the engine-level counters for
-// metrics.
-func PlannerDecisions() (indexedLookup, scanEager int64) {
+// plannerDecisions reports how many package-level Compute calls the
+// planner routed to each eager algorithm since process start. It is a
+// process-wide diagnostic total that cannot be attributed to a corpus
+// (see the counter comment above), so it stays unexported, read only
+// by this package's tests: the engine-level counters are the sole
+// exported surface and what the serving layer's metrics report.
+func plannerDecisions() (indexedLookup, scanEager int64) {
 	return plannedIndexed.Load(), plannedScan.Load()
 }
 

@@ -134,6 +134,15 @@ func wrap(x *xseek.Engine, sh *shard.Engine) *Engine {
 	return e
 }
 
+// baseSymbols returns the symbol table delta indexes should intern
+// into: the base's, so merged lists stay ID-aligned.
+func (s *state) baseSymbols() *index.SymbolTable {
+	if s.baseSh != nil {
+		return s.baseSh.Symbols()
+	}
+	return s.baseX.Index().Symbols()
+}
+
 // baseState builds the clean state over a freshly built (or compacted)
 // base executor: no delta, no tombstones, statistics read off the base.
 func baseState(x *xseek.Engine, sh *shard.Engine, epoch uint64) *state {
@@ -272,7 +281,10 @@ func (e *Engine) AddEntity(n *xmltree.Node) (dewey.ID, error) {
 	// delta (the new ordinal follows every delta ordinal, so Merge's
 	// document-order precondition holds): each add costs O(entity),
 	// not a re-index of the whole pending delta.
-	ent := index.BuildForest(ns.root, []*xmltree.Node{n})
+	// The delta interns into the base's symbol table so base and delta
+	// lists agree on symbol IDs — Merge's ID-direct fast path, and one
+	// shared symbol section if this state gets snapshotted as v4.
+	ent := index.BuildForestShared(ns.root, []*xmltree.Node{n}, s.baseSymbols())
 	if s.delta != nil {
 		ns.delta = index.Merge(ns.root, s.delta, ent)
 	} else {

@@ -32,6 +32,12 @@ type Engine struct {
 	// each term's inverse document frequency.
 	totalNodes int
 	idf        map[string]float64
+	// idfID is the same table keyed by symbol ID — a dense slice, so
+	// the ranking inner loop indexes an array instead of hashing the
+	// term string. Only self-derived engines (initDerived) carry it;
+	// shard engines share one late-filled idf map instead (see
+	// FromPartsRanked) and resolve through that.
+	idfID []float64
 
 	// Cost-planner decision counters for this corpus's compiled
 	// queries, surfaced through the serving layer's metrics.
@@ -71,10 +77,27 @@ func FromParts(root *xmltree.Node, idx *index.Index, schema *Schema) *Engine {
 // node count and the IDF of every indexed term.
 func (e *Engine) initDerived() {
 	e.totalNodes = e.root.CountNodes()
-	e.idf = make(map[string]float64, e.idx.Stats().Terms)
-	e.idx.EachTerm(func(t string, df int) {
-		e.idf[t] = IDF(e.totalNodes, df)
+	e.idfID = make([]float64, e.idx.Symbols().Len())
+	e.idx.EachTermID(func(id uint32, df int) {
+		if int(id) < len(e.idfID) {
+			e.idfID[id] = IDF(e.totalNodes, df)
+		}
 	})
+}
+
+// termIDF resolves a term's precomputed IDF: by symbol ID when the
+// engine derived its own table, else through the (possibly shared,
+// late-filled) string-keyed map. 0 means the term contributes no
+// weight — absent terms and terms present in every node alike, exactly
+// as TermWeight treats them.
+func (e *Engine) termIDF(t string) float64 {
+	if e.idfID != nil {
+		if id, ok := e.idx.TermID(t); ok && int(id) < len(e.idfID) {
+			return e.idfID[id]
+		}
+		return 0
+	}
+	return e.idf[t]
 }
 
 // Root returns the document the engine searches.

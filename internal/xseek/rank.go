@@ -108,8 +108,8 @@ func (e *Engine) scoreResults(results []*Result, query string) []*RankedResult {
 	for i, r := range results {
 		score := 0.0
 		for _, t := range terms {
-			idf, ok := e.idf[t]
-			if !ok {
+			idf := e.termIDF(t)
+			if idf == 0 {
 				continue
 			}
 			tf := index.CountUnder(e.idx.Lookup(t), r.Node.ID)

@@ -393,8 +393,8 @@ func (e *Engine) StreamScorer(terms []string) Scorer {
 	}
 	cursors := make([]termCursor, 0, len(terms))
 	for _, t := range terms {
-		idf, ok := e.idf[t]
-		if !ok {
+		idf := e.termIDF(t)
+		if idf == 0 {
 			continue // absent term: contributes nothing, as eager skips it
 		}
 		cursors = append(cursors, termCursor{idf: idf, counter: index.NewCounter(e.idx.Lookup(t))})

@@ -19,6 +19,24 @@ func (d *Document) SaveSnapshot(w io.Writer) error {
 	return persist.Save(w, d.eng, persist.Meta{})
 }
 
+// SnapshotFormatCompact selects the compact v4 layout for
+// SaveSnapshotFormat: symbol table plus varint-compressed postings in
+// self-describing checksummed sections. A file in this layout is
+// mmap-ed by persist.LoadFile and served without materializing the
+// postings; LoadSnapshot reads it through the generic path, decoding
+// blocks lazily as queries touch them.
+const SnapshotFormatCompact = persist.CompactFormatVersion
+
+// SaveSnapshotFormat is SaveSnapshot with an explicit layout: 0 writes
+// the automatic legacy layout (exactly SaveSnapshot), and
+// SnapshotFormatCompact the compact sectioned one. A document with
+// pending (uncompacted) live writes falls back to the journaled legacy
+// layout even when the compact one is requested — the journal must
+// travel, and the compact layout carries none by design.
+func (d *Document) SaveSnapshotFormat(w io.Writer, format int) error {
+	return persist.SaveFormat(w, d.eng, persist.Meta{}, format)
+}
+
 // LoadSnapshot parses the XML document and attaches a snapshot written
 // by SaveSnapshot over the same XML. It fails when the snapshot is
 // corrupt or from an old format version; callers should fall back to

@@ -50,6 +50,42 @@ func TestDocumentSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDocumentSnapshotFormatCompact: the compact layout round-trips
+// through the facade with identical answers.
+func TestDocumentSnapshotFormatCompact(t *testing.T) {
+	fresh, err := ParseString(demoDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := fresh.SaveSnapshotFormat(&snap, SnapshotFormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(snap.String(), "XSACTSNAP 4\n") {
+		t.Fatalf("compact snapshot header = %q", snap.String()[:12])
+	}
+	loaded, err := LoadSnapshotString(demoDoc, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Search("tomtom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Search("tomtom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Label != want[i].Label {
+			t.Fatalf("result %d: %q vs %q", i, got[i].Label, want[i].Label)
+		}
+	}
+}
+
 func TestLoadSnapshotRejectsMismatch(t *testing.T) {
 	doc, err := ParseString(demoDoc)
 	if err != nil {
