@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	xsact-bench [-fig 4a|4b|sweeps|all] [-movies N] [-seed S] [-L bound] [-x threshold]
+// The latency mode (-fig latency) times the serving engine itself —
+// doc-order pages, exact ranked pages, and approximate (score-bounded
+// early-stop) ranked pages — and emits per-query p50/p95/p99 request
+// latencies as JSON.
+//
+// Usage:
+//
+//	xsact-bench [-fig 4a|4b|sweeps|latency|all] [-movies N] [-seed S] [-L bound] [-x threshold] [-iters N]
 package main
 
 import (
@@ -26,16 +33,17 @@ func main() {
 		seed   = flag.Int64("seed", 1, "corpus seed")
 		bound  = flag.Int("L", 10, "DFS size bound L")
 		thresh = flag.Float64("x", 0.10, "differentiation threshold x")
+		iters  = flag.Int("iters", 50, "samples per (query, mode) cell for -fig latency")
 	)
 	flag.Parse()
 
-	if err := run(*fig, *movies, *seed, *bound, *thresh); err != nil {
+	if err := run(*fig, *movies, *seed, *bound, *thresh, *iters); err != nil {
 		fmt.Fprintln(os.Stderr, "xsact-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, movies int, seed int64, bound int, thresh float64) error {
+func run(fig string, movies int, seed int64, bound int, thresh float64, iters int) error {
 	root := dataset.Movies(dataset.MoviesConfig{Seed: seed, Movies: movies})
 	opts := core.Options{SizeBound: bound, Threshold: thresh}
 	algs := []core.Algorithm{core.AlgSingleSwap, core.AlgMultiSwap}
@@ -87,6 +95,10 @@ func run(fig string, movies int, seed int64, bound int, thresh float64) error {
 			"Scale — DoD and time vs number of compared results (query 'action revenge')",
 			experiment.ScaleSweep(stats, algs, opts, []int{5, 10, 20, 40, 60, 80}))
 		return nil
+	case "latency":
+		// Serving-engine request latencies (p50/p95/p99 per query and
+		// execution mode) as JSON — see latency.go.
+		return runLatency(root, movies, seed, iters, os.Stdout)
 	case "4a", "4b", "all":
 		rep, err := experiment.Run(root, dataset.MovieQueries(), algs, opts)
 		if err != nil {
@@ -105,7 +117,7 @@ func run(fig string, movies int, seed int64, bound int, thresh float64) error {
 		}
 	case "sweeps":
 	default:
-		return fmt.Errorf("unknown -fig %q (want 4a, 4b, sweeps, or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 4a, 4b, sweeps, latency, or all)", fig)
 	}
 
 	// Ablation sweeps. The size-bound sweep runs on the movie

@@ -1,24 +1,59 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dataset"
+)
 
 func TestRunFigures(t *testing.T) {
 	// Small corpus keeps the test fast; all output modes must succeed.
 	for _, fig := range []string{"4a", "4b", "sweeps", "scale", "algs", "richness", "focus"} {
-		if err := run(fig, 120, 1, 6, 0.1); err != nil {
+		if err := run(fig, 120, 1, 6, 0.1, 2); err != nil {
 			t.Fatalf("-fig %s: %v", fig, err)
 		}
 	}
 }
 
 func TestRunAll(t *testing.T) {
-	if err := run("all", 120, 1, 6, 0.1); err != nil {
+	if err := run("all", 120, 1, 6, 0.1, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("nope", 50, 1, 6, 0.1); err == nil {
+	if err := run("nope", 50, 1, 6, 0.1, 2); err == nil {
 		t.Fatal("unknown figure should error")
+	}
+}
+
+// TestRunLatency validates the -fig latency JSON shape: one cell per
+// (query, mode) with ordered percentiles.
+func TestRunLatency(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 80})
+	var buf bytes.Buffer
+	if err := runLatency(root, 80, 1, 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep latencyReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("latency output is not JSON: %v", err)
+	}
+	wantCells := len(dataset.MovieQueries()) * 3
+	if len(rep.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), wantCells)
+	}
+	for _, c := range rep.Cells {
+		if c.Iters != 3 {
+			t.Fatalf("%s/%s: iters = %d, want 3", c.Query, c.Mode, c.Iters)
+		}
+		if c.MinUS <= 0 || c.P50US < c.MinUS || c.P95US < c.P50US || c.P99US < c.P95US || c.MaxUS < c.P99US {
+			t.Fatalf("%s/%s: percentiles out of order: %+v", c.Query, c.Mode, c)
+		}
+		if c.Mode != "ranked_approx" && c.Total < 0 {
+			t.Fatalf("%s/%s: exact mode reported unknown total", c.Query, c.Mode)
+		}
 	}
 }

@@ -43,6 +43,9 @@ type apiResult struct {
 	ID          string `json:"id"`
 	Label       string `json:"label"`
 	Description string `json:"description"`
+	// Score carries the TF-IDF relevance score on rank=1 responses;
+	// document-order responses omit it.
+	Score *float64 `json:"score,omitempty"`
 }
 
 type searchResponse struct {
@@ -51,7 +54,9 @@ type searchResponse struct {
 	Cleaned []string `json:"cleaned"`
 	Missing []string `json:"missing,omitempty"`
 	// Paging envelope: Total counts the full result list, Offset is
-	// the window's start within it, Returned = len(Results).
+	// the window's start within it, Returned = len(Results). Total is
+	// -1 when the execution strategy stopped before counting every
+	// result (exec=stream mid-list, or rank=1&accuracy=approx).
 	Total    int         `json:"total"`
 	Offset   int         `json:"offset"`
 	Returned int         `json:"returned"`
@@ -74,10 +79,45 @@ type searchResponse struct {
 // forward through a huge result list — and reports total -1 until some
 // window reaches the end of the results. Both spellings return the
 // same results in the same order.
+//
+// rank=1 returns the relevance ordering instead of document order,
+// with each result's TF-IDF score alongside. Ranked search picks its
+// own execution strategy (small windows over broad queries run the
+// score-bounded streamed pipeline), so it composes with accuracy=
+// rather than exec=: "exact" (the default) reports the exact total,
+// "approx" lets the engine stop scanning once no later result can
+// enter the page — the page itself is still exact, but total may come
+// back -1.
 func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 	query := r.FormValue("q")
 	if query == "" {
 		writeJSONError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	ranked := false
+	switch r.FormValue("rank") {
+	case "", "0", "false":
+	case "1", "true":
+		ranked = true
+	default:
+		writeJSONError(w, http.StatusBadRequest, "bad rank parameter (want 1 or 0)")
+		return
+	}
+	acc := xseek.AccuracyExact
+	switch r.FormValue("accuracy") {
+	case "", "exact":
+	case "approx":
+		acc = xseek.AccuracyApprox
+	default:
+		writeJSONError(w, http.StatusBadRequest, "bad accuracy parameter (want exact or approx)")
+		return
+	}
+	if !ranked && acc != xseek.AccuracyExact {
+		writeJSONError(w, http.StatusBadRequest, "accuracy applies to ranked search; pass rank=1")
+		return
+	}
+	if ranked && r.FormValue("exec") != "" && r.FormValue("exec") != "auto" {
+		writeJSONError(w, http.StatusBadRequest, "ranked search picks its own execution; drop exec or use exec=auto")
 		return
 	}
 	ds, eng, herr := s.resolveEngine(r.FormValue("dataset"), query)
@@ -86,19 +126,51 @@ func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	limit, offset := pageParams(r)
-	var page *engine.Page
-	var cleaned []string
+	resp := searchResponse{Dataset: ds, Query: query, Results: []apiResult{}}
 	var err error
-	switch r.FormValue("exec") {
-	case "", "auto", "eager":
-		page, cleaned, err = eng.SearchCleanedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
-	case "stream":
-		page, cleaned, err = eng.SearchCleanedStreamPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
-	default:
-		writeJSONError(w, http.StatusBadRequest, "bad exec parameter (want auto, eager, or stream)")
-		return
+	if ranked {
+		var page *engine.RankedPage
+		page, resp.Cleaned, err = eng.SearchCleanedRankedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset, Accuracy: acc})
+		if err == nil {
+			resp.Total = page.Total
+			resp.Offset = page.Offset
+			resp.Returned = len(page.Results)
+			for i, res := range page.Results {
+				score := res.Score
+				resp.Results = append(resp.Results, apiResult{
+					Index:       page.Offset + i,
+					ID:          res.Node.ID.String(),
+					Label:       res.Label,
+					Description: xseek.DescribeResult(res.Result, 4),
+					Score:       &score,
+				})
+			}
+		}
+	} else {
+		var page *engine.Page
+		switch r.FormValue("exec") {
+		case "", "auto", "eager":
+			page, resp.Cleaned, err = eng.SearchCleanedPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+		case "stream":
+			page, resp.Cleaned, err = eng.SearchCleanedStreamPage(query, xseek.SearchOptions{Limit: limit, Offset: offset})
+		default:
+			writeJSONError(w, http.StatusBadRequest, "bad exec parameter (want auto, eager, or stream)")
+			return
+		}
+		if err == nil {
+			resp.Total = page.Total
+			resp.Offset = page.Offset
+			resp.Returned = len(page.Results)
+			for i, res := range page.Results {
+				resp.Results = append(resp.Results, apiResult{
+					Index:       page.Offset + i,
+					ID:          res.Node.ID.String(),
+					Label:       res.Label,
+					Description: xseek.DescribeResult(res, 4),
+				})
+			}
+		}
 	}
-	resp := searchResponse{Dataset: ds, Query: query, Cleaned: cleaned, Results: []apiResult{}}
 	if err != nil {
 		var noMatch *index.NoMatchError
 		if !errors.As(err, &noMatch) {
@@ -106,19 +178,6 @@ func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Missing = noMatch.Terms
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	resp.Total = page.Total
-	resp.Offset = page.Offset
-	resp.Returned = len(page.Results)
-	for i, res := range page.Results {
-		resp.Results = append(resp.Results, apiResult{
-			Index:       page.Offset + i,
-			ID:          res.Node.ID.String(),
-			Label:       res.Label,
-			Description: xseek.DescribeResult(res, 4),
-		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

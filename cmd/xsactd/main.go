@@ -35,7 +35,7 @@
 //
 // Usage:
 //
-//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-snapshot-format v4|gob] [-shards N] [-compact-every N]
+//	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-snapshot-format v4|gob] [-shards N] [-compact-every N] [-pprof :6060]
 package main
 
 import (
@@ -56,6 +56,7 @@ func main() {
 		snapFormat   = flag.String("snapshot-format", "v4", "snapshot layout to write: v4 (compact, mmap-ed on load) or gob (legacy v1/v2/v3); every layout still loads")
 		shards       = flag.Int("shards", 1, "index shards per dataset (1 = monolithic index)")
 		compactEvery = flag.Int("compact-every", 64, "auto-compact the live write path after this many pending writes (0 = manual compaction only)")
+		pprofAddr    = flag.String("pprof", "", "profiling listen address for /debug/pprof/ and /debug/memstats (empty = profiling off); keep it off public ingress")
 	)
 	flag.Parse()
 
@@ -68,6 +69,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsactd:", err)
 		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("xsactd profiling on %s (/debug/pprof/, /debug/memstats)", *pprofAddr)
+			// Profiling is best-effort: losing the side listener should
+			// not take the server down.
+			log.Printf("xsactd profiling listener stopped: %v", http.ListenAndServe(*pprofAddr, profilingHandler()))
+		}()
 	}
 	log.Printf("xsactd listening on %s (datasets: %v, shards: %d)", *addr, srv.datasetNames(), *shards)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))

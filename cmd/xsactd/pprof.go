@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// The -pprof flag exposes Go's profiling endpoints on a side listener,
+// deliberately separate from the serving address: profiles are an
+// operator concern and should never be reachable through whatever
+// ingress fronts the demo. The handler carries the standard
+// /debug/pprof/ tree plus a small /debug/memstats JSON snapshot for
+// dashboards that just want allocation and GC gauges without a full
+// heap profile.
+
+// memstatsResponse is the /debug/memstats body: the handful of
+// runtime.MemStats gauges worth watching while driving load —
+// allocation footprint, cumulative churn, and GC pressure.
+type memstatsResponse struct {
+	HeapAlloc    uint64  `json:"heap_alloc"`
+	HeapSys      uint64  `json:"heap_sys"`
+	HeapObjects  uint64  `json:"heap_objects"`
+	TotalAlloc   uint64  `json:"total_alloc"`
+	Mallocs      uint64  `json:"mallocs"`
+	Frees        uint64  `json:"frees"`
+	NumGC        uint32  `json:"num_gc"`
+	PauseTotalNs uint64  `json:"pause_total_ns"`
+	GCCPUPercent float64 `json:"gc_cpu_percent"`
+	NumGoroutine int     `json:"num_goroutine"`
+}
+
+// profilingHandler builds the side listener's mux: the net/http/pprof
+// tree under /debug/pprof/ and the memstats snapshot under
+// /debug/memstats.
+func profilingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/memstats", func(w http.ResponseWriter, r *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		writeJSON(w, http.StatusOK, memstatsResponse{
+			HeapAlloc:    ms.HeapAlloc,
+			HeapSys:      ms.HeapSys,
+			HeapObjects:  ms.HeapObjects,
+			TotalAlloc:   ms.TotalAlloc,
+			Mallocs:      ms.Mallocs,
+			Frees:        ms.Frees,
+			NumGC:        ms.NumGC,
+			PauseTotalNs: ms.PauseTotalNs,
+			GCCPUPercent: ms.GCCPUFraction * 100,
+			NumGoroutine: runtime.NumGoroutine(),
+		})
+	})
+	return mux
+}

@@ -70,6 +70,40 @@ func (d *Document) SearchRankedPage(query string, limit, offset int) ([]*Result,
 	return out, scores, page.Total, nil
 }
 
+// RankedPageOptions selects one window of the relevance ranking and
+// how much accuracy it may trade for speed.
+type RankedPageOptions struct {
+	// Limit bounds the page size; <= 0 returns everything from Offset.
+	Limit int
+	// Offset is the window start in rank order.
+	Offset int
+	// Approx lets the engine stop scanning once no later result can
+	// enter the page. The page itself stays exact — identical results,
+	// scores, and order — but the returned total may be TotalUnknown.
+	Approx bool
+}
+
+// SearchRankedPageOpts is SearchRankedPage with explicit options: the
+// same exact page either way, plus the approximate mode that trades
+// the exact total for an early stop on broad queries.
+func (d *Document) SearchRankedPageOpts(query string, opts RankedPageOptions) ([]*Result, []float64, int, error) {
+	acc := xseek.AccuracyExact
+	if opts.Approx {
+		acc = xseek.AccuracyApprox
+	}
+	page, err := d.eng.SearchRankedPage(query, xseek.SearchOptions{Limit: opts.Limit, Offset: opts.Offset, Accuracy: acc})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	out := make([]*Result, len(page.Results))
+	scores := make([]float64, len(page.Results))
+	for i, r := range page.Results {
+		out[i] = &Result{doc: d, res: r.Result, Label: r.Label}
+		scores[i] = r.Score
+	}
+	return out, scores, page.Total, nil
+}
+
 // TotalUnknown is the total reported by SearchStreamPage when the
 // underlying stream stopped at the window's end without reaching the
 // last result — the exact total would cost draining the stream, which

@@ -222,3 +222,47 @@ func TestSearchRankedPageFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchRankedPageOptsApprox: the options form with Approx set
+// serves the identical page and scores; only the total may come back
+// as TotalUnknown.
+func TestSearchRankedPageOptsApprox(t *testing.T) {
+	doc, err := BuiltinDataset("reviews", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, exactScores, exactTotal, err := doc.SearchRankedPage("product review", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, approxScores, approxTotal, err := doc.SearchRankedPageOpts("product review",
+		RankedPageOptions{Limit: 3, Approx: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approxTotal != exactTotal && approxTotal != TotalUnknown {
+		t.Fatalf("approx total = %d, want %d or TotalUnknown", approxTotal, exactTotal)
+	}
+	if len(approx) != len(exact) || len(approxScores) != len(exactScores) {
+		t.Fatalf("approx page shape %d/%d, exact %d/%d",
+			len(approx), len(approxScores), len(exact), len(exactScores))
+	}
+	for i := range exact {
+		if approx[i].res.Node != exact[i].res.Node || approxScores[i] != exactScores[i] {
+			t.Fatalf("approx page diverges at %d: %q (%.4f) vs %q (%.4f)",
+				i, approx[i].Label, approxScores[i], exact[i].Label, exactScores[i])
+		}
+	}
+
+	// The options form without Approx matches the positional form.
+	plain, plainScores, plainTotal, err := doc.SearchRankedPageOpts("product review",
+		RankedPageOptions{Limit: 3})
+	if err != nil || plainTotal != exactTotal || len(plain) != len(exact) {
+		t.Fatalf("exact opts form: %d results, total %d, err %v", len(plain), plainTotal, err)
+	}
+	for i := range exact {
+		if plainScores[i] != exactScores[i] {
+			t.Fatalf("exact opts form score %d = %v, want %v", i, plainScores[i], exactScores[i])
+		}
+	}
+}

@@ -109,6 +109,14 @@ type Metrics struct {
 	StreamHits      int64 `json:"stream_hits"`
 	StreamMisses    int64 `json:"stream_misses"`
 	StreamCursorLen int   `json:"stream_cursor_len"`
+	// Score-bounded (block-max WAND) execution: RankedWAND counts ranked
+	// pages that ran with bound metadata active (a subset of
+	// RankedStreamed), WANDPruned entities whose exact scoring the bound
+	// skipped, and BlocksSkipped posting blocks never touched past the
+	// cutoffs.
+	RankedWAND    int64 `json:"ranked_wand"`
+	WANDPruned    int64 `json:"wand_pruned"`
+	BlocksSkipped int64 `json:"blocks_skipped"`
 	// Shards is the executor's shard count (1 = monolithic index);
 	// ShardRebuilds counts shards rebuilt from the tree because their
 	// snapshot section was missing or corrupt.
@@ -153,6 +161,13 @@ type executor interface {
 	// executor's streamed-decision counter.
 	SearchStream(query string) (xseek.Cursor, error)
 	SearchRankedPageStream(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, error)
+	// SearchRankedPageWAND is the score-bounded ranked page: exact mode
+	// stays bit-identical to SearchRankedPageStream while skipping
+	// provably non-competitive scoring; approximate mode may additionally
+	// stop draining and report xseek.StreamTotalUnknown. Executors
+	// without bound metadata (legacy snapshots) fall back to the plain
+	// streamed pipeline internally, reported via WANDStats.Bounded.
+	SearchRankedPageWAND(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, xseek.WANDStats, error)
 	EstimateResults(query string) int
 	StreamedDecisions() int64
 }
@@ -219,6 +234,8 @@ type Engine struct {
 	streamHits, streamMisses atomic.Int64
 
 	rankedStreamed, rankedEager atomic.Int64
+
+	rankedWAND, wandPruned, blocksSkipped atomic.Int64
 
 	queryEvictions, statsEvictions, dfsEvictions atomic.Int64
 }
@@ -473,6 +490,9 @@ func (e *Engine) Metrics() Metrics {
 		PlannerStreamed: box.exec.StreamedDecisions(),
 		RankedStreamed:  e.rankedStreamed.Load(),
 		RankedEager:     e.rankedEager.Load(),
+		RankedWAND:      e.rankedWAND.Load(),
+		WANDPruned:      e.wandPruned.Load(),
+		BlocksSkipped:   e.blocksSkipped.Load(),
 		StreamHits:      e.streamHits.Load(),
 		StreamMisses:    e.streamMisses.Load(),
 		Shards:          1,
@@ -665,18 +685,37 @@ func (e *Engine) SearchCleanedPage(query string, opts xseek.SearchOptions) (*Pag
 // it never computes the full result list, and a partial entry would
 // poison doc-order paging. A later Search of the same query warms the
 // cache as usual, after which ranked pages go eager.
+//
+// Routed streamed pages run the score-bounded (block-max WAND)
+// consumer, which degrades to plain streaming by itself when bound
+// metadata is missing — WANDStats.Bounded reports which happened, and
+// feeds the ranked_wand / wand_pruned / blocks_skipped metrics.
+// Requesting xseek.AccuracyApprox forces the bounded route regardless
+// of cache state: the page is still exact, but the total may come back
+// xseek.StreamTotalUnknown.
 func (e *Engine) SearchRankedPage(query string, opts xseek.SearchOptions) (*RankedPage, error) {
 	var out *RankedPage
 	for i := 0; i < rankedAttempts; i++ {
 		box := e.box()
 		epoch := box.epoch()
-		if e.routeStreamed(box, epoch, query, opts) {
-			page, total, err := box.exec.SearchRankedPageStream(query, opts)
+		if opts.Accuracy == xseek.AccuracyApprox || e.routeStreamed(box, epoch, query, opts) {
+			page, total, st, err := box.exec.SearchRankedPageWAND(query, opts)
 			if err != nil {
 				return nil, err
 			}
 			e.rankedStreamed.Add(1)
-			lo, _ := opts.Window(total)
+			if st.Bounded {
+				e.rankedWAND.Add(1)
+				e.wandPruned.Add(st.Pruned)
+				e.blocksSkipped.Add(st.BlocksSkipped)
+			}
+			lo := opts.Offset
+			if lo < 0 {
+				lo = 0
+			}
+			if total >= 0 {
+				lo, _ = opts.Window(total)
+			}
 			out = &RankedPage{Results: page, Total: total, Offset: lo}
 		} else {
 			results, err := e.Search(query)
@@ -693,6 +732,14 @@ func (e *Engine) SearchRankedPage(query string, opts xseek.SearchOptions) (*Rank
 		}
 	}
 	return out, nil
+}
+
+// SearchCleanedRankedPage is SearchRankedPage over the spell-corrected
+// query, returning the corrected keywords alongside the page.
+func (e *Engine) SearchCleanedRankedPage(query string, opts xseek.SearchOptions) (*RankedPage, []string, error) {
+	cleaned := e.box().exec.CleanQuery(query)
+	page, err := e.SearchRankedPage(strings.Join(cleaned, " "), opts)
+	return page, cleaned, err
 }
 
 // Stats returns the feature statistics of the result subtree rooted at

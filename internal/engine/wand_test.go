@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// wandCorpus is a serving-layer copy of the prunable benchmark shape:
+// every entity matches the broad two-term query, heavy entities are
+// front-loaded in document order, so a small window's threshold rules
+// out the tail blocks early.
+func wandCorpus(t *testing.T, n int) *Engine {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<item>")
+		reps := 1
+		if i < n/20+1 {
+			reps = 6
+		}
+		for r := 0; r < reps; r++ {
+			fmt.Fprintf(&b, "<f%d>alpha beta</f%d>", r, r)
+		}
+		fmt.Fprintf(&b, "<desc>filler%d</desc>", i%13)
+		b.WriteString("</item>")
+	}
+	b.WriteString("</catalog>")
+	return New(xmltree.MustParseString(b.String()))
+}
+
+// TestEngineWANDMetrics: a cold small ranked window routes to the
+// score-bounded consumer and the serving metrics must show it —
+// ranked_wand counted under ranked_streamed, pruned entities and
+// skipped blocks accumulated.
+func TestEngineWANDMetrics(t *testing.T) {
+	e := wandCorpus(t, 900)
+	page, err := e.SearchRankedPage("alpha beta", xseek.SearchOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 900 {
+		t.Fatalf("exact-mode total = %d, want 900", page.Total)
+	}
+	if len(page.Results) != 5 {
+		t.Fatalf("page has %d results, want 5", len(page.Results))
+	}
+	m := e.Metrics()
+	if m.RankedStreamed != 1 || m.RankedWAND != 1 {
+		t.Fatalf("ranked_streamed %d / ranked_wand %d, want 1 / 1", m.RankedStreamed, m.RankedWAND)
+	}
+	if m.WANDPruned == 0 {
+		t.Fatal("wand_pruned did not move on the prunable shape")
+	}
+	if m.BlocksSkipped == 0 {
+		t.Fatal("blocks_skipped did not move on the prunable shape")
+	}
+}
+
+// TestEngineApproxRouting: accuracy=approx forces the score-bounded
+// route even where the planner would go eager, keeps the page identical
+// to the exact one, and clamps the returned offset when the total
+// degrades to unknown.
+func TestEngineApproxRouting(t *testing.T) {
+	e := wandCorpus(t, 900)
+	// Warm the query cache so the planner would pick the eager route.
+	if _, err := e.Search("alpha beta"); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := e.SearchRankedPage("alpha beta", xseek.SearchOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.RankedEager != 1 {
+		t.Fatalf("warm exact window went streamed (eager=%d)", m.RankedEager)
+	}
+	approx, err := e.SearchRankedPage("alpha beta", xseek.SearchOptions{Limit: 5, Accuracy: xseek.AccuracyApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.RankedWAND != 1 {
+		t.Fatalf("approx request did not take the WAND route (ranked_wand=%d)", m.RankedWAND)
+	}
+	if len(approx.Results) != len(exact.Results) {
+		t.Fatalf("approx page has %d results, want %d", len(approx.Results), len(exact.Results))
+	}
+	for i := range exact.Results {
+		if approx.Results[i].Label != exact.Results[i].Label || approx.Results[i].Score != exact.Results[i].Score {
+			t.Fatalf("approx result %d %q@%v, want %q@%v", i,
+				approx.Results[i].Label, approx.Results[i].Score,
+				exact.Results[i].Label, exact.Results[i].Score)
+		}
+	}
+	if approx.Total != exact.Total && approx.Total != xseek.StreamTotalUnknown {
+		t.Fatalf("approx total = %d, want %d or unknown", approx.Total, exact.Total)
+	}
+
+	// With an unknown total the offset cannot be re-derived from
+	// Window(total); it must come back as the (clamped) requested offset.
+	off, err := e.SearchRankedPage("alpha beta",
+		xseek.SearchOptions{Limit: 3, Offset: 2, Accuracy: xseek.AccuracyApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Offset != 2 {
+		t.Fatalf("approx offset echoed as %d, want 2", off.Offset)
+	}
+	neg, err := e.SearchRankedPage("alpha beta",
+		xseek.SearchOptions{Limit: 3, Offset: -4, Accuracy: xseek.AccuracyApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Offset != 0 {
+		t.Fatalf("negative approx offset clamped to %d, want 0", neg.Offset)
+	}
+}

@@ -19,6 +19,8 @@ import (
 //
 // Payload form (all integers uvarint unless noted):
 //
+//	magic version             // versioned header (see compactMagic);
+//	                          // legacy payloads start at terms directly
 //	terms elements nLists
 //	nLists × regionLen        // 0 = term has no postings here
 //	                          // region bytes follow each nonzero len
@@ -28,6 +30,8 @@ import (
 //	count nBlocks
 //	nBlocks × blockLen        // bytes of each block
 //	nBlocks × lastID          // last posting of each block, absolute
+//	nBlocks × blockMaxTF      // per-block entity tf bound (versioned
+//	                          // payloads only; see bounds.go)
 //	block bytes, concatenated
 //
 // Block form (up to compactBlock postings):
@@ -38,8 +42,24 @@ import (
 //
 // The lastID array is the directory a cursor navigates blocks by; for
 // full blocks its entries equal list[(b+1)*compactBlock-1], exactly
-// the sliceIter skip-ladder contract.
+// the sliceIter skip-ladder contract. The blockMaxTF array rides
+// beside it so a ranked consumer can bound scores (and skip whole
+// blocks) without decoding any block — it is the on-disk form of
+// ListBounds.
 const compactBlock = skipInterval
+
+// compactMagic is the first uvarint of a versioned compact payload.
+// The original (PR 7) layout began with the terms count instead; no
+// plausible corpus reaches ~7.2e16 term occurrences, so the sentinel
+// can never be mistaken for one, and a payload that does not start
+// with it is parsed as the legacy layout — served fine, but with no
+// block maxima, which makes WAND fall back to unpruned streaming.
+const compactMagic = uint64(1)<<56 | 0x78ac
+
+// compactVersion is the layout revision a versioned payload declares.
+// Version 2 added the per-block max-tf directory. Unknown versions
+// are rejected at open (the caller rebuilds from the tree).
+const compactVersion = 2
 
 // EncodeCompact serializes idx's postings in the compact layout, keyed
 // by st's IDs. Terms idx knows that st does not yet are interned into
@@ -55,7 +75,9 @@ func EncodeCompact(idx *Index, st *SymbolTable) ([]byte, error) {
 		lists[id] = l
 	})
 	n := st.Len()
-	buf := binary.AppendUvarint(nil, uint64(idx.terms))
+	buf := binary.AppendUvarint(nil, compactMagic)
+	buf = binary.AppendUvarint(buf, compactVersion)
+	buf = binary.AppendUvarint(buf, uint64(idx.terms))
 	buf = binary.AppendUvarint(buf, uint64(idx.elements))
 	buf = binary.AppendUvarint(buf, uint64(n))
 	var region []byte
@@ -99,6 +121,9 @@ func appendListRegion(b []byte, list PostingList) ([]byte, error) {
 	}
 	for bi := 0; bi < nBlocks; bi++ {
 		b = appendCompactID(b, list[min((bi+1)*compactBlock, count)-1])
+	}
+	for _, m := range blockMaxTFs(list) {
+		b = binary.AppendUvarint(b, uint64(m))
 	}
 	for _, blk := range blocks {
 		b = append(b, blk...)
@@ -155,6 +180,10 @@ type compactPostings struct {
 	data   []byte
 	counts []int32 // postings per ID; 0 = absent
 	offs   []int64 // region offset in data; -1 = absent
+	// hasBounds marks a versioned payload whose regions carry the
+	// per-block max-tf directory; legacy payloads serve identically
+	// but report no score bounds.
+	hasBounds bool
 
 	mu             sync.RWMutex
 	views          map[uint32]*listView   // parsed region directories
@@ -171,6 +200,10 @@ type listView struct {
 	starts []int // absolute block offsets in data
 	lens   []int // block byte lengths
 	lasts  PostingList
+	// maxTF and suffix are the decoded per-block tf bounds and their
+	// suffix maxima (bounds.go); nil on legacy payloads.
+	maxTF  []int32
+	suffix []int32
 }
 
 // OpenCompact attaches a compact payload (EncodeCompact's output) to
@@ -182,6 +215,21 @@ func OpenCompact(root *xmltree.Node, st *SymbolTable, payload []byte, eager bool
 	terms, pos, err := uvarintAt(payload, 0)
 	if err != nil {
 		return nil, err
+	}
+	hasBounds := false
+	if terms == compactMagic {
+		ver, p, err := uvarintAt(payload, pos)
+		if err != nil {
+			return nil, err
+		}
+		if ver != compactVersion {
+			return nil, fmt.Errorf("index: compact: payload version %d, want %d", ver, compactVersion)
+		}
+		hasBounds = true
+		terms, pos, err = uvarintAt(payload, p)
+		if err != nil {
+			return nil, err
+		}
 	}
 	elements, pos, err := uvarintAt(payload, pos)
 	if err != nil {
@@ -196,12 +244,13 @@ func OpenCompact(root *xmltree.Node, st *SymbolTable, payload []byte, eager bool
 	}
 	n := int(n64)
 	cp := &compactPostings{
-		data:     payload,
-		counts:   make([]int32, n),
-		offs:     make([]int64, n),
-		views:    make(map[uint32]*listView),
-		resident: make(map[uint32]PostingList),
-		skips:    make(map[uint32]PostingList),
+		data:      payload,
+		counts:    make([]int32, n),
+		offs:      make([]int64, n),
+		hasBounds: hasBounds,
+		views:     make(map[uint32]*listView),
+		resident:  make(map[uint32]PostingList),
+		skips:     make(map[uint32]PostingList),
 	}
 	for id := 0; id < n; id++ {
 		rl64, p, err := uvarintAt(payload, pos)
@@ -332,6 +381,17 @@ func (cp *compactPostings) parseView(pos int) (*listView, error) {
 		}
 		v.lasts[bi] = dewey.ID(arena[start:len(arena):len(arena)])
 	}
+	if cp.hasBounds {
+		v.maxTF = make([]int32, nb)
+		for bi := 0; bi < nb; bi++ {
+			m, p, err := uvarintAt(cp.data, pos)
+			if err != nil {
+				return nil, err
+			}
+			v.maxTF[bi], pos = int32(m), p
+		}
+		v.suffix = suffixMax(append([]int32(nil), v.maxTF...))
+	}
 	for bi := 0; bi < nb; bi++ {
 		v.starts[bi] = pos
 		pos += v.lens[bi]
@@ -451,6 +511,20 @@ func (cp *compactPostings) iter(id uint32) Iter {
 	return &blockIter{cp: cp, v: v, blk: -1}
 }
 
+// bounds returns id's score-bound metadata straight from the payload
+// directory — no block is decoded. nil means the payload predates
+// block maxima (legacy layout); an absent list reports empty bounds.
+func (cp *compactPostings) bounds(id uint32) *ListBounds {
+	if !cp.hasBounds {
+		return nil
+	}
+	v := cp.view(id)
+	if v == nil {
+		return emptyBounds
+	}
+	return &ListBounds{lasts: v.lasts, suffix: v.suffix}
+}
+
 // skipBlocks mirrors Index.SkipBlocks for compact lists: the ladder a
 // materialized copy would carry.
 func (cp *compactPostings) skipBlocks(id uint32) int {
@@ -545,6 +619,49 @@ func (it *blockIter) Seek(id dewey.ID) (dewey.ID, bool) {
 		return it.buf[it.pos+k].Compare(id) >= 0
 	})
 	return it.Peek()
+}
+
+// curBlock returns the block Peek would serve the next element from:
+// the decoded block while it has elements left, else the one after it.
+// Clamped to nBlocks when exhausted.
+func (it *blockIter) curBlock() int {
+	nb := len(it.v.starts)
+	cur := it.blk
+	if cur < 0 {
+		return 0
+	}
+	if it.pos >= len(it.buf) && cur < nb {
+		cur++
+	}
+	return cur
+}
+
+// BlockMaxTF returns the encoded tf bound of the cursor's current
+// block: no single non-root result subtree intersecting the block (or
+// any later one, after taking the running suffix max) holds more than
+// this many of the list's postings. 0 when the payload predates block
+// maxima or the cursor is exhausted.
+func (it *blockIter) BlockMaxTF() int {
+	cur := it.curBlock()
+	if it.v.maxTF == nil || cur >= len(it.v.maxTF) {
+		return 0
+	}
+	return int(it.v.maxTF[cur])
+}
+
+// SkipBlock advances the cursor to the first posting of the block
+// after the current one, without decoding anything in between — the
+// WAND move for a block whose BlockMaxTF cannot change the top-k.
+// Reports false (leaving the cursor exhausted) when no block remains.
+func (it *blockIter) SkipBlock() bool {
+	nb := len(it.v.starts)
+	cur := it.curBlock()
+	if cur+1 >= nb {
+		it.blk, it.buf, it.pos = nb, it.buf[:0], 0
+		return false
+	}
+	it.load(cur + 1)
+	return true
 }
 
 func (it *blockIter) PredOf(id dewey.ID) (dewey.ID, bool) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/dewey"
 	"repro/internal/xmltree"
@@ -42,6 +43,10 @@ type Index struct {
 	// synchronized table hit per distinct term, not per posting.
 	// Dropped when the build finishes.
 	lids map[string]uint32
+	// bounds caches per-term block-max score bounds (bounds.go),
+	// computed lazily on the first WAND query touching the term.
+	boundsMu sync.Mutex
+	bounds   map[uint32]*ListBounds
 }
 
 // newIndex returns an empty index over root interning into st (a fresh

@@ -22,7 +22,12 @@ package persist
 //	'S'  schema (xseek.Schema.Save)
 //	'F'  sharded only: gob term→document-frequency table
 //	'P'  postings payload (index.EncodeCompact): one for a monolithic
-//	     engine, K in group order for a sharded one
+//	     engine, K in group order for a sharded one. The payload is
+//	     self-versioning (a magic + version uvarint pair ahead of the
+//	     term count): current payloads carry per-block score-bound
+//	     maxima for WAND pruning, while files written before the bounds
+//	     existed decode fine and simply run ranked pages unpruned —
+//	     no v4 format bump either way.
 //
 // CRC policy: every section except sharded 'P' sections is verified at
 // load — fail closed into a rebuild. Sharded 'P' sections verify

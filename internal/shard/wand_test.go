@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// TestShardedWANDEquivalence: the score-bounded fan-out in exact mode
+// must be bit-identical to the monolithic eager engine at K ∈ {2, 8}
+// shards across randomized corpora and window shapes — the
+// cross-algorithm property the shared threshold must not break. In
+// approximate mode the page must still be that exact window; only the
+// total may degrade to StreamTotalUnknown.
+func TestShardedWANDEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	pageGrid := []xseek.SearchOptions{
+		{Limit: 1}, {Limit: 2}, {Limit: 3, Offset: 1},
+		{Limit: 2, Offset: 2}, {Limit: 100}, {Offset: 1}, {},
+		{Limit: 4, Offset: 999},
+	}
+	for ti := 0; ti < 12; ti++ {
+		doc := randomDoc(r, vocab)
+		root := xmltree.MustParseString(doc)
+		mono := xseek.NewParallel(root)
+		for _, k := range []int{2, 8} {
+			sharded := Build(root, k)
+			for qi := 0; qi < 6; qi++ {
+				n := r.Intn(3) + 1
+				terms := make([]string, n)
+				for i := range terms {
+					terms[i] = vocab[r.Intn(len(vocab))]
+				}
+				query := strings.Join(terms, " ")
+				want, wantErr := mono.Search(query)
+
+				for _, opts := range pageGrid {
+					wantPage, wantTotal, wantPageErr := func() ([]*xseek.RankedResult, int, error) {
+						if wantErr != nil {
+							return nil, 0, wantErr
+						}
+						return mono.RankPage(want, query, opts), len(want), nil
+					}()
+					gotPage, gotTotal, st, gotErr := sharded.SearchRankedPageWAND(query, opts)
+					if !sameError(wantPageErr, gotErr) {
+						t.Fatalf("tree %d K=%d query %q page %+v: err %v vs %v",
+							ti, k, query, opts, gotErr, wantPageErr)
+					}
+					if gotErr != nil {
+						continue
+					}
+					if st.Terminated {
+						t.Fatalf("tree %d K=%d query %q page %+v: exact mode terminated", ti, k, query, opts)
+					}
+					if gotTotal != wantTotal {
+						t.Fatalf("tree %d K=%d query %q page %+v: total %d want %d",
+							ti, k, query, opts, gotTotal, wantTotal)
+					}
+					if rankedKey(gotPage) != rankedKey(wantPage) {
+						t.Fatalf("tree %d K=%d query %q page %+v:\n got  %s\n want %s",
+							ti, k, query, opts, rankedKey(gotPage), rankedKey(wantPage))
+					}
+
+					// Approximate mode: same page, total exact or unknown.
+					aPage, aTotal, ast, aErr := sharded.SearchRankedPageWAND(query,
+						xseek.SearchOptions{Limit: opts.Limit, Offset: opts.Offset, Accuracy: xseek.AccuracyApprox})
+					if aErr != nil {
+						t.Fatalf("tree %d K=%d query %q page %+v approx: %v", ti, k, query, opts, aErr)
+					}
+					if rankedKey(aPage) != rankedKey(wantPage) {
+						t.Fatalf("tree %d K=%d query %q page %+v approx:\n got  %s\n want %s",
+							ti, k, query, opts, rankedKey(aPage), rankedKey(wantPage))
+					}
+					if aTotal != wantTotal && aTotal != xseek.StreamTotalUnknown {
+						t.Fatalf("tree %d K=%d query %q page %+v approx: total %d, want %d or unknown",
+							ti, k, query, opts, aTotal, wantTotal)
+					}
+					if aTotal == xseek.StreamTotalUnknown && !ast.Terminated {
+						t.Fatalf("tree %d K=%d query %q page %+v approx: unknown total without Terminated", ti, k, query, opts)
+					}
+				}
+			}
+		}
+	}
+}

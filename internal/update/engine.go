@@ -101,12 +101,25 @@ type state struct {
 // are document-ordered and pairwise disjoint.
 type source interface {
 	postings(term string) []index.PostingList
+	// bounds returns each part's block-max score-bound metadata for
+	// term (absent parts report empty bounds), or ok=false when any
+	// part cannot provide it — a legacy compact payload, which makes
+	// the WAND path fall back to unpruned streaming.
+	bounds(term string) ([]*index.ListBounds, bool)
 }
 
 type monoSource struct{ x *xseek.Engine }
 
 func (m monoSource) postings(term string) []index.PostingList {
 	return []index.PostingList{m.x.Index().Lookup(term)}
+}
+
+func (m monoSource) bounds(term string) ([]*index.ListBounds, bool) {
+	lb := m.x.Index().TermBounds(term)
+	if lb == nil {
+		return nil, false
+	}
+	return []*index.ListBounds{lb}, true
 }
 
 type shardSource struct{ idxs []*index.Index }
@@ -117,6 +130,18 @@ func (s shardSource) postings(term string) []index.PostingList {
 		out = append(out, ix.Lookup(term))
 	}
 	return out
+}
+
+func (s shardSource) bounds(term string) ([]*index.ListBounds, bool) {
+	out := make([]*index.ListBounds, 0, len(s.idxs))
+	for _, ix := range s.idxs {
+		lb := ix.TermBounds(term)
+		if lb == nil {
+			return nil, false
+		}
+		out = append(out, lb)
+	}
+	return out, true
 }
 
 // Wrap makes a monolithic engine updatable. The wrapped engine must not

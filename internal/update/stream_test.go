@@ -55,6 +55,42 @@ func assertStreamEquivalent(t *testing.T, step string, live *Engine) {
 				t.Fatalf("%s: query %q opts %+v streamed ranked differs:\nstream:\n%s\neager:\n%s",
 					step, q, opts, lc, cc)
 			}
+
+			// The score-bounded path over the live composite (delta ⊕
+			// base, tombstones applied): exact mode must stay
+			// bit-identical under every interleaving, approximate mode
+			// may only degrade the total.
+			wgot, wtotal, wst, err := live.SearchRankedPageWAND(q, opts)
+			if err != nil {
+				t.Fatalf("%s: query %q opts %+v wand ranked failed: %v", step, q, opts, err)
+			}
+			if wst.Terminated {
+				t.Fatalf("%s: query %q opts %+v exact wand terminated", step, q, opts)
+			}
+			if wtotal != len(er) {
+				t.Fatalf("%s: query %q opts %+v wand total %d, want %d", step, q, opts, wtotal, len(er))
+			}
+			if lc, cc := canonicalRanked(wgot), canonicalRanked(want); lc != cc {
+				t.Fatalf("%s: query %q opts %+v wand ranked differs:\nwand:\n%s\neager:\n%s",
+					step, q, opts, lc, cc)
+			}
+			aopts := opts
+			aopts.Accuracy = xseek.AccuracyApprox
+			agot, atotal, ast, err := live.SearchRankedPageWAND(q, aopts)
+			if err != nil {
+				t.Fatalf("%s: query %q opts %+v approx wand failed: %v", step, q, opts, err)
+			}
+			if atotal != len(er) && atotal != xseek.StreamTotalUnknown {
+				t.Fatalf("%s: query %q opts %+v approx wand total %d, want %d or unknown",
+					step, q, opts, atotal, len(er))
+			}
+			if atotal == xseek.StreamTotalUnknown && !ast.Terminated {
+				t.Fatalf("%s: query %q opts %+v approx wand unknown total without Terminated", step, q, opts)
+			}
+			if lc, cc := canonicalRanked(agot), canonicalRanked(want); lc != cc {
+				t.Fatalf("%s: query %q opts %+v approx wand page differs:\nwand:\n%s\neager:\n%s",
+					step, q, opts, lc, cc)
+			}
 		}
 	}
 }

@@ -149,6 +149,11 @@ type SearchOptions struct {
 	// Mode picks the execution strategy: ExecAuto (default) defers to
 	// the planner, ExecEager and ExecStream force a pipeline.
 	Mode ExecMode
+	// Accuracy applies to the score-bounded (WAND) ranked paths:
+	// AccuracyExact (default) keeps pages and totals bit-identical to
+	// eager execution, AccuracyApprox may stop draining at the score
+	// cutoff and report StreamTotalUnknown (wand.go).
+	Accuracy Accuracy
 }
 
 // Window clamps the options to [lo, hi) slice bounds over a full

@@ -1,0 +1,10 @@
+//go:build race
+
+package xseek
+
+// raceEnabled reports whether the race detector is compiled in. The
+// timing-ratio regression guards skip under it: instrumentation slows
+// the two compared paths by different factors, so the asserted floors
+// only hold for uninstrumented builds (CI runs them in a dedicated
+// no-race step).
+const raceEnabled = true
