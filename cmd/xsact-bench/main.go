@@ -12,7 +12,15 @@
 //
 // Usage:
 //
-//	xsact-bench [-fig 4a|4b|sweeps|latency|all] [-movies N] [-seed S] [-L bound] [-x threshold] [-iters N]
+// The dist mode (-fig dist) measures the cost of distribution: each
+// workload query runs through the in-process sharded engine and
+// through an HTTP coordinator over K ∈ {1, 2, 4} loopback shard
+// servers (bit-identity checked first), and the report pairs the two
+// latency histograms.
+//
+// Usage:
+//
+//	xsact-bench [-fig 4a|4b|sweeps|latency|dist|all] [-movies N] [-seed S] [-L bound] [-x threshold] [-iters N]
 package main
 
 import (
@@ -99,6 +107,10 @@ func run(fig string, movies int, seed int64, bound int, thresh float64, iters in
 		// Serving-engine request latencies (p50/p95/p99 per query and
 		// execution mode) as JSON — see latency.go.
 		return runLatency(root, movies, seed, iters, os.Stdout)
+	case "dist":
+		// Distribution cost: paired in-process vs HTTP-coordinator
+		// latencies at K ∈ {1, 2, 4} loopback shard legs — see dist.go.
+		return runDist(root, movies, seed, iters, os.Stdout)
 	case "4a", "4b", "all":
 		rep, err := experiment.Run(root, dataset.MovieQueries(), algs, opts)
 		if err != nil {

@@ -29,6 +29,32 @@ func TestRunUnknownFigure(t *testing.T) {
 	}
 }
 
+// TestRunDist validates the -fig dist JSON shape: one paired cell per
+// (K, query, mode), both sides sampled.
+func TestRunDist(t *testing.T) {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1, Movies: 60})
+	var buf bytes.Buffer
+	if err := runDist(root, 60, 1, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep distReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("dist output is not JSON: %v", err)
+	}
+	wantCells := len(rep.Legs) * len(dataset.MovieQueries()) * 2
+	if len(rep.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), wantCells)
+	}
+	for _, c := range rep.Cells {
+		if c.Local.Iters != 2 || c.Dist.Iters != 2 {
+			t.Fatalf("K=%d %s/%s: iters %d/%d, want 2", c.K, c.Local.Query, c.Local.Mode, c.Local.Iters, c.Dist.Iters)
+		}
+		if c.Local.Query != c.Dist.Query || c.Local.Mode != c.Dist.Mode {
+			t.Fatalf("K=%d: mismatched pair %s/%s vs %s/%s", c.K, c.Local.Query, c.Local.Mode, c.Dist.Query, c.Dist.Mode)
+		}
+	}
+}
+
 // TestRunLatency validates the -fig latency JSON shape: one cell per
 // (query, mode) with ordered percentiles.
 func TestRunLatency(t *testing.T) {

@@ -1,0 +1,215 @@
+package main
+
+// The multi-process equivalence run: real `xsactd -shard-server`
+// OS processes built from this package, a coordinator dialed over
+// their TCP endpoints, and bit-identity asserted against the
+// in-process sharded engine — queries and a live write.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/shard"
+	"repro/internal/update"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+func procResultKey(rs []*xseek.Result) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.Node.ID.String() + "=" + r.Match.ID.String() + "=" + r.Label
+	}
+	return strings.Join(parts, ";")
+}
+
+func procRankedKey(rs []*xseek.RankedResult) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%s@%016x", r.Node.ID, math.Float64bits(r.Score))
+	}
+	return strings.Join(parts, ";")
+}
+
+// corpusTerms pulls a few real index terms out of the corpus text, so
+// the cross-process queries actually have results to disagree on.
+func corpusTerms(root *xmltree.Node, n int) []string {
+	seen := map[string]bool{}
+	var out []string
+	root.Walk(func(m *xmltree.Node) bool {
+		if len(out) >= n {
+			return false
+		}
+		if m.Kind != xmltree.Text {
+			return true
+		}
+		for _, w := range strings.Fields(strings.ToLower(m.Text)) {
+			w = strings.Trim(w, ".,;:!?\"'()")
+			if len(w) < 4 || seen[w] {
+				continue
+			}
+			ok := true
+			for _, r := range w {
+				if r < 'a' || r > 'z' {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				seen[w] = true
+				out = append(out, w)
+				if len(out) >= n {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for
+// the child process to claim.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestShardServerProcesses is the true multi-process leg of the
+// equivalence harness: the httptest-based tests in internal/dist share
+// an address space with the coordinator; this one crosses real process
+// boundaries through the compiled binary.
+func TestShardServerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process: builds and launches the xsactd binary")
+	}
+	const k = 2
+	const seed = 1
+
+	bin := filepath.Join(t.TempDir(), "xsactd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building xsactd: %v\n%s", err, out)
+	}
+
+	endpoints := make([]string, k)
+	for g := 0; g < k; g++ {
+		addr := freeAddr(t)
+		endpoints[g] = "http://" + addr
+		cmd := exec.Command(bin, "-shard-server",
+			"-shard-id", fmt.Sprint(g), "-shard-count", fmt.Sprint(k),
+			"-addr", addr, "-seed", fmt.Sprint(seed))
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting leg %d: %v", g, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+
+	// Wait for every leg to finish bootstrapping its corpora.
+	client := &http.Client{Timeout: time.Second}
+	for g, ep := range endpoints {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := client.Get(ep + "/shard/v1/info?corpus=Product+Reviews")
+			if err == nil {
+				var info struct {
+					ShardID int `json:"shardId"`
+					Shards  int `json:"shards"`
+				}
+				ok := resp.StatusCode == http.StatusOK &&
+					json.NewDecoder(resp.Body).Decode(&info) == nil &&
+					info.ShardID == g && info.Shards == k
+				resp.Body.Close()
+				if ok {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("leg %d at %s never became ready: %v", g, ep, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	root := dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})
+	co, err := dist.Dial(endpoints, "Product Reviews", root, dist.Config{
+		Timeout: 10 * time.Second, Retries: 1,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	ref := update.WrapSharded(shard.Build(dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed}), k))
+
+	check := func(query, ctx string) {
+		t.Helper()
+		want, wantErr := ref.Search(query)
+		got, gotErr := co.Search(query)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s query %q: err %v vs %v", ctx, query, gotErr, wantErr)
+		}
+		if procResultKey(got) != procResultKey(want) {
+			t.Fatalf("%s query %q: results diverge\n got  %.200s\n want %.200s",
+				ctx, query, procResultKey(got), procResultKey(want))
+		}
+		if wantErr != nil {
+			return
+		}
+		for _, opts := range []xseek.SearchOptions{{Limit: 1}, {Limit: 5}, {Limit: 3, Offset: 2}} {
+			wantP, wantT, werr := ref.SearchRankedPageStream(query, opts)
+			gotP, gotT, gerr := co.SearchRankedPageStream(query, opts)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s query %q page %+v: err %v vs %v", ctx, query, opts, gerr, werr)
+			}
+			if gotT != wantT || procRankedKey(gotP) != procRankedKey(wantP) {
+				t.Fatalf("%s query %q page %+v:\n got  total=%d %s\n want total=%d %s",
+					ctx, query, opts, gotT, procRankedKey(gotP), wantT, procRankedKey(wantP))
+			}
+		}
+	}
+
+	terms := corpusTerms(root, 4)
+	if len(terms) < 2 {
+		t.Fatalf("corpus yielded too few query terms: %v", terms)
+	}
+	for _, q := range terms {
+		check(q, "cold")
+	}
+	check(terms[0]+" "+terms[1], "cold multi-term")
+
+	// One live write through the real processes.
+	frag := fmt.Sprintf("<review><text>%s %s freshproc</text></review>", terms[0], terms[1])
+	wantID, err := ref.AddEntity(xmltree.MustParseString(frag))
+	if err != nil {
+		t.Fatalf("ref add: %v", err)
+	}
+	gotID, err := co.AddEntity(xmltree.MustParseString(frag))
+	if err != nil {
+		t.Fatalf("dist add: %v", err)
+	}
+	if gotID.String() != wantID.String() {
+		t.Fatalf("add ID %s vs %s", gotID, wantID)
+	}
+	if got, want := co.Epoch(), ref.Epoch(); got != want {
+		t.Fatalf("epoch %d vs %d after add", got, want)
+	}
+	check("freshproc", "after add")
+	check(terms[0], "after add")
+}

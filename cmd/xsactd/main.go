@@ -33,9 +33,17 @@
 // accepted writes are persisted in a journaled snapshot layout and
 // replayed on restart.
 //
+// The binary also hosts the two distributed roles: -shard-server
+// serves one shard leg of every dataset over the versioned wire API
+// (/shard/v1/*), and -coordinator serves the same web UI and JSON API
+// as the standalone server with every query fanned out to the legs
+// over HTTP — bit-identical to -shards=K in one process.
+//
 // Usage:
 //
 //	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-snapshot-format v4|gob] [-shards N] [-compact-every N] [-pprof :6060]
+//	xsactd -shard-server -shard-id I -shard-count K [-addr :9101] [-seed 1] [-snapshot-dir DIR]
+//	xsactd -coordinator URL1,URL2,... [-addr :8080] [-seed 1] [-dist-timeout 5s] [-dist-retries 2] [-dist-hedge 0] [-dist-partial]
 package main
 
 import (
@@ -44,7 +52,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
+	"time"
 
+	"repro/internal/dist"
 	"repro/internal/persist"
 )
 
@@ -57,15 +68,42 @@ func main() {
 		shards       = flag.Int("shards", 1, "index shards per dataset (1 = monolithic index)")
 		compactEvery = flag.Int("compact-every", 64, "auto-compact the live write path after this many pending writes (0 = manual compaction only)")
 		pprofAddr    = flag.String("pprof", "", "profiling listen address for /debug/pprof/ and /debug/memstats (empty = profiling off); keep it off public ingress")
+
+		shardServer = flag.Bool("shard-server", false, "serve one shard leg over the wire API instead of the web UI")
+		shardID     = flag.Int("shard-id", 0, "this leg's shard number (with -shard-server)")
+		shardCount  = flag.Int("shard-count", 1, "total shard legs in the cluster (with -shard-server)")
+		coordinator = flag.String("coordinator", "", "comma-separated shard-server base URLs; serve as the HTTP fan-out coordinator")
+		distTimeout = flag.Duration("dist-timeout", 5*time.Second, "coordinator per-request leg timeout")
+		distRetries = flag.Int("dist-retries", 2, "coordinator retries per leg call after a transport failure")
+		distHedge   = flag.Duration("dist-hedge", 0, "launch a hedged duplicate leg read after this delay (0 = off)")
+		distPartial = flag.Bool("dist-partial", false, "let ranked queries degrade to flagged partial pages when a leg stays unreachable")
 	)
 	flag.Parse()
+
+	if *shardServer {
+		log.Fatal(runShardServer(*addr, *seed, *shardID, *shardCount, *snapshotDir))
+	}
+
+	var srv *server
+	var err error
+	if *coordinator != "" {
+		cfg := dist.Config{Timeout: *distTimeout, Retries: *distRetries,
+			Hedge: *distHedge, AllowPartial: *distPartial}
+		srv, err = newCoordinatorServer(*seed, strings.Split(*coordinator, ","), *compactEvery, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsactd:", err)
+			os.Exit(1)
+		}
+		log.Printf("xsactd coordinator on %s (legs: %s)", *addr, *coordinator)
+		log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	}
 
 	format, err := snapshotFormat(*snapFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsactd:", err)
 		os.Exit(1)
 	}
-	srv, err := newServer(*seed, *snapshotDir, *shards, *compactEvery, format)
+	srv, err = newServer(*seed, *snapshotDir, *shards, *compactEvery, format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsactd:", err)
 		os.Exit(1)

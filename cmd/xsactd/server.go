@@ -15,7 +15,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/persist"
@@ -105,22 +104,14 @@ func newServer(seed int64, snapshotDir string, shards, compactEvery, snapFormat 
 		datasets: make(map[string]*lazyEngine), slugs: make(map[string]string),
 		seed: seed, snapshotDir: snapshotDir, snapFormat: snapFormat, shards: shards,
 	}
-	add := func(name, slug string, gen func() *xmltree.Node) {
-		s.datasets[name] = &lazyEngine{build: func() *engine.Engine {
-			return buildEngine(name, slug, seed, snapshotDir, shards, compactEvery, snapFormat, gen)
+	for _, d := range datasetDefs(seed) {
+		d := d
+		s.datasets[d.name] = &lazyEngine{build: func() *engine.Engine {
+			return buildEngine(d.name, d.slug, seed, snapshotDir, shards, compactEvery, snapFormat, d.gen)
 		}}
-		s.order = append(s.order, name)
-		s.slugs[name] = slug
+		s.order = append(s.order, d.name)
+		s.slugs[d.name] = d.slug
 	}
-	add("Product Reviews", "reviews", func() *xmltree.Node {
-		return dataset.ProductReviews(dataset.ReviewsConfig{Seed: seed})
-	})
-	add("Outdoor Retailer", "retailer", func() *xmltree.Node {
-		return dataset.OutdoorRetailer(dataset.RetailerConfig{Seed: seed})
-	})
-	add("Movies", "movies", func() *xmltree.Node {
-		return dataset.Movies(dataset.MoviesConfig{Seed: seed})
-	})
 	return s, nil
 }
 

@@ -1,0 +1,54 @@
+package xsact
+
+import (
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/xmltree"
+)
+
+// This file is the facade over distributed serving (internal/dist): a
+// Document whose queries fan out over HTTP to a cluster of shard
+// servers (xsactd -shard-server) and whose writes are broadcast under
+// the cluster's epoch protocol. Search results, ranking scores, tie
+// order, and paging envelopes are bit-identical to a single-process
+// Document built with Options.Shards = number of legs.
+
+// ClusterOptions configures a distributed Document.
+type ClusterOptions struct {
+	// AutoCompactEvery triggers a background cluster-wide compaction
+	// once that many uncompacted writes are pending; 0 leaves
+	// compaction to explicit Compact calls.
+	AutoCompactEvery int
+	// Timeout bounds each leg request (default 5s); Retries the extra
+	// attempts after a transport failure (default 2).
+	Timeout time.Duration
+	Retries int
+	// Hedge, when > 0, launches a duplicate leg read if the first has
+	// not answered within this delay; the first response wins.
+	Hedge time.Duration
+	// AllowPartial lets ranked queries degrade to flagged partial pages
+	// (total reported unknown) when a leg stays unreachable, instead of
+	// failing. Document-order search stays strict either way.
+	AllowPartial bool
+}
+
+// FromCluster connects a corpus to a running shard cluster: root must
+// be the same document every shard server bootstrapped the named
+// corpus from, and endpoints the legs' base URLs in shard order. The
+// returned Document serves the full API — search, ranking, compare,
+// live writes — through the coordinator.
+func FromCluster(root *xmltree.Node, endpoints []string, corpus string, opts ClusterOptions) (*Document, error) {
+	co, err := dist.Dial(endpoints, corpus, root, dist.Config{
+		Timeout: opts.Timeout, Retries: opts.Retries,
+		Hedge: opts.Hedge, AllowPartial: opts.AllowPartial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Document{
+		root: root,
+		eng:  engine.FromDist(co, engine.Config{AutoCompactThreshold: opts.AutoCompactEvery}),
+	}, nil
+}

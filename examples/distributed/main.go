@@ -1,0 +1,121 @@
+// Distributed: the movie corpus served by shard-server legs behind an
+// HTTP coordinator, demonstrating that distribution changes execution
+// — wire frames, fan-out, epoch-checked writes — but never results:
+// the cluster returns the same result lists, scores, and pages as a
+// single in-process engine.
+//
+// With XSACT_CLUSTER set to comma-separated shard-server base URLs
+// (e.g. the two-role quickstart: xsactd -shard-server on :9101/:9102),
+// the example dials that real cluster. Without it, the example hosts
+// two loopback legs itself, so it runs self-contained.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	xsact "repro"
+	"repro/internal/dataset"
+	"repro/internal/dist"
+)
+
+func main() {
+	root := dataset.Movies(dataset.MoviesConfig{Seed: 1})
+	const corpus = "Movies" // the name xsactd -shard-server registers
+
+	endpoints := selfHost(corpus)
+	if env := os.Getenv("XSACT_CLUSTER"); env != "" {
+		endpoints = strings.Split(env, ",")
+	}
+
+	cluster, err := xsact.FromCluster(root, endpoints, corpus, xsact.ClusterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, err := xsact.BuiltinDataset("movies", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d legs at %v\n\n", len(endpoints), endpoints)
+
+	query := "action revenge"
+	a, err := local.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := cluster.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%q: %d results in process, %d through the cluster\n", query, len(a), len(b))
+	for i := range a {
+		marker := "=="
+		if i >= len(b) || a[i].Label != b[i].Label {
+			marker = "!!" // never happens: the coordinator is result-identical
+		}
+		fmt.Printf("  %s %s\n", marker, a[i].Describe())
+	}
+
+	// Ranked pages reassemble from per-leg wire envelopes — scores
+	// travel as raw float bits, so the page matches bit for bit.
+	top, scores, total, err := cluster.SearchRankedPage(query, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wantTop, wantScores, _, err := local.SearchRankedPage(query, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop 3 of %d by relevance (through the coordinator):\n", total)
+	for i, r := range top {
+		marker := "=="
+		if i >= len(wantTop) || r.Label != wantTop[i].Label || scores[i] != wantScores[i] {
+			marker = "!!"
+		}
+		fmt.Printf("  %s %.3f  %s\n", marker, scores[i], r.Label)
+	}
+
+	// The corpus is live through the coordinator too: the write is
+	// broadcast to every leg under the epoch protocol, searchable
+	// immediately, and removed again to leave the cluster unchanged.
+	id, err := cluster.AddEntity("<movie><title>Distributed Smoke</title><keyword>distsmoke</keyword></movie>")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, err := cluster.Search("distsmoke")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive write: entity %s visible in %d result(s) across the cluster\n", id, len(hits))
+	if err := cluster.RemoveEntity(id); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// selfHost boots two in-process shard legs on loopback listeners and
+// returns their endpoints — the same servers `xsactd -shard-server`
+// runs, minus the extra OS processes.
+func selfHost(corpus string) []string {
+	const k = 2
+	endpoints := make([]string, 0, k)
+	for g := 0; g < k; g++ {
+		sv, err := dist.NewServer(g, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sv.AddCorpus(corpus, dataset.Movies(dataset.MoviesConfig{Seed: 1})); err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(l, sv)
+		endpoints = append(endpoints, "http://"+l.Addr().String())
+	}
+	return endpoints
+}

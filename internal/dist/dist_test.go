@@ -1,0 +1,376 @@
+package dist_test
+
+// The distributed equivalence harness: every shard-level bit-identity
+// property re-run through real HTTP servers and the coordinator. The
+// legs here are httptest servers — each process-isolated in state (its
+// own parse of the corpus, its own index) if not in address space; the
+// true multi-process run lives in cmd/xsactd's TestShardServerProcesses.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/shard"
+	"repro/internal/update"
+	"repro/internal/xmltree"
+	"repro/internal/xseek"
+)
+
+// randomDoc mirrors the shard package's corpus generator: repeated
+// entity containers with nested structure, keyword-bearing leaves, and
+// the occasional term directly on a wrapper so spine fix-up runs.
+func randomDoc(r *rand.Rand, vocab []string) string {
+	var b strings.Builder
+	var emit func(depth int)
+	emit = func(depth int) {
+		if depth >= 4 || r.Intn(3) == 0 {
+			b.WriteString("<leaf>")
+			for i := r.Intn(3) + 1; i > 0; i-- {
+				b.WriteString(vocab[r.Intn(len(vocab))])
+				b.WriteString(" ")
+			}
+			b.WriteString("</leaf>")
+			return
+		}
+		d := r.Intn(3)
+		fmt.Fprintf(&b, "<n%d>", d)
+		for i := r.Intn(4) + 1; i > 0; i-- {
+			emit(depth + 1)
+		}
+		fmt.Fprintf(&b, "</n%d>", d)
+	}
+	b.WriteString("<root>")
+	if r.Intn(2) == 0 {
+		b.WriteString(vocab[r.Intn(len(vocab))])
+		b.WriteString(" ")
+	}
+	for i := r.Intn(6) + 2; i > 0; i-- {
+		emit(1)
+	}
+	b.WriteString("</root>")
+	return b.String()
+}
+
+// entityDoc builds one standalone entity fragment for live-add tests.
+func entityDoc(r *rand.Rand, vocab []string) string {
+	var b strings.Builder
+	b.WriteString("<n0>")
+	for i := r.Intn(3) + 1; i > 0; i-- {
+		b.WriteString("<leaf>")
+		for j := r.Intn(3) + 1; j > 0; j-- {
+			b.WriteString(vocab[r.Intn(len(vocab))])
+			b.WriteString(" ")
+		}
+		b.WriteString("</leaf>")
+	}
+	b.WriteString("</n0>")
+	return b.String()
+}
+
+func resultKey(rs []*xseek.Result) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.Node.ID.String() + "=" + r.Match.ID.String() + "=" + r.Label
+	}
+	return strings.Join(parts, ";")
+}
+
+// rankedKey fingerprints a ranked page down to the score bits, so two
+// scores that happen to print alike still have to BE alike.
+func rankedKey(rs []*xseek.RankedResult) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%s@%016x", r.Node.ID, math.Float64bits(r.Score))
+	}
+	return strings.Join(parts, ";")
+}
+
+func sameError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	var na, nb *index.NoMatchError
+	if errors.As(a, &na) != errors.As(b, &nb) {
+		return false
+	}
+	if na != nil {
+		return fmt.Sprint(na.Terms) == fmt.Sprint(nb.Terms)
+	}
+	return a.Error() == b.Error()
+}
+
+// cluster is one corpus served by k httptest shard legs plus a dialed
+// coordinator.
+type cluster struct {
+	servers []*dist.Server
+	https   []*httptest.Server
+	co      *dist.Coordinator
+}
+
+const testCorpus = "c"
+
+// startCluster boots k shard servers (each parsing its own copy of
+// doc — no shared tree) and dials a coordinator over them.
+func startCluster(t *testing.T, k int, doc string, cfg dist.Config) *cluster {
+	return startClusterWrapped(t, k, doc, cfg, nil)
+}
+
+// startClusterWrapped is startCluster with a per-leg handler wrapper —
+// the fault-injection hook (hangs, failures, request counting).
+func startClusterWrapped(t *testing.T, k int, doc string, cfg dist.Config, wrap func(g int, h http.Handler) http.Handler) *cluster {
+	t.Helper()
+	cl := &cluster{}
+	endpoints := make([]string, k)
+	for g := 0; g < k; g++ {
+		sv, err := dist.NewServer(g, k)
+		if err != nil {
+			t.Fatalf("NewServer(%d, %d): %v", g, k, err)
+		}
+		if err := sv.AddCorpus(testCorpus, xmltree.MustParseString(doc)); err != nil {
+			t.Fatalf("leg %d AddCorpus: %v", g, err)
+		}
+		var h http.Handler = sv
+		if wrap != nil {
+			h = wrap(g, h)
+		}
+		hs := httptest.NewServer(h)
+		t.Cleanup(hs.Close)
+		cl.servers = append(cl.servers, sv)
+		cl.https = append(cl.https, hs)
+		endpoints[g] = hs.URL
+	}
+	co, err := dist.Dial(endpoints, testCorpus, xmltree.MustParseString(doc), cfg)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	cl.co = co
+	return cl
+}
+
+// pageOptions are the limit/offset envelopes every equivalence check
+// walks — the same set the in-process shard tests use.
+var pageOptions = []xseek.SearchOptions{
+	{Limit: 1}, {Limit: 2}, {Limit: 3, Offset: 1},
+	{Limit: 2, Offset: 2}, {Limit: 100}, {Offset: 1},
+}
+
+// checkEquivalence runs one query through both sides and asserts
+// bit-identity across every read path: doc-order search, full
+// ranking, eager ranked pages, streamed ranked pages, and exact +
+// approximate WAND pages.
+func checkEquivalence(t *testing.T, ref refEngine, co *dist.Coordinator, query, ctx string) {
+	t.Helper()
+	want, wantErr := ref.Search(query)
+	got, gotErr := co.Search(query)
+	if !sameError(wantErr, gotErr) {
+		t.Fatalf("%s query %q: err %v vs %v", ctx, query, gotErr, wantErr)
+	}
+	if resultKey(got) != resultKey(want) {
+		t.Fatalf("%s query %q:\n got  %s\n want %s", ctx, query, resultKey(got), resultKey(want))
+	}
+	if wantErr != nil {
+		return
+	}
+	wantRanked := ref.RankResults(want, query)
+	gotRanked := co.RankResults(got, query)
+	if rankedKey(gotRanked) != rankedKey(wantRanked) {
+		t.Fatalf("%s query %q ranked:\n got  %s\n want %s", ctx, query, rankedKey(gotRanked), rankedKey(wantRanked))
+	}
+	for _, opts := range pageOptions {
+		wantPage := ref.RankPage(want, query, opts)
+		gotPage := co.RankPage(got, query, opts)
+		if rankedKey(gotPage) != rankedKey(wantPage) {
+			t.Fatalf("%s query %q page %+v:\n got  %s\n want %s",
+				ctx, query, opts, rankedKey(gotPage), rankedKey(wantPage))
+		}
+
+		wantS, wantTotal, wsErr := ref.SearchRankedPageStream(query, opts)
+		gotS, gotTotal, gsErr := co.SearchRankedPageStream(query, opts)
+		if !sameError(wsErr, gsErr) {
+			t.Fatalf("%s query %q stream %+v: err %v vs %v", ctx, query, opts, gsErr, wsErr)
+		}
+		if gotTotal != wantTotal || rankedKey(gotS) != rankedKey(wantS) {
+			t.Fatalf("%s query %q stream %+v:\n got  total=%d %s\n want total=%d %s",
+				ctx, query, opts, gotTotal, rankedKey(gotS), wantTotal, rankedKey(wantS))
+		}
+
+		for _, acc := range []xseek.Accuracy{xseek.AccuracyExact, xseek.AccuracyApprox} {
+			wopts := opts
+			wopts.Accuracy = acc
+			wantW, wantWT, _, wwErr := ref.SearchRankedPageWAND(query, wopts)
+			gotW, gotWT, _, gwErr := co.SearchRankedPageWAND(query, wopts)
+			if !sameError(wwErr, gwErr) {
+				t.Fatalf("%s query %q wand %+v acc=%d: err %v vs %v", ctx, query, opts, acc, gwErr, wwErr)
+			}
+			if rankedKey(gotW) != rankedKey(wantW) {
+				t.Fatalf("%s query %q wand %+v acc=%d:\n got  %s\n want %s",
+					ctx, query, opts, acc, rankedKey(gotW), rankedKey(wantW))
+			}
+			// Exact mode pins the total too. Approximate mode's total is
+			// contractually "exact or StreamTotalUnknown": whether a side
+			// stops draining depends on its index's block layout, which
+			// legitimately differs between a tombstone-masked live index
+			// and a rebuilt one — so totals must agree only when both
+			// sides report a known one.
+			if acc == xseek.AccuracyExact && gotWT != wantWT {
+				t.Fatalf("%s query %q wand %+v: total %d vs %d", ctx, query, opts, gotWT, wantWT)
+			}
+			if acc == xseek.AccuracyApprox && gotWT >= 0 && wantWT >= 0 && gotWT != wantWT {
+				t.Fatalf("%s query %q wand approx %+v: total %d vs %d", ctx, query, opts, gotWT, wantWT)
+			}
+		}
+	}
+}
+
+func parseDewey(s string) (dewey.ID, error) { return dewey.Parse(s) }
+
+// refEngine is the read surface shared by the in-process references
+// (shard.Engine cold, update.Engine live).
+type refEngine interface {
+	Search(query string) ([]*xseek.Result, error)
+	RankResults(results []*xseek.Result, query string) []*xseek.RankedResult
+	RankPage(results []*xseek.Result, query string, opts xseek.SearchOptions) []*xseek.RankedResult
+	SearchRankedPageStream(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, error)
+	SearchRankedPageWAND(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, xseek.WANDStats, error)
+}
+
+// TestCoordinatorEquivalence is the tentpole property test: on random
+// corpora and queries, the HTTP coordinator at K ∈ {1, 2, 4} must be
+// bit-identical to the in-process sharded engine on every read path.
+func TestCoordinatorEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	trees := 6
+	queriesPerTree := 8
+	for ti := 0; ti < trees; ti++ {
+		doc := randomDoc(r, vocab)
+		root := xmltree.MustParseString(doc)
+		for _, k := range []int{1, 2, 4} {
+			ref := shard.Build(root, k)
+			cl := startCluster(t, k, doc, dist.Config{})
+			for qi := 0; qi < queriesPerTree; qi++ {
+				n := r.Intn(3) + 1
+				terms := make([]string, n)
+				for i := range terms {
+					terms[i] = vocab[r.Intn(len(vocab))]
+				}
+				query := strings.Join(terms, " ")
+				checkEquivalence(t, ref, cl.co, query, fmt.Sprintf("tree %d K=%d", ti, k))
+			}
+			if cq := cl.co.CleanQuery("alpah"); fmt.Sprint(cq) != fmt.Sprint(ref.CleanQuery("alpah")) {
+				t.Fatalf("tree %d K=%d CleanQuery: %v vs %v", ti, k, cq, ref.CleanQuery("alpah"))
+			}
+		}
+	}
+}
+
+// TestCoordinatorLiveEquivalence interleaves adds, removes, and
+// compactions through the coordinator and an in-process live engine
+// over the same corpus, checking bit-identity after every step —
+// including the epoch bumps, ordinal holes after removals, and the
+// renumbering compaction.
+func TestCoordinatorLiveEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for ti := 0; ti < 3; ti++ {
+		doc := randomDoc(r, vocab)
+		for _, k := range []int{1, 2, 4} {
+			ref := update.WrapSharded(shard.Build(xmltree.MustParseString(doc), k))
+			cl := startCluster(t, k, doc, dist.Config{})
+			ctx := func(step int, op string) string {
+				return fmt.Sprintf("tree %d K=%d step %d after %s", ti, k, step, op)
+			}
+			var ids []string // live entity IDs added through both sides
+			for step := 0; step < 12; step++ {
+				var op string
+				switch choice := r.Intn(6); {
+				case choice <= 2: // add
+					frag := entityDoc(r, vocab)
+					wantID, err := ref.AddEntity(xmltree.MustParseString(frag))
+					if err != nil {
+						t.Fatalf("%s: ref add: %v", ctx(step, "add"), err)
+					}
+					gotID, err := cl.co.AddEntity(xmltree.MustParseString(frag))
+					if err != nil {
+						t.Fatalf("%s: dist add: %v", ctx(step, "add"), err)
+					}
+					if gotID.String() != wantID.String() {
+						t.Fatalf("%s: add ID %s vs %s", ctx(step, "add"), gotID, wantID)
+					}
+					ids = append(ids, gotID.String())
+					op = "add " + gotID.String()
+				case choice <= 4 && len(ids) > 0: // remove a live-added entity
+					i := r.Intn(len(ids))
+					id := ids[i]
+					ids = append(ids[:i], ids[i+1:]...)
+					did, _ := parseDewey(id)
+					wantErr := ref.RemoveEntity(did)
+					gotErr := cl.co.RemoveEntity(did)
+					if !sameError(wantErr, gotErr) {
+						t.Fatalf("%s: remove %s: %v vs %v", ctx(step, "remove"), id, gotErr, wantErr)
+					}
+					op = "remove " + id
+				default: // compact
+					if err := ref.Compact(); err != nil {
+						t.Fatalf("%s: ref compact: %v", ctx(step, "compact"), err)
+					}
+					if err := cl.co.Compact(); err != nil {
+						t.Fatalf("%s: dist compact: %v", ctx(step, "compact"), err)
+					}
+					ids = nil // compaction may renumber; stale handles invalid
+					op = "compact"
+				}
+				if got, want := cl.co.Epoch(), ref.Epoch(); got != want {
+					t.Fatalf("%s: epoch %d vs %d", ctx(step, op), got, want)
+				}
+				for qi := 0; qi < 3; qi++ {
+					terms := make([]string, r.Intn(2)+1)
+					for i := range terms {
+						terms[i] = vocab[r.Intn(len(vocab))]
+					}
+					checkEquivalence(t, ref, cl.co, strings.Join(terms, " "), ctx(step, op))
+				}
+			}
+		}
+	}
+}
+
+// TestCoordinatorStatsEquivalence pins the aggregated corpus
+// statistics — the integers every score is derived from — to the
+// in-process engine's.
+func TestCoordinatorStatsEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	vocab := []string{"alpha", "beta", "gamma", "delta"}
+	doc := randomDoc(r, vocab)
+	root := xmltree.MustParseString(doc)
+	for _, k := range []int{1, 2, 4} {
+		ref := shard.Build(root, k)
+		cl := startCluster(t, k, doc, dist.Config{})
+		if got, want := cl.co.TotalNodes(), ref.TotalNodes(); got != want {
+			t.Fatalf("K=%d TotalNodes %d vs %d", k, got, want)
+		}
+		for _, term := range vocab {
+			if got, want := cl.co.DocFreq(term), ref.DocFreq(term); got != want {
+				t.Fatalf("K=%d DocFreq(%q) %d vs %d", k, term, got, want)
+			}
+			if got, want := cl.co.EstimateResults(term), ref.EstimateResults(term); got != want {
+				t.Fatalf("K=%d EstimateResults(%q) %d vs %d", k, term, got, want)
+			}
+		}
+		if got, want := cl.co.IndexStats(), ref.IndexStats(); got != want {
+			t.Fatalf("K=%d IndexStats %+v vs %+v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package dist turns the sharded fan-out/merge seam into a network
+// boundary: xsactd -shard-server processes each serve one shard group
+// over a versioned JSON wire API, and a Coordinator fans queries out
+// over HTTP, aggregates global document frequencies, circulates the
+// WAND threshold as per-leg score floors, and performs the SLCA spine
+// fix-up and K-way ranked merge through the exact same
+// shard.Fanout code the in-process engine runs — so distributed
+// results are bit-identical (Float64bits scores, tie order, paging
+// envelopes) to the in-process sharded engine.
+//
+// # Topology
+//
+// Every process replicates the document tree (it is the cheap part —
+// the indexes dominate memory); each shard server builds and serves
+// only its own group's inverted index. The coordinator holds the
+// spine index (root + wrapper nodes, invariant under writes) and the
+// aggregated ranking constants. Because ranking ships as integers
+// (document frequencies and node counts) and both sides derive IDF
+// with the same formula, every score is computed from identical
+// inputs in identical order on either side of the wire.
+//
+// # Writes
+//
+// Writes route by entity ordinal under the epoch protocol: the
+// coordinator serializes writers, computes the statistics delta
+// locally, broadcasts one WriteOp (fragment + post-write ranking) to
+// every leg, and publishes its new state only after every leg has
+// acknowledged. Legs reject ops targeting a different epoch with 409,
+// and queries carry the coordinator's epoch so a page is never
+// assembled from mixed states. Removing a spine-rooted top-level
+// element is rejected: the spine is the one structure both sides
+// treat as write-invariant between compactions.
+//
+// # Failure semantics
+//
+// Per-request timeouts, bounded retries with backoff, and hedged
+// reads live in the leg client. Ranked queries may degrade under an
+// AllowPartial policy: a dead leg's contribution is dropped and the
+// page is flagged (total = StreamTotalUnknown) — partial and marked,
+// never silently wrong. Doc-order search is always strict, because a
+// missing leg could promote spurious spine SLCAs. A leg restarted
+// from its shipped group snapshot (package persist) resumes at the
+// snapshot's epoch with bit-identical state.
+package dist

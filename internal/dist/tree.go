@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"repro/internal/xmltree"
+)
+
+// Tree-mutation helpers mirroring the in-process live engine's
+// (package update) exactly: writes must produce the same live tree —
+// same child order, same Dewey ordinals, same holes — on every
+// replica, or scores and result IDs drift from the in-process
+// engine's.
+
+// rootWith returns a copy-on-write clone of root whose children are
+// root's minus `without` (when non-nil) plus `extra` appended (when
+// non-nil). Concurrent readers keep walking the old root; the shared
+// child subtrees are immutable either way.
+func rootWith(root *xmltree.Node, without, extra *xmltree.Node) *xmltree.Node {
+	nr := &xmltree.Node{Kind: root.Kind, Tag: root.Tag, Text: root.Text, ID: root.ID}
+	if len(root.Attrs) > 0 {
+		nr.Attrs = make([]xmltree.Attr, len(root.Attrs))
+		copy(nr.Attrs, root.Attrs)
+	}
+	n := len(root.Children)
+	if extra != nil {
+		n++
+	}
+	nr.Children = make([]*xmltree.Node, 0, n)
+	for _, c := range root.Children {
+		if c != without {
+			nr.Children = append(nr.Children, c)
+		}
+	}
+	if extra != nil {
+		nr.Children = append(nr.Children, extra)
+	}
+	return nr
+}
+
+// rebuildTree deep-clones the live document into a fresh, compactly
+// renumbered tree, leaving the old one untouched for in-flight
+// readers — the compaction renumbering step, identical to update's.
+func rebuildTree(root *xmltree.Node) *xmltree.Node {
+	fresh := &xmltree.Node{Kind: root.Kind, Tag: root.Tag, Text: root.Text}
+	if len(root.Attrs) > 0 {
+		fresh.Attrs = make([]xmltree.Attr, len(root.Attrs))
+		copy(fresh.Attrs, root.Attrs)
+	}
+	for _, c := range root.Children {
+		fresh.AppendChild(c.Clone())
+	}
+	fresh.AssignIDs(nil)
+	return fresh
+}

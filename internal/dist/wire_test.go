@@ -1,0 +1,113 @@
+package dist
+
+// The wire frame fails closed: truncation, bit flips, and garbage must
+// all come back as errors, never as a silently wrong envelope. The
+// fuzzer hammers DecodeFrame with arbitrary bytes; the deterministic
+// tests prove every strict prefix and every single-byte corruption of
+// a valid frame is rejected.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func sampleEnvelope() *Envelope {
+	return &Envelope{
+		Epoch: 7,
+		Hits: []WireHit{
+			{ID: "1.0", Match: "1.0.2", Label: "leaf", ScoreBits: math.Float64bits(1.25)},
+			{ID: "3.1", Match: "3.1.0", Label: "leaf", ScoreBits: math.Float64bits(0.5)},
+		},
+		SLCAs:         []string{"1", "3.1"},
+		Total:         17,
+		ThresholdBits: math.Float64bits(0.25),
+		Stats:         WireStats{Bounded: true, Pruned: 4, BlocksSkipped: 2},
+		Counts:        []int{3, 0, 9},
+	}
+}
+
+func encodeSample(t testing.TB) []byte {
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, sampleEnvelope()); err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	data := encodeSample(t)
+	var got Envelope
+	if err := DecodeFrame(bytes.NewReader(data), &got); err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	want := sampleEnvelope()
+	if got.Epoch != want.Epoch || got.Total != want.Total ||
+		got.ThresholdBits != want.ThresholdBits || got.Stats != want.Stats ||
+		len(got.Hits) != len(want.Hits) || len(got.SLCAs) != len(want.SLCAs) ||
+		len(got.Counts) != len(want.Counts) {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, *want)
+	}
+	for i := range want.Hits {
+		if got.Hits[i] != want.Hits[i] {
+			t.Fatalf("hit %d: %+v vs %+v", i, got.Hits[i], want.Hits[i])
+		}
+	}
+}
+
+// TestFrameTruncation feeds every strict prefix of a valid frame:
+// each must fail (header, payload, or checksum cut short).
+func TestFrameTruncation(t *testing.T) {
+	data := encodeSample(t)
+	for n := 0; n < len(data); n++ {
+		var v Envelope
+		if err := DecodeFrame(bytes.NewReader(data[:n]), &v); err == nil {
+			t.Fatalf("prefix of length %d/%d decoded without error", n, len(data))
+		}
+	}
+}
+
+// TestFrameBitFlip corrupts each byte of a valid frame in turn: magic,
+// length, payload, and checksum corruption must all be caught.
+func TestFrameBitFlip(t *testing.T) {
+	data := encodeSample(t)
+	for i := 0; i < len(data); i++ {
+		for _, flip := range []byte{0x01, 0x80} {
+			mut := bytes.Clone(data)
+			mut[i] ^= flip
+			var v Envelope
+			if err := DecodeFrame(bytes.NewReader(mut), &v); err == nil {
+				t.Fatalf("flip 0x%02x at byte %d/%d decoded without error", flip, i, len(data))
+			}
+		}
+	}
+}
+
+// FuzzLegEnvelopeDecode asserts DecodeFrame never panics and never
+// over-allocates on arbitrary input, and that anything it does accept
+// re-encodes to a decodable frame.
+func FuzzLegEnvelopeDecode(f *testing.F) {
+	f.Add(encodeSample(f))
+	var empty bytes.Buffer
+	if err := EncodeFrame(&empty, &Envelope{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte("XDW1"))
+	f.Add([]byte("XDW1\x00\x00\x00\x02{}\x00\x00\x00\x00"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Envelope
+		if err := DecodeFrame(bytes.NewReader(data), &v); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, &v); err != nil {
+			t.Fatalf("accepted envelope failed to re-encode: %v", err)
+		}
+		var again Envelope
+		if err := DecodeFrame(bytes.NewReader(buf.Bytes()), &again); err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v", err)
+		}
+	})
+}

@@ -138,6 +138,15 @@ type Metrics struct {
 	Epoch             uint64 `json:"epoch"`
 	PendingDelta      int    `json:"pending_delta"`
 	PendingTombstones int    `json:"pending_tombstones"`
+	// Distributed-serving counters, all zero for in-process engines:
+	// legs the coordinator fans out to, transport retries, hedged
+	// reads launched, degraded (partial) pages served, and leg calls
+	// failed after all retries.
+	DistLegs     int   `json:"dist_legs,omitempty"`
+	DistRetries  int64 `json:"dist_retries,omitempty"`
+	DistHedges   int64 `json:"dist_hedges,omitempty"`
+	DistDegraded int64 `json:"dist_degraded,omitempty"`
+	DistLegErrs  int64 `json:"dist_leg_errs,omitempty"`
 }
 
 // executor is the search substrate the serving layer plumbs onto: the
@@ -181,12 +190,16 @@ type executorBox struct {
 	x    *xseek.Engine  // non-nil for the monolithic executor
 	sh   *shard.Engine  // non-nil for the sharded executor
 	live *update.Engine // non-nil once updates are enabled
+	dist DistExecutor   // non-nil for a distributed coordinator
 }
 
 // epoch returns the live state version (0 while the corpus is
 // immutable). Cache entries are tagged with it, so entries minted
 // before a write or compaction self-invalidate.
 func (b *executorBox) epoch() uint64 {
+	if b.dist != nil {
+		return b.dist.Epoch()
+	}
 	if b.live != nil {
 		return b.live.Epoch()
 	}
@@ -339,6 +352,8 @@ func (e *Engine) ShardCount() int {
 func (e *Engine) IndexStats() index.Stats {
 	box := e.box()
 	switch {
+	case box.dist != nil:
+		return box.dist.IndexStats()
 	case box.live != nil:
 		return box.live.IndexStats()
 	case box.sh != nil:
@@ -398,6 +413,15 @@ func (e *Engine) ensureLive() *update.Engine {
 // ownership of n. Returns the entity's Dewey ID — the handle
 // RemoveEntity accepts.
 func (e *Engine) AddEntity(n *xmltree.Node) (dewey.ID, error) {
+	if d := e.box().dist; d != nil {
+		id, err := d.AddEntity(n)
+		if err != nil {
+			return nil, err
+		}
+		e.purgeCaches()
+		e.maybeAutoCompactDist(d)
+		return id, nil
+	}
 	live := e.ensureLive()
 	id, err := live.AddEntity(n)
 	if err != nil {
@@ -411,6 +435,14 @@ func (e *Engine) AddEntity(n *xmltree.Node) (dewey.ID, error) {
 // RemoveEntity removes the top-level entity with the given Dewey ID
 // from the live corpus.
 func (e *Engine) RemoveEntity(id dewey.ID) error {
+	if d := e.box().dist; d != nil {
+		if err := d.RemoveEntity(id); err != nil {
+			return err
+		}
+		e.purgeCaches()
+		e.maybeAutoCompactDist(d)
+		return nil
+	}
 	live := e.ensureLive()
 	if err := live.RemoveEntity(id); err != nil {
 		return err
@@ -425,6 +457,13 @@ func (e *Engine) RemoveEntity(id dewey.ID) error {
 // flushed afterwards (entries minted mid-compaction self-invalidate
 // through their epoch tags).
 func (e *Engine) Compact() error {
+	if d := e.box().dist; d != nil {
+		if err := d.Compact(); err != nil {
+			return err
+		}
+		e.purgeCaches()
+		return nil
+	}
 	live := e.box().live
 	if live == nil {
 		return nil // nothing was ever written
@@ -511,6 +550,15 @@ func (e *Engine) Metrics() Metrics {
 		m.Compactions = box.live.Compactions()
 		m.Epoch = box.live.Epoch()
 		m.PendingDelta, m.PendingTombstones = box.live.Pending()
+	}
+	if box.dist != nil {
+		m.Shards = box.dist.LegCount()
+		m.DistLegs = box.dist.LegCount()
+		m.Updates = box.dist.Updates()
+		m.Compactions = box.dist.Compactions()
+		m.Epoch = box.dist.Epoch()
+		m.PendingDelta = box.dist.PendingOps()
+		m.DistRetries, m.DistHedges, m.DistDegraded, m.DistLegErrs = box.dist.DistCounters()
 	}
 	e.queryMu.Lock()
 	m.QueryCacheLen = e.queries.len()

@@ -2,11 +2,9 @@ package shard
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/dewey"
 	"repro/internal/index"
 	"repro/internal/xmltree"
 	"repro/internal/xseek"
@@ -17,10 +15,14 @@ import (
 // RankResults, RankPage, CorpusStats — and guarantees identical
 // output; only the execution strategy (per-shard fan-out and merge)
 // differs. All methods are safe for concurrent use.
+//
+// The query pipeline itself lives in the embedded Fanout, which runs
+// over the abstract Leg interface; Engine supplies in-process legs
+// (lazily materialized shard engines) plus everything tied to local
+// index ownership: building, reuse, symbol tables, snapshot hooks.
 type Engine struct {
-	root   *xmltree.Node
-	schema *xseek.Schema
-	part   Partition
+	*Fanout
+
 	// syms is the symbol table shared by the spine index and every
 	// shard built by this engine, so a v4 snapshot writes one symbol
 	// section for all K shards. Indexes adopted from a prior engine
@@ -30,31 +32,8 @@ type Engine struct {
 	syms *index.SymbolTable
 
 	shards []*lazyShard
-	// spine is a pipeline engine over the tiny spine-only index; it
-	// also supplies the entity-map stage for spine-rooted SLCAs.
-	spine *xseek.Engine
-	// spineSet marks spine Dewey IDs; spineByDepth orders the spine
-	// deepest-first for the SLCA fix-up.
-	spineSet     map[string]bool
-	spineByDepth []*xmltree.Node
-	// groupStart[g] is the Dewey ID of group g's first segment, the
-	// ownership boundary for result scoring.
-	groupStart []dewey.ID
-
-	// Whole-corpus ranking constants, aggregated across shards so
-	// per-shard scores are bit-identical to monolithic scores.
-	totalNodes int
-	df         map[string]int
-	idf        map[string]float64
-	// elements is the aggregate count of distinct indexed elements,
-	// carried alongside df so IndexStats never has to materialize a
-	// lazy shard.
-	elements int
 
 	rebuilds atomic.Int64
-	// plannerStreamed counts ranked pages that ran the streamed
-	// fan-out (SearchRankedPageStream).
-	plannerStreamed atomic.Int64
 }
 
 // lazyShard materializes one shard's pipeline engine on first use. A
@@ -147,6 +126,7 @@ func buildReusing(root *xmltree.Node, k int, prior *Engine) (*Engine, int) {
 	}
 	e.elements += e.spine.Index().Stats().IndexedElements
 	e.initRanking(e.aggregateDF())
+	e.initLegs()
 	return e, reused
 }
 
@@ -223,44 +203,31 @@ func FromSourcesShared(root *xmltree.Node, schema *xseek.Schema, k int, df map[s
 		}
 		e.shards[g] = sh
 	}
+	e.initLegs()
 	return e, nil
 }
 
-// newEngine fills in the partition-derived lookup structures shared by
-// Build and FromSources. The IDF table is created empty here and
-// populated by initRanking: every shard engine holds a reference to
-// this one shared map, so shards materialized before and after the
-// frequencies are aggregated see the same weights.
+// newEngine wraps a fresh Fanout (the transport-agnostic pipeline
+// state) with the engine's local index machinery. The spine index is
+// built here through the shared symbol table.
 func newEngine(root *xmltree.Node, schema *xseek.Schema, part Partition, st *index.SymbolTable) *Engine {
 	if st == nil {
 		st = index.NewSymbolTable()
 	}
-	e := &Engine{
-		root:       root,
-		schema:     schema,
-		part:       part,
-		syms:       st,
-		totalNodes: part.NodeCount, // == root.CountNodes(), free from the partition walk
-		idf:        make(map[string]float64),
-		spineSet:   make(map[string]bool, len(part.Spine)),
+	return &Engine{
+		Fanout: newFanout(root, schema, part, index.BuildNodesShared(root, part.Spine, st)),
+		syms:   st,
 	}
-	for _, n := range part.Spine {
-		e.spineSet[n.ID.String()] = true
+}
+
+// initLegs installs the in-process legs over the engine's shard slots.
+// Must run after e.shards is populated; the legs share the fan-out's
+// spine set so their kept-filters agree with the merge layer.
+func (e *Engine) initLegs() {
+	e.legs = make([]Leg, len(e.shards))
+	for g, sh := range e.shards {
+		e.legs[g] = &localLeg{root: e.root, schema: e.schema, spineSet: e.own.spineSet, sh: sh}
 	}
-	e.spineByDepth = append(e.spineByDepth, part.Spine...)
-	sort.SliceStable(e.spineByDepth, func(i, j int) bool {
-		return e.spineByDepth[i].ID.Level() > e.spineByDepth[j].ID.Level()
-	})
-	e.groupStart = make([]dewey.ID, len(part.Groups))
-	for g, r := range part.Groups {
-		if r[0] < r[1] {
-			e.groupStart[g] = part.Segments[r[0]].ID
-		} else {
-			e.groupStart[g] = dewey.Root() // empty group: owns nothing
-		}
-	}
-	e.spine = xseek.FromPartsRanked(root, index.BuildNodesShared(root, part.Spine, st), schema, e.totalNodes, e.idf)
-	return e
 }
 
 // Symbols returns the symbol table shared by the spine and the shards
@@ -282,15 +249,6 @@ func (e *Engine) MemStats() index.MemStats {
 	return ms
 }
 
-// initRanking installs the whole-corpus term statistics, filling the
-// shared IDF table in place.
-func (e *Engine) initRanking(df map[string]int) {
-	e.df = df
-	for t, n := range df {
-		e.idf[t] = xseek.IDF(e.totalNodes, n)
-	}
-}
-
 // aggregateDF sums document frequencies over every shard index plus
 // the spine index. Shard node sets are disjoint, so the sums equal the
 // monolithic index's frequencies exactly.
@@ -306,25 +264,8 @@ func (e *Engine) aggregateDF() map[string]int {
 	return df
 }
 
-// Root returns the corpus the engine serves.
-func (e *Engine) Root() *xmltree.Node { return e.root }
-
-// Schema returns the (whole-corpus) inferred schema summary.
-func (e *Engine) Schema() *xseek.Schema { return e.schema }
-
-// Partition returns the segment/spine split the shards were built on.
-func (e *Engine) Partition() Partition { return e.part }
-
 // ShardCount returns K, the number of index shards.
 func (e *Engine) ShardCount() int { return len(e.shards) }
-
-// TotalNodes returns the whole-corpus node count.
-func (e *Engine) TotalNodes() int { return e.totalNodes }
-
-// DocFreq returns the number of corpus nodes containing term,
-// aggregated across every shard — the CorpusStats view database
-// selection scores.
-func (e *Engine) DocFreq(term string) int { return e.df[term] }
 
 // Rebuilds reports how many shards were rebuilt from the tree because
 // their snapshot source was missing or corrupt.
@@ -344,32 +285,6 @@ func (e *Engine) PlannerDecisions() (indexedLookup, scanEager int64) {
 	return indexedLookup, scanEager
 }
 
-// IndexStats returns aggregate index statistics equal to the
-// monolithic index's: distinct terms and total postings fall out of
-// the shared frequency table (a posting is one (term, element) pair,
-// so postings sum to Σ df), and the element count is carried from
-// build/snapshot time. No lazy shard is materialized — a metrics
-// probe never forces a section decode.
-func (e *Engine) IndexStats() index.Stats {
-	s := index.Stats{Terms: len(e.df), IndexedElements: e.elements}
-	for _, n := range e.df {
-		s.Postings += n
-	}
-	return s
-}
-
-// TermFrequencies returns a copy of the aggregated per-term document
-// frequencies. The persistence layer snapshots them so a lazy loader
-// can install whole-corpus ranking constants before any shard index
-// has been decoded.
-func (e *Engine) TermFrequencies() map[string]int {
-	out := make(map[string]int, len(e.df))
-	for t, n := range e.df {
-		out[t] = n
-	}
-	return out
-}
-
 // ShardIndexes materializes and returns every shard's inverted index
 // in group order — the persistence layer's save hook.
 func (e *Engine) ShardIndexes() []*index.Index {
@@ -378,19 +293,4 @@ func (e *Engine) ShardIndexes() []*index.Index {
 		out[g] = sh.get().Index()
 	}
 	return out
-}
-
-// ownerShard returns the group owning the subtree at id, or -1 for
-// spine nodes (whose subtrees span shards).
-func (e *Engine) ownerShard(id dewey.ID) int {
-	if e.spineSet[id.String()] {
-		return -1
-	}
-	g := sort.Search(len(e.groupStart), func(i int) bool {
-		return e.groupStart[i].Compare(id) > 0
-	}) - 1
-	if g < 0 {
-		return -1
-	}
-	return g
 }

@@ -10,51 +10,90 @@ import (
 
 // RankResults scores and orders an already-merged result set exactly
 // as a monolithic engine does: every term frequency is counted in the
-// result's owning shard (or summed across shards for spine-rooted
+// result's owning leg (or summed across legs for spine-rooted
 // results), weighted by the shared whole-corpus IDF, and the stable
 // sort keeps document order on ties. Scores are bit-identical to the
 // monolithic ranking.
-func (e *Engine) RankResults(results []*xseek.Result, query string) []*xseek.RankedResult {
-	out := e.scoreResults(results, query)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+//
+// With in-process legs this never fails; over a transport it can, and
+// this executor-shaped signature has no error channel. A failed
+// fan-out returns nil — observably unavailable, never silently wrong.
+// Error-aware callers use RankResultsErr.
+func (f *Fanout) RankResults(results []*xseek.Result, query string) []*xseek.RankedResult {
+	out, err := f.RankResultsErr(results, query)
+	if err != nil {
+		return nil
+	}
 	return out
 }
 
+// RankResultsErr is RankResults with the transport error surfaced.
+func (f *Fanout) RankResultsErr(results []*xseek.Result, query string) ([]*xseek.RankedResult, error) {
+	out, err := f.scoreResults(results, query)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
 // RankPage returns one window of the ranking RankResults would
-// produce without materializing the full cross-shard ranking: the
-// merged result list is split back into its per-shard runs, each shard
+// produce without materializing the full cross-leg ranking: the
+// merged result list is split back into its per-leg runs, each leg
 // heap-selects only its own top Offset+Limit, and a K-way heap merge
 // streams the winners out in global rank order. A window covering the
 // whole set falls back to the full sort, matching xseek.RankPage.
-func (e *Engine) RankPage(results []*xseek.Result, query string, opts xseek.SearchOptions) []*xseek.RankedResult {
+// Like RankResults, a transport failure returns nil.
+func (f *Fanout) RankPage(results []*xseek.Result, query string, opts xseek.SearchOptions) []*xseek.RankedResult {
+	out, err := f.RankPageErr(results, query, opts)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// RankPageErr is RankPage with the transport error surfaced.
+func (f *Fanout) RankPageErr(results []*xseek.Result, query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, error) {
 	lo, hi := opts.Window(len(results))
 	if hi >= len(results) {
-		return e.RankResults(results, query)[lo:]
+		full, err := f.RankResultsErr(results, query)
+		if err != nil {
+			return nil, err
+		}
+		return full[lo:], nil
 	}
 
 	// Split the document-ordered merged list into per-owner runs.
 	// Each run preserves document order, the rank tie-break.
-	runs := make([][]*xseek.Result, len(e.shards)+1) // last bucket: spine-rooted
+	runs := make([][]*xseek.Result, len(f.legs)+1) // last bucket: spine-rooted
 	for _, r := range results {
-		g := e.ownerShard(r.Node.ID)
+		g := f.own.Owner(r.Node.ID)
 		if g < 0 {
-			g = len(e.shards)
+			g = len(f.legs)
 		}
 		runs[g] = append(runs[g], r)
 	}
 
+	lq := LegQuery{Query: query, Terms: index.TokenizeQuery(query), Limit: hi}
 	streams := make([][]*xseek.RankedResult, 0, len(runs))
 	for g, run := range runs {
 		if len(run) == 0 {
 			continue
 		}
-		if g < len(e.shards) {
-			// The shard's own bounded-heap top-k, with the shared IDF:
-			// no shard ever contributes more than hi entries to the
-			// window, so deeper ranks are never computed.
-			streams = append(streams, e.shards[g].get().RankPage(run, query, xseek.SearchOptions{Limit: hi}))
+		if g < len(f.legs) {
+			// The leg's own bounded-heap top-k, with the shared IDF: no
+			// leg ever contributes more than hi entries to the window,
+			// so deeper ranks are never computed.
+			top, err := f.legs[g].RankSubsetLeg(lq, run)
+			if err != nil {
+				return nil, err
+			}
+			streams = append(streams, top)
 		} else {
-			spine := e.scoreResults(run, query)
+			spine, err := f.scoreResults(run, query)
+			if err != nil {
+				return nil, err
+			}
 			sort.SliceStable(spine, func(i, j int) bool { return spine[i].Score > spine[j].Score })
 			if len(spine) > hi {
 				spine = spine[:hi]
@@ -64,33 +103,50 @@ func (e *Engine) RankPage(results []*xseek.Result, query string, opts xseek.Sear
 	}
 
 	merged := mergeRankedStreams(streams, hi)
-	return merged[lo:]
+	return merged[lo:], nil
 }
 
 // scoreResults computes TF-IDF scores in input order with the shared
 // whole-corpus constants — the sharded twin of xseek's scoring stage.
-func (e *Engine) scoreResults(results []*xseek.Result, query string) []*xseek.RankedResult {
+// Frequencies are fetched in one batched probe per leg; accumulation
+// stays in (result, term-occurrence) order so every float operation
+// matches the monolithic scorer's exactly.
+func (f *Fanout) scoreResults(results []*xseek.Result, query string) ([]*xseek.RankedResult, error) {
 	terms := index.TokenizeQuery(query)
-	out := make([]*xseek.RankedResult, len(results))
-	for i, r := range results {
-		score := 0.0
+	type slot struct {
+		ri  int     // result index
+		idf float64 // the occurrence's term weight input
+	}
+	var probes []TFProbe
+	var slots []slot
+	for ri, r := range results {
 		for _, t := range terms {
-			idf, ok := e.idf[t]
+			idf, ok := f.idf[t]
 			if !ok {
 				continue
 			}
-			tf := e.tfUnder(t, r.Node.ID)
-			if tf == 0 {
-				continue
-			}
-			score += xseek.TermWeight(tf, idf)
+			probes = append(probes, TFProbe{Term: t, ID: r.Node.ID})
+			slots = append(slots, slot{ri: ri, idf: idf})
 		}
-		out[i] = &xseek.RankedResult{Result: r, Score: score}
 	}
-	return out
+	counts, err := f.tfCounts(probes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*xseek.RankedResult, len(results))
+	for ri, r := range results {
+		out[ri] = &xseek.RankedResult{Result: r}
+	}
+	for si, s := range slots {
+		if counts[si] == 0 {
+			continue
+		}
+		out[s.ri].Score += xseek.TermWeight(counts[si], s.idf)
+	}
+	return out, nil
 }
 
-// mergeHeap is a max-heap over the heads of per-shard ranked streams,
+// mergeHeap is a max-heap over the heads of per-leg ranked streams,
 // ordered by (score desc, document order asc) — the exact key of the
 // monolithic stable ranking, since each stream's entries carry
 // strictly increasing document positions.
@@ -116,7 +172,7 @@ func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*rankedStream)) }
 func (h *mergeHeap) Pop() any     { old := *h; n := len(old) - 1; s := old[n]; *h = old[:n]; return s }
 
 // mergeRankedStreams streams the first max entries of the merged
-// ranking out of the per-shard streams.
+// ranking out of the per-leg streams.
 func mergeRankedStreams(streams [][]*xseek.RankedResult, max int) []*xseek.RankedResult {
 	h := make(mergeHeap, 0, len(streams))
 	for _, s := range streams {
@@ -140,17 +196,17 @@ func mergeRankedStreams(streams [][]*xseek.RankedResult, max int) []*xseek.Ranke
 }
 
 // CleanQuery spell-corrects each keyword against the union vocabulary
-// of every shard, with the same candidate ranking (distance, then
+// of every leg, with the same candidate ranking (distance, then
 // aggregate frequency, then term) a monolithic index uses.
-func (e *Engine) CleanQuery(query string) []string {
+func (f *Fanout) CleanQuery(query string) []string {
 	terms := index.TokenizeQuery(query)
 	out := make([]string, len(terms))
 	for i, t := range terms {
-		if e.df[t] > 0 {
+		if f.df[t] > 0 {
 			out[i] = t
 			continue
 		}
-		if sugg := index.SuggestIn(e.eachTerm, t, 2); len(sugg) > 0 {
+		if sugg := index.SuggestIn(f.eachTerm, t, 2); len(sugg) > 0 {
 			out[i] = sugg[0]
 		} else {
 			out[i] = t
@@ -161,8 +217,8 @@ func (e *Engine) CleanQuery(query string) []string {
 
 // eachTerm iterates the aggregated (term, document frequency)
 // vocabulary.
-func (e *Engine) eachTerm(f func(term string, df int)) {
-	for t, n := range e.df {
-		f(t, n)
+func (f *Fanout) eachTerm(fn func(term string, df int)) {
+	for t, n := range f.df {
+		fn(t, n)
 	}
 }

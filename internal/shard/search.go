@@ -1,27 +1,31 @@
 package shard
 
 import (
-	"errors"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dewey"
 	"repro/internal/index"
+	"repro/internal/xmltree"
 	"repro/internal/xseek"
 )
 
-// Search runs a keyword query across every shard and merges, returning
+// Search runs a keyword query across every leg and merges, returning
 // exactly the result list a monolithic engine produces: same result
 // set, same document order, same labels, same NoMatchError for
 // globally absent keywords.
 //
-// The per-shard leg runs the ordinary xseek pipeline (compile → plan →
-// SLCA → entity-map) over the shard's index; a keyword absent from one
-// shard just silences that shard, not the query. Shard-local SLCAs
-// that land on spine nodes are cross-segment artifacts and are
-// discarded; the spine fix-up then re-derives the true spine SLCAs
-// with whole-corpus knowledge.
-func (e *Engine) Search(query string) ([]*xseek.Result, error) {
+// The per-leg work (compile → plan → SLCA → entity-map over the
+// group's index, spine filtering) lives behind the Leg interface;
+// leg-local SLCAs that land on spine nodes are cross-segment
+// artifacts and are discarded there, then the spine fix-up re-derives
+// the true spine SLCAs with whole-corpus knowledge.
+//
+// The doc-order path is always strict: any leg failure fails the
+// query, whatever the failure policy, because a missing leg's segment
+// SLCAs could promote spurious spine SLCAs — a wrong answer, not a
+// partial one.
+func (f *Fanout) Search(query string) ([]*xseek.Result, error) {
 	terms := index.TokenizeQuery(query)
 	if len(terms) == 0 {
 		return nil, xseek.ErrEmptyQuery
@@ -31,7 +35,7 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 	// term order).
 	var missing []string
 	for _, t := range terms {
-		if e.df[t] == 0 {
+		if f.df[t] == 0 {
 			missing = append(missing, t)
 		}
 	}
@@ -39,47 +43,28 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 		return nil, &index.NoMatchError{Terms: missing}
 	}
 
-	type shardOut struct {
-		slcas   []dewey.ID      // segment-internal SLCAs, document order
-		results []*xseek.Result // their entity-mapped results
-		err     error
-	}
-	outs := make([]shardOut, len(e.shards))
-	core.ForEachParallel(len(e.shards), 0, func(g int) {
-		sh := e.shards[g].get()
-		q, err := sh.Compile(query)
-		if err != nil {
-			// A keyword missing from this shard only means no SLCA can
-			// fall inside it; other shards (or the spine) still answer.
-			var noMatch *index.NoMatchError
-			if !errors.As(err, &noMatch) {
-				outs[g].err = err
-			}
-			return
-		}
-		ids := q.SLCAs()
-		kept := make([]dewey.ID, 0, len(ids))
-		for _, id := range ids {
-			if !e.spineSet[id.String()] {
-				kept = append(kept, id)
-			}
-		}
-		rs, err := sh.MapToEntities(kept)
-		outs[g] = shardOut{slcas: kept, results: rs, err: err}
+	lq := LegQuery{Query: query, Terms: terms}
+	outs := make([]LegDocs, len(f.legs))
+	errs := make([]error, len(f.legs))
+	core.ForEachParallel(len(f.legs), 0, func(g int) {
+		outs[g], errs[g] = f.legs[g].SearchLeg(lq)
 	})
 	var merged []*xseek.Result
 	var segSLCAs []dewey.ID // all kept SLCAs; sorted, since groups are contiguous
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
+	for g, o := range outs {
+		if errs[g] != nil {
+			return nil, errs[g]
 		}
-		merged = append(merged, o.results...)
-		segSLCAs = append(segSLCAs, o.slcas...)
+		merged = append(merged, o.Results...)
+		segSLCAs = append(segSLCAs, o.SLCAs...)
 	}
 
-	spineIDs := e.spineSLCAs(terms, segSLCAs)
+	spineIDs, err := f.spineSLCAs(terms, segSLCAs)
+	if err != nil {
+		return nil, err
+	}
 	if len(spineIDs) > 0 {
-		spineRes, err := e.spine.MapToEntities(spineIDs)
+		spineRes, err := f.spine.MapToEntities(spineIDs)
 		if err != nil {
 			return nil, err
 		}
@@ -93,18 +78,37 @@ func (e *Engine) Search(query string) ([]*xseek.Result, error) {
 // deepest-first, a node is an SLCA exactly when every keyword has a
 // witness somewhere in its subtree and no already-established SLCA
 // (segment-internal or deeper spine) lies strictly below it. The spine
-// is tiny (root plus wrappers above the topmost entities), so this is
-// a handful of binary searches per query.
-func (e *Engine) spineSLCAs(terms []string, segSLCAs []dewey.ID) []dewey.ID {
-	var accepted []dewey.ID
-	for _, n := range e.spineByDepth {
-		// Cheap disqualifiers first: a single binary search over the
-		// segment SLCAs (and a scan of the few accepted deeper spine
-		// nodes) usually rejects the node before the per-term witness
-		// counting ever runs.
-		if hasStrictDescendant(segSLCAs, n.ID) {
-			continue
+// is tiny (root plus wrappers above the topmost entities), so the
+// witness counts amount to one batched probe per leg.
+func (f *Fanout) spineSLCAs(terms []string, segSLCAs []dewey.ID) ([]dewey.ID, error) {
+	// Candidates surviving the cheap disqualifier (a binary search over
+	// the segment SLCAs); their witness counts are fetched in one
+	// batch. A candidate later disqualified by a deeper accepted spine
+	// node just ignores its counts — over-fetching is harmless and
+	// keeps the remote round trips at one per leg.
+	cands := make([]*xmltree.Node, 0, len(f.spineByDepth))
+	for _, n := range f.spineByDepth {
+		if !hasStrictDescendant(segSLCAs, n.ID) {
+			cands = append(cands, n)
 		}
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	uniq := uniqueTerms(terms)
+	probes := make([]TFProbe, 0, len(cands)*len(uniq))
+	for _, n := range cands {
+		for _, t := range uniq {
+			probes = append(probes, TFProbe{Term: t, ID: n.ID})
+		}
+	}
+	counts, err := f.tfCounts(probes)
+	if err != nil {
+		return nil, err
+	}
+
+	var accepted []dewey.ID
+	for ci, n := range cands {
 		below := false
 		for _, a := range accepted {
 			if n.ID.IsAncestorOf(a) {
@@ -115,40 +119,34 @@ func (e *Engine) spineSLCAs(terms []string, segSLCAs []dewey.ID) []dewey.ID {
 		if below {
 			continue
 		}
-		if !e.candidateUnder(n.ID, terms) {
+		witness := true
+		for ti := range uniq {
+			if counts[ci*len(uniq)+ti] == 0 {
+				witness = false
+				break
+			}
+		}
+		if !witness {
 			continue
 		}
 		accepted = append(accepted, n.ID)
 	}
 	sort.Slice(accepted, func(i, j int) bool { return accepted[i].Compare(accepted[j]) < 0 })
-	return accepted
+	return accepted, nil
 }
 
-// candidateUnder reports whether every term has at least one posting
-// inside the subtree at id, summing witnesses across all shard indexes
-// and the spine index.
-func (e *Engine) candidateUnder(id dewey.ID, terms []string) bool {
+// uniqueTerms returns the terms with duplicates dropped, preserving
+// first-occurrence order.
+func uniqueTerms(terms []string) []string {
+	seen := make(map[string]bool, len(terms))
+	out := make([]string, 0, len(terms))
 	for _, t := range terms {
-		if e.tfUnder(t, id) == 0 {
-			return false
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
 		}
 	}
-	return true
-}
-
-// tfUnder counts the postings of term inside the subtree at id. For a
-// segment-owned subtree one shard answers; for a spine subtree the
-// disjoint shard and spine counts sum to exactly the monolithic
-// index's count.
-func (e *Engine) tfUnder(term string, id dewey.ID) int {
-	if g := e.ownerShard(id); g >= 0 {
-		return index.CountUnder(e.shards[g].get().Index().Lookup(term), id)
-	}
-	tf := index.CountUnder(e.spine.Index().Lookup(term), id)
-	for _, sh := range e.shards {
-		tf += index.CountUnder(sh.get().Index().Lookup(term), id)
-	}
-	return tf
+	return out
 }
 
 // hasStrictDescendant reports whether the sorted ID list contains a

@@ -1,28 +1,34 @@
 package shard
 
 import (
-	"errors"
-
 	"repro/internal/core"
 	"repro/internal/dewey"
 	"repro/internal/index"
-	"repro/internal/slca"
 	"repro/internal/xseek"
 )
 
-// This file is the fan-out's streamed ranked path: each shard runs the
+// This file is the fan-out's streamed ranked path: each leg runs the
 // lazy SLCA → entity → bounded-heap pipeline over its own index
 // (collecting its kept SLCAs on the fly for the spine fix-up), and the
-// per-shard top lists merge through the existing K-way rank merge. No
-// shard ever materializes its full result list — only its top
+// per-leg top lists merge through the existing K-way rank merge. No
+// leg ever materializes its full result list — only its top
 // Offset+Limit survive per leg — yet the page, scores, and total are
 // bit-identical to Search + RankPage.
 
 // SearchRankedPageStream returns the options' window of the relevance
-// ranking plus the exact total, running every shard leg streamed. An
+// ranking plus the exact total, running every leg streamed. An
 // unbounded window (Limit <= 0) has nothing to terminate early and
 // falls back to the eager path.
-func (e *Engine) SearchRankedPageStream(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, error) {
+func (f *Fanout) SearchRankedPageStream(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, error) {
+	page, total, _, err := f.rankedPage(query, opts, false)
+	return page, total, err
+}
+
+// rankedPage is the shared ranked fan-out behind the streamed and
+// score-bounded (wand) paths; the two differ only in which consumer a
+// leg runs and whether a shared threshold circulates.
+func (f *Fanout) rankedPage(query string, opts xseek.SearchOptions, wand bool) ([]*xseek.RankedResult, int, xseek.WANDStats, error) {
+	var zero xseek.WANDStats
 	lo := opts.Offset
 	if lo < 0 {
 		lo = 0
@@ -34,89 +40,95 @@ func (e *Engine) SearchRankedPageStream(query string, opts xseek.SearchOptions) 
 		}
 	}
 	if hi == 0 {
-		results, err := e.Search(query)
+		results, err := f.Search(query)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, zero, err
 		}
-		return e.RankPage(results, query, opts), len(results), nil
+		page, err := f.RankPageErr(results, query, opts)
+		if err != nil {
+			return nil, 0, zero, err
+		}
+		return page, len(results), zero, nil
 	}
 
 	terms := index.TokenizeQuery(query)
 	if len(terms) == 0 {
-		return nil, 0, xseek.ErrEmptyQuery
+		return nil, 0, zero, xseek.ErrEmptyQuery
 	}
 	var missing []string
 	for _, t := range terms {
-		if e.df[t] == 0 {
+		if f.df[t] == 0 {
 			missing = append(missing, t)
 		}
 	}
 	if len(missing) > 0 {
-		return nil, 0, &index.NoMatchError{Terms: missing}
+		return nil, 0, zero, &index.NoMatchError{Terms: missing}
 	}
-	e.plannerStreamed.Add(1)
+	f.plannerStreamed.Add(1)
 
-	type shardOut struct {
-		top   []*xseek.RankedResult // the shard's own top-hi, rank order
-		slcas []dewey.ID            // kept (non-spine) SLCAs, document order
-		total int                   // the shard's full entity-result count
-		err   error
+	lq := LegQuery{Query: query, Terms: terms, Limit: hi, WAND: wand, Accuracy: opts.Accuracy}
+	var shared *xseek.SharedThreshold
+	if wand {
+		shared = &xseek.SharedThreshold{}
 	}
-	outs := make([]shardOut, len(e.shards))
-	core.ForEachParallel(len(e.shards), 0, func(g int) {
-		sh := e.shards[g].get()
-		q, err := sh.Compile(query)
-		if err != nil {
-			// A keyword missing from this shard silences the shard only.
-			var noMatch *index.NoMatchError
-			if !errors.As(err, &noMatch) {
-				outs[g].err = err
-			}
-			return
-		}
-		it, err := q.SLCAIter()
-		if err != nil {
-			outs[g].err = err
-			return
-		}
-		// Drop cross-segment artifacts (spine-owned SLCAs) before entity
-		// mapping, collecting the survivors for the spine fix-up — the
-		// streamed twin of the kept-filter in Search.
-		filtered := slca.FilterTee(it,
-			func(id dewey.ID) bool { return !e.spineSet[id.String()] },
-			func(id dewey.ID) { outs[g].slcas = append(outs[g].slcas, id) },
-		)
-		es := xseek.NewEntityStream(filtered, e.root, e.schema)
-		top, total, err := xseek.ConsumeRankedStream(es, xseek.SearchOptions{Limit: hi}, sh.StreamScorer(terms))
-		outs[g].top, outs[g].total, outs[g].err = top, total, err
+	outs := make([]LegPage, len(f.legs))
+	errs := make([]error, len(f.legs))
+	core.ForEachParallel(len(f.legs), 0, func(g int) {
+		outs[g], errs[g] = f.legs[g].RankedLeg(lq, shared)
 	})
 
+	var st xseek.WANDStats
 	total := 0
+	degraded := false
 	var segSLCAs []dewey.ID // groups are contiguous, so the concat is sorted
 	streams := make([][]*xseek.RankedResult, 0, len(outs)+1)
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, 0, o.err
+	for g, o := range outs {
+		if errs[g] != nil {
+			// The failure policy may trade completeness for availability:
+			// the failed leg's contribution is dropped, the page degrades
+			// (spine fix-up skipped, total unknowable), and the caller
+			// sees the loss via the flagged total — partial, never
+			// silently wrong.
+			if f.onLegErr != nil {
+				if err := f.onLegErr(g, errs[g]); err == nil {
+					degraded = true
+					continue
+				}
+			}
+			return nil, 0, st, errs[g]
 		}
-		total += o.total
-		segSLCAs = append(segSLCAs, o.slcas...)
-		if len(o.top) > 0 {
-			streams = append(streams, o.top)
+		st.Add(o.Stats)
+		if o.Total >= 0 {
+			total += o.Total
+		}
+		segSLCAs = append(segSLCAs, o.SLCAs...)
+		if len(o.Top) > 0 {
+			streams = append(streams, o.Top)
 		}
 	}
 
 	// Spine fix-up with whole-corpus knowledge, exactly as in Search;
 	// the handful of spine results is scored and cut like the eager
-	// RankPage's spine bucket.
-	if spineIDs := e.spineSLCAs(terms, segSLCAs); len(spineIDs) > 0 {
-		spineRes, err := e.spine.MapToEntities(spineIDs)
+	// RankPage's spine bucket. A degraded run skips it: the fix-up
+	// needs every leg's kept SLCAs and witness counts to be sound.
+	if !degraded {
+		spineIDs, err := f.spineSLCAs(terms, segSLCAs)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, st, err
 		}
-		total += len(spineRes)
-		spine := e.RankPage(spineRes, query, xseek.SearchOptions{Limit: hi})
-		if len(spine) > 0 {
-			streams = append(streams, spine)
+		if len(spineIDs) > 0 {
+			spineRes, err := f.spine.MapToEntities(spineIDs)
+			if err != nil {
+				return nil, 0, st, err
+			}
+			total += len(spineRes)
+			spine, err := f.RankPageErr(spineRes, query, xseek.SearchOptions{Limit: hi})
+			if err != nil {
+				return nil, 0, st, err
+			}
+			if len(spine) > 0 {
+				streams = append(streams, spine)
+			}
 		}
 	}
 
@@ -124,16 +136,21 @@ func (e *Engine) SearchRankedPageStream(query string, opts xseek.SearchOptions) 
 	if lo > len(merged) {
 		lo = len(merged)
 	}
-	return merged[lo:], total, nil
+	if st.Terminated || degraded {
+		// Some leg abandoned its drain (or was dropped); its count (and
+		// so the sum) is meaningless.
+		total = xseek.StreamTotalUnknown
+	}
+	return merged[lo:], total, st, nil
 }
 
 // SearchStream returns a doc-order result cursor. The fan-out's
-// doc-order answer needs every shard's results merged before the first
+// doc-order answer needs every leg's results merged before the first
 // emission can be trusted, so this materializes via Search and wraps
-// the list — a true per-shard lazy merge is future work; the serving
+// the list — a true per-leg lazy merge is future work; the serving
 // layer's cursor cache still benefits from the uniform interface.
-func (e *Engine) SearchStream(query string) (xseek.Cursor, error) {
-	results, err := e.Search(query)
+func (f *Fanout) SearchStream(query string) (xseek.Cursor, error) {
+	results, err := f.Search(query)
 	if err != nil {
 		return nil, err
 	}
@@ -143,14 +160,14 @@ func (e *Engine) SearchStream(query string) (xseek.Cursor, error) {
 // EstimateResults bounds the query's result count for stream planning:
 // the smallest aggregate document frequency, 0 when the query cannot
 // match anywhere.
-func (e *Engine) EstimateResults(query string) int {
+func (f *Fanout) EstimateResults(query string) int {
 	terms := index.TokenizeQuery(query)
 	if len(terms) == 0 {
 		return 0
 	}
 	est := -1
 	for _, t := range terms {
-		df := e.df[t]
+		df := f.df[t]
 		if df == 0 {
 			return 0
 		}
@@ -160,7 +177,3 @@ func (e *Engine) EstimateResults(query string) int {
 	}
 	return est
 }
-
-// StreamedDecisions reports how many ranked pages ran the streamed
-// fan-out on this engine.
-func (e *Engine) StreamedDecisions() int64 { return e.plannerStreamed.Load() }

@@ -1,12 +1,6 @@
 package shard
 
 import (
-	"errors"
-
-	"repro/internal/core"
-	"repro/internal/dewey"
-	"repro/internal/index"
-	"repro/internal/slca"
 	"repro/internal/xseek"
 )
 
@@ -14,129 +8,25 @@ import (
 // with block-max pruning in every leg, plus one shared monotone
 // threshold — each leg publishes its own k-th-best score as its heap
 // fills, so a slow leg can prune with the global bar, not just its
-// own. Leg scoring (and therefore leg bounds) is shard-local: a
-// shard's hits lie inside its own segments, and spine-owned SLCAs are
+// own. Leg scoring (and therefore leg bounds) is leg-local: a leg's
+// hits lie inside its own segments, and spine-owned SLCAs are
 // filtered out and fixed up eagerly afterwards, exactly as in the
 // plain streamed path. Cross-leg pruning uses strict comparison only:
 // a pruned entity scores strictly below the final global k-th score,
 // so it can affect neither membership nor tie order of the page.
+//
+// Over a transport the threshold circulates as per-leg score floors: a
+// remote leg starts from a snapshot of the shared bar and reports its
+// final bar back. Any snapshot is a lower bound on the global k-th
+// best score, so staleness only costs pruning opportunity, never
+// correctness.
 
 // SearchRankedPageWAND returns the options' window of the relevance
-// ranking with score-bounded pruning in every shard leg. Exact mode
-// is bit-identical to SearchRankedPageStream (and the eager path);
+// ranking with score-bounded pruning in every leg. Exact mode is
+// bit-identical to SearchRankedPageStream (and the eager path);
 // approximate mode may stop draining legs early, reporting
 // StreamTotalUnknown as the total. An unbounded window falls back to
 // the eager path, like the streamed twin.
-func (e *Engine) SearchRankedPageWAND(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, xseek.WANDStats, error) {
-	lo := opts.Offset
-	if lo < 0 {
-		lo = 0
-	}
-	hi := 0
-	if opts.Limit > 0 {
-		if n := lo + opts.Limit; n > lo { // overflow-safe, mirroring Window
-			hi = n
-		}
-	}
-	if hi == 0 {
-		results, err := e.Search(query)
-		if err != nil {
-			return nil, 0, xseek.WANDStats{}, err
-		}
-		return e.RankPage(results, query, opts), len(results), xseek.WANDStats{}, nil
-	}
-
-	terms := index.TokenizeQuery(query)
-	if len(terms) == 0 {
-		return nil, 0, xseek.WANDStats{}, xseek.ErrEmptyQuery
-	}
-	var missing []string
-	for _, t := range terms {
-		if e.df[t] == 0 {
-			missing = append(missing, t)
-		}
-	}
-	if len(missing) > 0 {
-		return nil, 0, xseek.WANDStats{}, &index.NoMatchError{Terms: missing}
-	}
-	e.plannerStreamed.Add(1)
-
-	shared := &xseek.SharedThreshold{}
-	legOpts := xseek.SearchOptions{Limit: hi, Accuracy: opts.Accuracy}
-	type shardOut struct {
-		top   []*xseek.RankedResult // the shard's own top-hi, rank order
-		slcas []dewey.ID            // kept (non-spine) SLCAs, document order
-		total int                   // the shard's full entity-result count
-		stats xseek.WANDStats
-		err   error
-	}
-	outs := make([]shardOut, len(e.shards))
-	core.ForEachParallel(len(e.shards), 0, func(g int) {
-		sh := e.shards[g].get()
-		q, err := sh.Compile(query)
-		if err != nil {
-			// A keyword missing from this shard silences the shard only.
-			var noMatch *index.NoMatchError
-			if !errors.As(err, &noMatch) {
-				outs[g].err = err
-			}
-			return
-		}
-		it, err := q.SLCAIter()
-		if err != nil {
-			outs[g].err = err
-			return
-		}
-		filtered := slca.FilterTee(it,
-			func(id dewey.ID) bool { return !e.spineSet[id.String()] },
-			func(id dewey.ID) { outs[g].slcas = append(outs[g].slcas, id) },
-		)
-		es := xseek.NewEntityStream(filtered, e.root, e.schema)
-		top, total, stats, err := xseek.ConsumeRankedWAND(es, legOpts, sh.StreamScorer(terms), sh.TermBounds(terms), shared)
-		outs[g].top, outs[g].total, outs[g].stats, outs[g].err = top, total, stats, err
-	})
-
-	var st xseek.WANDStats
-	total := 0
-	var segSLCAs []dewey.ID // groups are contiguous, so the concat is sorted
-	streams := make([][]*xseek.RankedResult, 0, len(outs)+1)
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, 0, st, o.err
-		}
-		st.Add(o.stats)
-		if o.total >= 0 {
-			total += o.total
-		}
-		segSLCAs = append(segSLCAs, o.slcas...)
-		if len(o.top) > 0 {
-			streams = append(streams, o.top)
-		}
-	}
-
-	// Spine fix-up with whole-corpus knowledge, exactly as in the
-	// streamed path. Spine results never enter a leg's pruning, so the
-	// fix-up is unaffected by the cutoffs.
-	if spineIDs := e.spineSLCAs(terms, segSLCAs); len(spineIDs) > 0 {
-		spineRes, err := e.spine.MapToEntities(spineIDs)
-		if err != nil {
-			return nil, 0, st, err
-		}
-		total += len(spineRes)
-		spine := e.RankPage(spineRes, query, xseek.SearchOptions{Limit: hi})
-		if len(spine) > 0 {
-			streams = append(streams, spine)
-		}
-	}
-
-	merged := mergeRankedStreams(streams, hi)
-	if lo > len(merged) {
-		lo = len(merged)
-	}
-	if st.Terminated {
-		// Some leg abandoned its drain; its count (and so the sum) is
-		// meaningless.
-		total = xseek.StreamTotalUnknown
-	}
-	return merged[lo:], total, st, nil
+func (f *Fanout) SearchRankedPageWAND(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, xseek.WANDStats, error) {
+	return f.rankedPage(query, opts, true)
 }

@@ -1,6 +1,7 @@
 package xmltree
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/dewey"
@@ -232,15 +233,45 @@ func (n *Node) AssignIDs(base dewey.ID) {
 
 // NodeAt resolves a Dewey ID relative to n (n has the empty relative
 // path). It returns nil if the path walks off the tree.
+//
+// On trees whose ordinals are contiguous, ordinal = child position and
+// the walk is pure indexing. A live tree can carry ordinal holes after
+// removals (ordinals are never reused); there the positional candidate
+// carries a different ID and a binary search over the ordinal-sorted
+// children resolves the step instead.
 func (n *Node) NodeAt(id dewey.ID) *Node {
 	cur := n
 	for _, ord := range id {
-		if cur == nil || ord < 0 || ord >= len(cur.Children) {
+		if cur == nil || ord < 0 {
 			return nil
 		}
-		cur = cur.Children[ord]
+		cur = childAt(cur, ord)
 	}
 	return cur
+}
+
+// childAt finds the child carrying ordinal ord: positional fast path,
+// with a binary search fallback for trees with ordinal holes. A
+// positional candidate without an assigned ID is trusted as-is (ID-less
+// trees have no holes to account for).
+func childAt(parent *Node, ord int) *Node {
+	cs := parent.Children
+	if ord < len(cs) {
+		cid := cs[ord].ID
+		if len(cid) == 0 || cid[len(cid)-1] == ord {
+			return cs[ord]
+		}
+	}
+	k := sort.Search(len(cs), func(i int) bool {
+		cid := cs[i].ID
+		return len(cid) > 0 && cid[len(cid)-1] >= ord
+	})
+	if k < len(cs) {
+		if cid := cs[k].ID; len(cid) > 0 && cid[len(cid)-1] == ord {
+			return cs[k]
+		}
+	}
+	return nil
 }
 
 // Depth returns the number of ancestors of n (root = 0), computed via
