@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dewey"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/snippet"
@@ -172,6 +173,14 @@ func (s *server) apiSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		if errors.Is(err, dist.ErrOverloaded) {
+			// Admission control shed this ranked query: load protection,
+			// not failure — nothing changed; the caller should back off
+			// briefly and retry.
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		var noMatch *index.NoMatchError
 		if !errors.As(err, &noMatch) {
 			writeJSONError(w, http.StatusBadRequest, err.Error())

@@ -52,19 +52,26 @@ func groupSnapshotFile(slug string, seed int64, shardID int) string {
 
 // runShardServer serves one shard leg of every dataset. With a
 // snapshot dir, each corpus is restored from its group snapshot when
-// one is present (resuming at the pre-crash epoch) and bootstrapped
-// fresh otherwise; /shard/v1/snapshot serves the bytes a replacement
-// process restores from.
-func runShardServer(addr string, seed int64, shardID, shardCount int, snapshotDir string) error {
+// one is present (resuming at the pre-crash epoch); with a peer, a
+// live replica is asked for its snapshot too, and whichever source is
+// at the higher epoch wins — the self-healing path that lets a
+// replica rejoin a cluster that moved on while it was down. With
+// neither (or when both fail) the corpus bootstraps fresh at epoch 0;
+// /shard/v1/snapshot serves the bytes a replacement process restores
+// from.
+func runShardServer(addr string, seed int64, shardID, shardCount int, snapshotDir, peer string) error {
 	srv, err := dist.NewServer(shardID, shardCount)
 	if err != nil {
 		return err
 	}
 	for _, d := range datasetDefs(seed) {
-		if snapshotDir != "" {
-			path := filepath.Join(snapshotDir, groupSnapshotFile(d.slug, seed, shardID))
-			if restoreGroup(srv, d.name, path) {
+		snap := loadGroupSnapshot(d, seed, shardID, snapshotDir, peer)
+		if snap != nil {
+			if err := srv.RestoreCorpus(d.name, snap); err == nil {
+				log.Printf("xsactd: %s: restored at epoch %d", d.name, snap.Epoch)
 				continue
+			} else {
+				log.Printf("xsactd: %s: restore failed (%v); bootstrapping fresh", d.name, err)
 			}
 		}
 		if err := srv.AddCorpus(d.name, d.gen()); err != nil {
@@ -75,27 +82,46 @@ func runShardServer(addr string, seed int64, shardID, shardCount int, snapshotDi
 	return http.ListenAndServe(addr, srv)
 }
 
-// restoreGroup loads one corpus from a group snapshot file, reporting
-// whether the restore succeeded. Failures are never fatal — a missing
-// or corrupt snapshot just costs a fresh bootstrap (at epoch 0; the
-// coordinator's Dial validation catches a leg that lost its writes).
-func restoreGroup(srv *dist.Server, name, path string) bool {
+// loadGroupSnapshot picks one corpus's best restore source: the local
+// group snapshot file, a live peer replica's snapshot, or neither.
+// When both are available the higher epoch wins — a local file that
+// survived the crash may still be stale against a peer that kept
+// taking writes. Failures are never fatal — a missing or corrupt
+// source just costs a fresh bootstrap (at epoch 0; the coordinator's
+// Dial validation catches a leg that lost its writes).
+func loadGroupSnapshot(d datasetDef, seed int64, shardID int, snapshotDir, peer string) *persist.GroupSnapshot {
+	var local *persist.GroupSnapshot
+	if snapshotDir != "" {
+		path := filepath.Join(snapshotDir, groupSnapshotFile(d.slug, seed, shardID))
+		local = readGroupFile(d.name, path)
+	}
+	if peer != "" {
+		remote, err := dist.FetchSnapshot(peer, d.name, 0)
+		if err != nil {
+			log.Printf("xsactd: %s: peer snapshot from %s unavailable (%v)", d.name, peer, err)
+		} else if local == nil || remote.Epoch > local.Epoch {
+			if local != nil {
+				log.Printf("xsactd: %s: local snapshot stale (epoch %d < peer %d); using peer", d.name, local.Epoch, remote.Epoch)
+			}
+			return remote
+		}
+	}
+	return local
+}
+
+// readGroupFile decodes one group snapshot file, nil on any failure.
+func readGroupFile(name, path string) *persist.GroupSnapshot {
 	f, err := os.Open(path)
 	if err != nil {
-		return false
+		return nil
 	}
 	defer f.Close()
 	snap, err := persist.DecodeGroup(f)
 	if err != nil {
-		log.Printf("xsactd: %s: group snapshot %s unusable (%v); bootstrapping fresh", name, path, err)
-		return false
+		log.Printf("xsactd: %s: group snapshot %s unusable (%v)", name, path, err)
+		return nil
 	}
-	if err := srv.RestoreCorpus(name, snap); err != nil {
-		log.Printf("xsactd: %s: restoring %s failed (%v); bootstrapping fresh", name, path, err)
-		return false
-	}
-	log.Printf("xsactd: %s: restored from %s (epoch %d)", name, path, snap.Epoch)
-	return true
+	return snap
 }
 
 // newCoordinatorServer assembles the web server in coordinator mode:
@@ -104,7 +130,11 @@ func restoreGroup(srv *dist.Server, name, path string) bool {
 // retries, streamed routing) the in-process engines use. Engines stay
 // lazy — a dataset's legs are only dialed when the first request
 // touches it.
-func newCoordinatorServer(seed int64, endpoints []string, compactEvery int, cfg dist.Config) (*server, error) {
+func newCoordinatorServer(seed int64, endpoints []string, replicas, compactEvery int, cfg dist.Config) (*server, error) {
+	groups, err := dist.GroupEndpoints(endpoints, replicas)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
 		datasets: make(map[string]*lazyEngine), slugs: make(map[string]string),
 		seed: seed,
@@ -112,7 +142,7 @@ func newCoordinatorServer(seed int64, endpoints []string, compactEvery int, cfg 
 	for _, d := range datasetDefs(seed) {
 		d := d
 		s.datasets[d.name] = &lazyEngine{build: func() *engine.Engine {
-			co, err := dist.Dial(endpoints, d.name, d.gen(), cfg)
+			co, err := dist.DialReplicas(groups, d.name, d.gen(), cfg)
 			if err != nil {
 				log.Printf("xsactd: %s: dialing shard cluster failed: %v", d.name, err)
 				panic(err) // unwinds through lazyEngine; the next request retries

@@ -42,8 +42,8 @@
 // Usage:
 //
 //	xsactd [-addr :8080] [-seed 1] [-snapshot-dir DIR] [-snapshot-format v4|gob] [-shards N] [-compact-every N] [-pprof :6060]
-//	xsactd -shard-server -shard-id I -shard-count K [-addr :9101] [-seed 1] [-snapshot-dir DIR]
-//	xsactd -coordinator URL1,URL2,... [-addr :8080] [-seed 1] [-dist-timeout 5s] [-dist-retries 2] [-dist-hedge 0] [-dist-partial]
+//	xsactd -shard-server -shard-id I -shard-count K [-addr :9101] [-seed 1] [-snapshot-dir DIR] [-peer URL]
+//	xsactd -coordinator URL1,URL2,... [-addr :8080] [-seed 1] [-replicas N] [-max-inflight N] [-dist-timeout 5s] [-dist-retries 2] [-dist-hedge 0] [-dist-partial]
 package main
 
 import (
@@ -72,7 +72,10 @@ func main() {
 		shardServer = flag.Bool("shard-server", false, "serve one shard leg over the wire API instead of the web UI")
 		shardID     = flag.Int("shard-id", 0, "this leg's shard number (with -shard-server)")
 		shardCount  = flag.Int("shard-count", 1, "total shard legs in the cluster (with -shard-server)")
+		peer        = flag.String("peer", "", "live replica base URL to fetch snapshots from when the local one is missing or stale (with -shard-server)")
 		coordinator = flag.String("coordinator", "", "comma-separated shard-server base URLs; serve as the HTTP fan-out coordinator")
+		replicas    = flag.Int("replicas", 1, "replicas per shard group: consecutive coordinator URLs form one group's replica set")
+		maxInflight = flag.Int("max-inflight", 0, "cap concurrently running ranked queries at the coordinator, shedding excess with 503 (0 = no admission control)")
 		distTimeout = flag.Duration("dist-timeout", 5*time.Second, "coordinator per-request leg timeout")
 		distRetries = flag.Int("dist-retries", 2, "coordinator retries per leg call after a transport failure")
 		distHedge   = flag.Duration("dist-hedge", 0, "launch a hedged duplicate leg read after this delay (0 = off)")
@@ -81,20 +84,21 @@ func main() {
 	flag.Parse()
 
 	if *shardServer {
-		log.Fatal(runShardServer(*addr, *seed, *shardID, *shardCount, *snapshotDir))
+		log.Fatal(runShardServer(*addr, *seed, *shardID, *shardCount, *snapshotDir, *peer))
 	}
 
 	var srv *server
 	var err error
 	if *coordinator != "" {
 		cfg := dist.Config{Timeout: *distTimeout, Retries: *distRetries,
-			Hedge: *distHedge, AllowPartial: *distPartial}
-		srv, err = newCoordinatorServer(*seed, strings.Split(*coordinator, ","), *compactEvery, cfg)
+			Hedge: *distHedge, AllowPartial: *distPartial,
+			MaxInflight: *maxInflight}
+		srv, err = newCoordinatorServer(*seed, strings.Split(*coordinator, ","), *replicas, *compactEvery, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xsactd:", err)
 			os.Exit(1)
 		}
-		log.Printf("xsactd coordinator on %s (legs: %s)", *addr, *coordinator)
+		log.Printf("xsactd coordinator on %s (legs: %s, replicas: %d)", *addr, *coordinator, *replicas)
 		log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 	}
 

@@ -32,17 +32,39 @@ type ClusterOptions struct {
 	// (total reported unknown) when a leg stays unreachable, instead of
 	// failing. Document-order search stays strict either way.
 	AllowPartial bool
+	// Replicas groups the endpoint list into consecutive replica sets
+	// of this size (default 1): with Replicas = 2 the first two
+	// endpoints serve shard 0, the next two shard 1, and so on. Reads
+	// spread round-robin across a group's replicas and fail over on
+	// per-replica errors; writes reach every replica.
+	Replicas int
+	// MaxInflight caps concurrently running ranked queries at the
+	// coordinator; excess queries wait in a bounded queue (MaxQueue
+	// deep, defaulting to MaxInflight) and beyond that are shed with
+	// ErrOverloaded. 0 disables admission control.
+	MaxInflight int
+	MaxQueue    int
 }
+
+// ErrOverloaded is returned by ranked queries the coordinator's
+// admission control shed; retry after a short delay.
+var ErrOverloaded = dist.ErrOverloaded
 
 // FromCluster connects a corpus to a running shard cluster: root must
 // be the same document every shard server bootstrapped the named
-// corpus from, and endpoints the legs' base URLs in shard order. The
+// corpus from, and endpoints the legs' base URLs in shard order
+// (grouped into replica sets when ClusterOptions.Replicas > 1). The
 // returned Document serves the full API — search, ranking, compare,
 // live writes — through the coordinator.
 func FromCluster(root *xmltree.Node, endpoints []string, corpus string, opts ClusterOptions) (*Document, error) {
-	co, err := dist.Dial(endpoints, corpus, root, dist.Config{
+	groups, err := dist.GroupEndpoints(endpoints, opts.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	co, err := dist.DialReplicas(groups, corpus, root, dist.Config{
 		Timeout: opts.Timeout, Retries: opts.Retries,
 		Hedge: opts.Hedge, AllowPartial: opts.AllowPartial,
+		MaxInflight: opts.MaxInflight, MaxQueue: opts.MaxQueue,
 	})
 	if err != nil {
 		return nil, err

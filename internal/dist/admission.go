@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned when the coordinator's admission control
+// sheds a ranked query: the in-flight cap is full and the waiting
+// queue is past its watermark. Shedding is load protection, not
+// failure — the cluster state is untouched and the caller should
+// retry after a short delay (the HTTP layer maps this to 503 with a
+// Retry-After header). Doc-order reads and writes are never shed.
+var ErrOverloaded = errors.New("dist: coordinator overloaded, retry later")
+
+// admission is a bounded in-flight semaphore with a queue-depth
+// watermark: up to max queries run concurrently, up to queue more
+// wait for a slot, and everything beyond that is shed immediately.
+// A nil *admission admits everything (admission control off).
+type admission struct {
+	sem     chan struct{}
+	queue   int64
+	waiting atomic.Int64
+}
+
+// newAdmission builds the semaphore. maxInflight <= 0 disables
+// admission control; maxQueue < 0 disables queueing (shed as soon as
+// the in-flight cap is hit), 0 defaults the watermark to maxInflight.
+func newAdmission(maxInflight, maxQueue int) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if maxQueue == 0 {
+		maxQueue = maxInflight
+	} else if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{sem: make(chan struct{}, maxInflight), queue: int64(maxQueue)}
+}
+
+// acquire takes an in-flight slot, waiting in the bounded queue when
+// the cap is full and returning ErrOverloaded past the watermark.
+func (a *admission) acquire() error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queue {
+		a.waiting.Add(-1)
+		return ErrOverloaded
+	}
+	a.sem <- struct{}{}
+	a.waiting.Add(-1)
+	return nil
+}
+
+// release frees the slot acquire took.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	<-a.sem
+}
+
+// Inflight reports the currently admitted and queued ranked queries
+// (both 0 when admission control is off).
+func (a *admission) stats() (inflight, waiting int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return int64(len(a.sem)), a.waiting.Load()
+}

@@ -29,16 +29,27 @@ type Coordinator struct {
 	shards int
 	cfg    Config
 
-	epMu      sync.RWMutex
-	endpoints []string
+	reps *replicaTable
+	adm  *admission
 
 	cl       *legClient
 	counters Counters
 
 	writeMu sync.Mutex
+	// pending is a write whose broadcast failed partway: some replicas
+	// may have applied it, so it must be re-broadcast (idempotent per
+	// epoch) and committed before any different op is accepted.
+	pending *pendingWrite
 	cur     atomic.Pointer[coordState]
 
 	updates, compactions atomic.Int64
+}
+
+// pendingWrite is an indeterminate broadcast awaiting re-issue.
+type pendingWrite struct {
+	path   string
+	op     any
+	commit func()
 }
 
 // coordState is one immutable epoch of the coordinator's view.
@@ -67,50 +78,73 @@ type coordState struct {
 	fan *shard.Fanout
 }
 
-// Dial connects to a cluster of shard servers, validates the
-// topology, aggregates the global document frequencies (spine +
-// every leg), and pushes the ranking constants so every leg scores
-// with the whole-corpus IDF. root must be the same document every
-// shard server bootstrapped from; every leg must still be at epoch 0.
+// Dial connects to a cluster of single-replica shard servers — one
+// endpoint per shard group. See DialReplicas for replicated groups.
 func Dial(endpoints []string, corpus string, root *xmltree.Node, cfg Config) (*Coordinator, error) {
-	if len(endpoints) == 0 {
-		return nil, fmt.Errorf("dist: no shard endpoints")
+	groups, err := groupsOf(endpoints, 1)
+	if err != nil {
+		return nil, err
+	}
+	return DialReplicas(groups, corpus, root, cfg)
+}
+
+// DialReplicas connects to a cluster of shard servers with N replicas
+// per shard group, validates the topology (every replica of group g
+// must identify as shard g and be at epoch 0), aggregates the global
+// document frequencies (spine + one replica per group — replicas are
+// state-identical by protocol), and pushes the ranking constants to
+// every replica so each scores with the whole-corpus IDF. root must
+// be the same document every shard server bootstrapped from.
+//
+// Idempotent reads spread round-robin over a group's healthy replicas
+// and fail over on per-replica errors; writes broadcast to every
+// replica of every group under the epoch protocol.
+func DialReplicas(groups [][]string, corpus string, root *xmltree.Node, cfg Config) (*Coordinator, error) {
+	reps, err := newReplicaTable(groups)
+	if err != nil {
+		return nil, err
 	}
 	co := &Coordinator{
-		corpus:    corpus,
-		shards:    len(endpoints),
-		cfg:       cfg.withDefaults(),
-		endpoints: append([]string(nil), endpoints...),
+		corpus: corpus,
+		shards: len(groups),
+		cfg:    cfg.withDefaults(),
+		reps:   reps,
+		adm:    newAdmission(cfg.MaxInflight, cfg.MaxQueue),
 	}
-	co.cl = newLegClient(co.cfg, corpus, co.Endpoint, &co.counters)
+	co.cl = newLegClient(co.cfg, corpus, reps, &co.counters)
 
 	schema := xseek.InferSchemaParallel(root, 0)
 	part := shard.Plan(root, schema, co.shards)
 	spineIdx := index.BuildNodes(root, part.Spine)
 
-	for g := range endpoints {
-		var info InfoResponse
-		if err := co.cl.get(g, "/shard/v1/info", jsonInto(&info)); err != nil {
-			return nil, fmt.Errorf("dist: leg %d: %w", g, err)
-		}
-		if info.ShardID != g || info.Shards != co.shards {
-			return nil, fmt.Errorf("dist: leg %d identifies as shard %d/%d, want %d/%d",
-				g, info.ShardID, info.Shards, g, co.shards)
-		}
-		if info.Epoch != 0 {
-			return nil, fmt.Errorf("dist: leg %d is at epoch %d; bootstrap requires clean legs", g, info.Epoch)
+	for g := range groups {
+		for r := 0; r < reps.count(g); r++ {
+			var info InfoResponse
+			if err := co.cl.getReplica(g, r, "/shard/v1/info", jsonInto(&info)); err != nil {
+				return nil, fmt.Errorf("dist: leg %d replica %d: %w", g, r, err)
+			}
+			if info.ShardID != g || info.Shards != co.shards {
+				return nil, fmt.Errorf("dist: leg %d replica %d identifies as shard %d/%d, want %d/%d",
+					g, r, info.ShardID, info.Shards, g, co.shards)
+			}
+			if info.Epoch != 0 {
+				return nil, fmt.Errorf("dist: leg %d replica %d is at epoch %d; bootstrap requires clean legs",
+					g, r, info.Epoch)
+			}
 		}
 	}
 
 	// Aggregate global document frequencies: the spine's (local) plus
 	// every leg's. The node sets are disjoint, so the sums equal the
-	// monolithic index's counts exactly.
+	// monolithic index's counts exactly. One replica per group
+	// suffices — Dial just validated they are all at epoch 0 with the
+	// same bootstrap tree.
 	df := make(map[string]int)
 	spineIdx.EachTerm(func(t string, n int) { df[t] += n })
 	elements := spineIdx.Stats().IndexedElements
-	for g := range endpoints {
+	for g := range groups {
 		var stats StatsResponse
-		if err := co.cl.get(g, "/shard/v1/stats", func(r io.Reader) error { return DecodeFrame(r, &stats) }); err != nil {
+		if err := co.cl.getReplica(g, 0, "/shard/v1/stats", func(r io.Reader) error { return DecodeFrame(r, &stats) }); err != nil {
 			return nil, fmt.Errorf("dist: leg %d stats: %w", g, err)
 		}
 		for t, n := range stats.DF {
@@ -120,9 +154,11 @@ func Dial(endpoints []string, corpus string, root *xmltree.Node, cfg Config) (*C
 	}
 
 	rk := Ranking{TotalNodes: part.NodeCount, DF: df}
-	for g := range endpoints {
-		if err := co.cl.call(g, "/shard/v1/ranking", &rk, nil); err != nil {
-			return nil, fmt.Errorf("dist: leg %d ranking push: %w", g, err)
+	for g := range groups {
+		for r := 0; r < reps.count(g); r++ {
+			if err := co.cl.callReplica(g, r, "/shard/v1/ranking", &rk, nil); err != nil {
+				return nil, fmt.Errorf("dist: leg %d replica %d ranking push: %w", g, r, err)
+			}
 		}
 	}
 
@@ -167,20 +203,36 @@ func (co *Coordinator) install(st *coordState, prev *coordState) {
 	co.cur.Store(st)
 }
 
-// Endpoint returns leg g's current base URL.
+// Endpoint returns leg g's first replica's current base URL.
 func (co *Coordinator) Endpoint(g int) string {
-	co.epMu.RLock()
-	defer co.epMu.RUnlock()
-	return co.endpoints[g]
+	return co.reps.endpoint(g, 0)
 }
 
-// SetLegEndpoint repoints leg g — the recovery hook after a leg is
-// restarted (possibly elsewhere) from its shipped snapshot.
+// SetLegEndpoint repoints leg g's first replica — the recovery hook
+// after a single-replica leg is restarted (possibly elsewhere) from
+// its shipped snapshot.
 func (co *Coordinator) SetLegEndpoint(g int, url string) {
-	co.epMu.Lock()
-	defer co.epMu.Unlock()
-	co.endpoints[g] = url
+	co.reps.set(g, 0, url)
 }
+
+// ReplicaEndpoint returns replica r of group g's current base URL.
+func (co *Coordinator) ReplicaEndpoint(g, r int) string {
+	return co.reps.endpoint(g, r)
+}
+
+// SetReplicaEndpoint repoints one replica of a group and clears its
+// failure mark — the recovery hook after a replica is restarted
+// (possibly elsewhere) from a local or peer-fetched snapshot.
+func (co *Coordinator) SetReplicaEndpoint(g, r int, url string) {
+	co.reps.set(g, r, url)
+}
+
+// ReplicaCount returns group g's replica count.
+func (co *Coordinator) ReplicaCount(g int) int { return co.reps.count(g) }
+
+// Replicas returns the widest group's replica count — the cluster's
+// nominal replication factor.
+func (co *Coordinator) Replicas() int { return co.reps.maxReplicas() }
 
 // Epoch returns the coordinator's current state version.
 func (co *Coordinator) Epoch() uint64 { return co.cur.Load().epoch }
@@ -189,18 +241,21 @@ func (co *Coordinator) Epoch() uint64 { return co.cur.Load().epoch }
 func (co *Coordinator) LegCount() int { return len(co.cur.Load().part.Groups) }
 
 // DistCounters reports transport-health metrics: retries issued,
-// hedged reads launched, degraded (partial) pages served, and leg
-// calls that failed after all retries.
-func (co *Coordinator) DistCounters() (retries, hedges, degraded, legErrs int64) {
+// hedged reads launched, degraded (partial) pages served, leg calls
+// that failed after all retries, reads failed over to another
+// replica, and ranked queries shed by admission control.
+func (co *Coordinator) DistCounters() (retries, hedges, degraded, legErrs, failovers, shed int64) {
 	return co.counters.Retries.Load(), co.counters.Hedges.Load(),
-		co.counters.Degraded.Load(), co.counters.LegErrs.Load()
+		co.counters.Degraded.Load(), co.counters.LegErrs.Load(),
+		co.counters.Failovers.Load(), co.counters.Shed.Load()
 }
 
-// ShipSnapshot fetches leg g's group snapshot — the bytes a
-// replacement process restores from.
+// ShipSnapshot fetches group g's snapshot — the bytes a replacement
+// process restores from — failing over across the group's replicas.
 func (co *Coordinator) ShipSnapshot(g int) ([]byte, error) {
 	var buf bytes.Buffer
-	err := co.cl.get(g, "/shard/v1/snapshot", func(r io.Reader) error {
+	err := co.cl.getSpread(g, "/shard/v1/snapshot", func(r io.Reader) error {
+		buf.Reset()
 		_, err := io.Copy(&buf, r)
 		return err
 	})
@@ -228,7 +283,7 @@ func retryQuery[T any](co *Coordinator, f func(*coordState) (T, error)) (T, erro
 		// A write is in flight: the legs are ahead of (or behind) the
 		// state we fanned out with. Give the broadcast a moment to
 		// publish, then re-run on the fresh state.
-		time.Sleep(5 * time.Millisecond)
+		co.cfg.Sleep(5 * time.Millisecond)
 	}
 	return out, err
 }
@@ -267,7 +322,23 @@ func (co *Coordinator) SearchStream(query string) (xseek.Cursor, error) {
 	})
 }
 
+// admit gates a ranked query through admission control, counting the
+// shed. Only the error-returning ranked paths are gated: doc-order
+// reads and writes always run, and the nil-on-error ranking helpers
+// are excluded so overload never masquerades as an empty page.
+func (co *Coordinator) admit() error {
+	if err := co.adm.acquire(); err != nil {
+		co.counters.Shed.Add(1)
+		return err
+	}
+	return nil
+}
+
 func (co *Coordinator) SearchRankedPageStream(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, error) {
+	if err := co.admit(); err != nil {
+		return nil, 0, err
+	}
+	defer co.adm.release()
 	type page struct {
 		rs    []*xseek.RankedResult
 		total int
@@ -280,6 +351,10 @@ func (co *Coordinator) SearchRankedPageStream(query string, opts xseek.SearchOpt
 }
 
 func (co *Coordinator) SearchRankedPageWAND(query string, opts xseek.SearchOptions) ([]*xseek.RankedResult, int, xseek.WANDStats, error) {
+	if err := co.admit(); err != nil {
+		return nil, 0, xseek.WANDStats{}, err
+	}
+	defer co.adm.release()
 	type page struct {
 		rs    []*xseek.RankedResult
 		total int
@@ -336,6 +411,9 @@ func (co *Coordinator) AddEntity(n *xmltree.Node) (dewey.ID, error) {
 	}
 	co.writeMu.Lock()
 	defer co.writeMu.Unlock()
+	if err := co.flushPendingLocked(); err != nil {
+		return nil, err
+	}
 	s := co.cur.Load()
 
 	ord := s.nextOrd
@@ -353,9 +431,6 @@ func (co *Coordinator) AddEntity(n *xmltree.Node) (dewey.ID, error) {
 
 	op := &WriteOp{Epoch: s.epoch, Ord: ord, XML: fragment,
 		Ranking: Ranking{TotalNodes: totalNodes, DF: df}}
-	if err := co.broadcast("/shard/v1/write", op); err != nil {
-		return nil, err
-	}
 
 	ns := &coordState{
 		epoch:      s.epoch + 1,
@@ -371,8 +446,9 @@ func (co *Coordinator) AddEntity(n *xmltree.Node) (dewey.ID, error) {
 		journalLen: s.journalLen + 1,
 	}
 	ns.own = ns.part.Ownership()
-	co.install(ns, s)
-	co.updates.Add(1)
+	if err := co.commitLocked("/shard/v1/write", op, s, ns, co.updates.Add); err != nil {
+		return nil, err
+	}
 	return id, nil
 }
 
@@ -385,6 +461,9 @@ func (co *Coordinator) RemoveEntity(id dewey.ID) error {
 	}
 	co.writeMu.Lock()
 	defer co.writeMu.Unlock()
+	if err := co.flushPendingLocked(); err != nil {
+		return err
+	}
 	s := co.cur.Load()
 
 	victim := childByOrdinal(s.root, id[0])
@@ -401,9 +480,6 @@ func (co *Coordinator) RemoveEntity(id dewey.ID) error {
 
 	op := &WriteOp{Epoch: s.epoch, Remove: true, Ord: id[0],
 		Ranking: Ranking{TotalNodes: totalNodes, DF: df}}
-	if err := co.broadcast("/shard/v1/write", op); err != nil {
-		return err
-	}
 
 	newRoot := rootWith(s.root, victim, nil)
 	ns := &coordState{
@@ -420,9 +496,7 @@ func (co *Coordinator) RemoveEntity(id dewey.ID) error {
 		journalLen: s.journalLen + 1,
 	}
 	ns.own = ns.part.Ownership()
-	co.install(ns, s)
-	co.updates.Add(1)
-	return nil
+	return co.commitLocked("/shard/v1/write", op, s, ns, co.updates.Add)
 }
 
 // Compact re-bases the cluster: every leg (and the coordinator)
@@ -433,14 +507,14 @@ func (co *Coordinator) RemoveEntity(id dewey.ID) error {
 func (co *Coordinator) Compact() error {
 	co.writeMu.Lock()
 	defer co.writeMu.Unlock()
+	if err := co.flushPendingLocked(); err != nil {
+		return err
+	}
 	s := co.cur.Load()
 	if s.journalLen == 0 {
 		return nil
 	}
 	op := &CompactOp{Epoch: s.epoch, Renumber: s.hasRemove}
-	if err := co.broadcast("/shard/v1/compact", op); err != nil {
-		return err
-	}
 
 	root := s.root
 	if s.hasRemove {
@@ -460,24 +534,79 @@ func (co *Coordinator) Compact() error {
 		elements:   s.elements,
 		nextOrd:    len(root.Children),
 	}
-	co.install(ns, s)
-	co.compactions.Add(1)
+	return co.commitLocked("/shard/v1/compact", op, s, ns, func(int64) int64 {
+		return co.compactions.Add(1)
+	})
+}
+
+// Flush re-issues any pending (partially-broadcast) write until every
+// replica has acknowledged it, then publishes the held state. It is a
+// no-op when no write is pending. Callers use it to settle the
+// cluster after a broadcast failure before asserting convergence.
+func (co *Coordinator) Flush() error {
+	co.writeMu.Lock()
+	defer co.writeMu.Unlock()
+	return co.flushPendingLocked()
+}
+
+// commitLocked broadcasts op and, on success, publishes ns and bumps
+// the lifetime counter. On failure the op may have been applied by
+// some replicas, so it is parked as pending: the op itself keeps
+// failing closed (every later write first re-broadcasts it, which the
+// already-moved replicas acknowledge idempotently) rather than
+// letting a *different* op at the same epoch diverge the cluster.
+// Callers must hold writeMu.
+func (co *Coordinator) commitLocked(path string, op any, s, ns *coordState, bump func(int64) int64) error {
+	commit := func() {
+		co.install(ns, s)
+		bump(1)
+	}
+	if err := co.broadcast(path, op); err != nil {
+		co.pending = &pendingWrite{path: path, op: op, commit: commit}
+		return err
+	}
+	commit()
 	return nil
 }
 
-// broadcast sends one op to every shard server in parallel and fails
-// if any leg cannot be moved. Ops are idempotent per epoch: a leg
-// that already applied this op acknowledges the retry, so a failed
-// broadcast can simply be re-issued (the coordinator publishes only
-// after every leg has acknowledged).
+// flushPendingLocked re-broadcasts the parked write, if any, and
+// commits it once every replica acknowledges. Callers must hold
+// writeMu.
+func (co *Coordinator) flushPendingLocked() error {
+	p := co.pending
+	if p == nil {
+		return nil
+	}
+	if err := co.broadcast(p.path, p.op); err != nil {
+		return fmt.Errorf("dist: pending write still unacknowledged: %w", err)
+	}
+	p.commit()
+	co.pending = nil
+	return nil
+}
+
+// broadcast sends one op to every replica of every shard group in
+// parallel and fails if any replica cannot be moved. Ops are
+// idempotent per epoch: a replica that already applied this op
+// acknowledges the retry, so a failed broadcast can simply be
+// re-issued (the coordinator publishes only after every replica has
+// acknowledged).
 func (co *Coordinator) broadcast(path string, op any) error {
-	errs := make([]error, co.shards)
-	core.ForEachParallel(co.shards, 0, func(g int) {
-		errs[g] = co.cl.call(g, path, op, nil)
+	type target struct{ g, r int }
+	var targets []target
+	for g := 0; g < co.shards; g++ {
+		for r := 0; r < co.reps.count(g); r++ {
+			targets = append(targets, target{g, r})
+		}
+	}
+	errs := make([]error, len(targets))
+	core.ForEachParallel(len(targets), 0, func(i int) {
+		errs[i] = co.cl.callReplica(targets[i].g, targets[i].r, path, op, nil)
 	})
-	for g, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("dist: write broadcast to leg %d: %w", g, err)
+			return fmt.Errorf("dist: write broadcast to leg %d replica %d: %w",
+				targets[i].g, targets[i].r, err)
 		}
 	}
 	return nil

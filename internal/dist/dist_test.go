@@ -374,3 +374,63 @@ func TestCoordinatorStatsEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestCoordinatorBoundaryEntity pins the cross-group entity case the
+// chaos harness first exposed: a singleton wrapper tag is spine at
+// partition time (its subtree is split across groups), then a live add
+// makes the tag repeated, so the re-inferred schema turns the wrapper
+// into an entity. From then on, SLCAs inside different groups lift to
+// the same spine-rooted entity; the coordinator must merge them into
+// one result with the document-order-first witness, placed in document
+// order, and score it with term counts summed across groups — exactly
+// as the monolithic engine does.
+func TestCoordinatorBoundaryEntity(t *testing.T) {
+	// w wraps four segments (item is repeated, so n0 and w stay spine);
+	// misc and misc2 are singletons whose nearest entity, once n0
+	// becomes one, is n0 itself — on both sides of the group boundary.
+	doc := "<root><n0><w>" +
+		"<item><leaf>alpha beta </leaf><leaf>gamma </leaf></item>" +
+		"<misc>alpha gamma </misc>" +
+		"<item><leaf>beta delta </leaf><leaf>delta </leaf></item>" +
+		"<misc2>alpha delta </misc2>" +
+		"</w></n0><item><leaf>gamma epsilon </leaf></item></root>"
+	queries := []string{"alpha", "gamma", "delta", "alpha gamma", "alpha delta", "beta epsilon"}
+	for _, k := range []int{2, 3, 4} {
+		ref := update.WrapSharded(shard.Build(xmltree.MustParseString(doc), k))
+		cl := startCluster(t, k, doc, dist.Config{})
+		ctx := func(step string) string { return fmt.Sprintf("K=%d %s", k, step) }
+		for _, q := range queries {
+			checkEquivalence(t, ref, cl.co, q, ctx("bootstrap"))
+		}
+
+		// The add makes n0 repeated — from here on it is an entity whose
+		// subtree straddles the group boundary.
+		frag := "<n0><leaf>epsilon </leaf></n0>"
+		wantID, err := ref.AddEntity(xmltree.MustParseString(frag))
+		if err != nil {
+			t.Fatalf("%s: ref add: %v", ctx("add"), err)
+		}
+		gotID, err := cl.co.AddEntity(xmltree.MustParseString(frag))
+		if err != nil {
+			t.Fatalf("%s: dist add: %v", ctx("add"), err)
+		}
+		if gotID.String() != wantID.String() {
+			t.Fatalf("%s: add ID %s vs %s", ctx("add"), gotID, wantID)
+		}
+		for _, q := range queries {
+			checkEquivalence(t, ref, cl.co, q, ctx("after add"))
+		}
+
+		// Removing it flips n0 back to a singleton non-entity; matches
+		// must stop lifting to the spine again.
+		if err := ref.RemoveEntity(wantID); err != nil {
+			t.Fatalf("%s: ref remove: %v", ctx("remove"), err)
+		}
+		if err := cl.co.RemoveEntity(gotID); err != nil {
+			t.Fatalf("%s: dist remove: %v", ctx("remove"), err)
+		}
+		for _, q := range queries {
+			checkEquivalence(t, ref, cl.co, q, ctx("after remove"))
+		}
+	}
+}

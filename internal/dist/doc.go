@@ -41,4 +41,25 @@
 // missing leg could promote spurious spine SLCAs. A leg restarted
 // from its shipped group snapshot (package persist) resumes at the
 // snapshot's epoch with bit-identical state.
+//
+// # Replication and admission control
+//
+// DialReplicas accepts N replica endpoints per shard group. Reads
+// rotate round-robin across a group's healthy replicas and fail over
+// to the next replica before spending the retry budget; hedged reads
+// race two distinct replicas. Writes broadcast to every replica of
+// every group; a replica that misses a write holds the op as pending
+// (reads against it 409 until the next broadcast or Flush lands it),
+// so lag costs latency, never answers. A crashed replica self-heals
+// by fetching a live peer's group snapshot (FetchSnapshot against
+// /shard/v1/snapshot) and rejoining at the peer's epoch.
+//
+// Config.MaxInflight bounds concurrently running ranked queries with
+// a semaphore plus a bounded wait queue; queries past both watermarks
+// are shed with ErrOverloaded (HTTP 503 + Retry-After upstream)
+// without touching cluster state. Doc-order reads and writes are
+// never shed. The chaos harness in chaos_test.go soaks kills,
+// restarts-from-peer, partitions, slow legs, and shed bursts under a
+// logged seed, checking every settled read bit-identical against a
+// replayed in-process oracle.
 package dist

@@ -68,7 +68,7 @@ func TestLegHangTimeoutRetry(t *testing.T) {
 	if _, _, err := cl.co.SearchRankedPageStream("alpha", xseek.SearchOptions{Limit: 3}); err == nil {
 		t.Fatal("ranked page with a hung leg (no AllowPartial) should fail, got nil error")
 	}
-	retries, _, _, legErrs := cl.co.DistCounters()
+	retries, _, _, legErrs, _, _ := cl.co.DistCounters()
 	if retries == 0 {
 		t.Fatalf("expected transport retries against the hung leg, counters: retries=%d", retries)
 	}
@@ -124,7 +124,7 @@ func TestLegKilledDegradedRanked(t *testing.T) {
 			t.Fatalf("degraded page contains %s, which is not in the reference ranking — silently wrong", key)
 		}
 	}
-	_, _, degraded, _ := cl.co.DistCounters()
+	_, _, degraded, _, _, _ := cl.co.DistCounters()
 	if degraded == 0 {
 		t.Fatalf("expected degraded counter > 0 after serving a partial page")
 	}
@@ -159,7 +159,7 @@ func TestHedgedReads(t *testing.T) {
 	ref := shard.Build(xmltree.MustParseString(doc), 2)
 
 	checkEquivalence(t, ref, cl.co, "alpha", "hedged first query")
-	_, hedges, _, _ := cl.co.DistCounters()
+	_, hedges, _, _, _, _ := cl.co.DistCounters()
 	if hedges == 0 {
 		t.Fatalf("expected a hedged read to have been launched, hedges=%d", hedges)
 	}

@@ -31,18 +31,33 @@ type Config struct {
 	Timeout time.Duration
 	// Retries is the number of additional attempts after a transport
 	// failure (default 2); Backoff the delay before the first retry,
-	// doubling each time (default 25ms).
+	// doubling each time (default 25ms). With replicas, one "attempt"
+	// already tries every replica of the group — the retry loop only
+	// re-runs after the whole replica set failed.
 	Retries int
 	Backoff time.Duration
 	// Hedge, when > 0, launches a second identical read if the first
 	// has not answered within this delay; the first response wins.
-	// Only idempotent query reads hedge — writes never do.
+	// With replicas the hedge starts on the next replica in the read
+	// rotation. Only idempotent query reads hedge — writes never do.
 	Hedge time.Duration
 	// AllowPartial lets ranked queries degrade when a leg is
 	// unreachable after retries: the leg's contribution is dropped and
 	// the page is flagged (total = xseek.StreamTotalUnknown). Doc-order
 	// search stays strict regardless.
 	AllowPartial bool
+	// MaxInflight caps the ranked queries the coordinator admits
+	// concurrently (0 = unlimited); MaxQueue is the queue-depth
+	// watermark beyond the cap (0 defaults to MaxInflight, negative
+	// sheds as soon as the cap is hit). Excess ranked queries fail
+	// fast with ErrOverloaded instead of piling onto the legs;
+	// doc-order reads and writes are never shed.
+	MaxInflight int
+	MaxQueue    int
+	// Sleep is the retry/backoff sleeper (nil = time.Sleep). Tests
+	// inject a fake clock here to assert backoff schedules without
+	// wall-clock waiting.
+	Sleep func(time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -57,31 +72,37 @@ func (c Config) withDefaults() Config {
 	if c.Backoff <= 0 {
 		c.Backoff = 25 * time.Millisecond
 	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
 	return c
 }
 
 // Counters are the coordinator's transport-health metrics.
 type Counters struct {
-	Retries  atomic.Int64
-	Hedges   atomic.Int64
-	Degraded atomic.Int64
-	LegErrs  atomic.Int64
+	Retries   atomic.Int64
+	Hedges    atomic.Int64
+	Degraded  atomic.Int64
+	LegErrs   atomic.Int64
+	Failovers atomic.Int64
+	Shed      atomic.Int64
 }
 
 // legClient issues wire calls to shard servers with per-request
-// timeouts, bounded retries with exponential backoff, and optional
-// hedged reads.
+// timeouts, read spreading and failover across a group's replicas,
+// bounded retries with exponential backoff, and optional hedged
+// reads.
 type legClient struct {
 	cfg      Config
 	hc       *http.Client
 	corpus   string
-	endpoint func(g int) string
+	reps     *replicaTable
 	counters *Counters
 }
 
-func newLegClient(cfg Config, corpus string, endpoint func(g int) string, counters *Counters) *legClient {
+func newLegClient(cfg Config, corpus string, reps *replicaTable, counters *Counters) *legClient {
 	cfg = cfg.withDefaults()
-	return &legClient{cfg: cfg, hc: &http.Client{}, corpus: corpus, endpoint: endpoint, counters: counters}
+	return &legClient{cfg: cfg, hc: &http.Client{}, corpus: corpus, reps: reps, counters: counters}
 }
 
 // terminal reports an error no retry can fix.
@@ -94,6 +115,26 @@ func terminal(err error) bool {
 	return false
 }
 
+// conflict reports a 409 epoch rejection — terminal for this replica
+// (no retry can fix it) but still worth failing over: a sibling
+// replica that has not applied a half-broadcast write yet may serve
+// the requested epoch.
+func conflict(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.code == http.StatusConflict
+}
+
+// replicaFault reports whether err indicts the replica itself (down,
+// hung, or erroring server-side) rather than the request; only these
+// demote the replica in the read order.
+func replicaFault(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
+}
+
 type statusError struct {
 	code int
 	body string
@@ -101,16 +142,14 @@ type statusError struct {
 
 func (e *statusError) Error() string { return fmt.Sprintf("dist: leg status %d: %s", e.code, e.body) }
 
-// query runs one leg query with retries and hedging, decoding the
-// framed envelope.
+// query runs one leg query with replica spread/failover, retries, and
+// hedging, decoding the framed envelope. One "attempt" walks group
+// g's replicas in rotation order and fails over to the next replica
+// on any per-replica error before the retry loop (and its backoff)
+// ever engages; a request-shaped rejection (400/404/422) aborts the
+// walk because every replica would reject it identically.
 func (c *legClient) query(g int, req *QueryRequest) (*Envelope, error) {
-	attempt := func() (*Envelope, error) {
-		var env Envelope
-		if err := c.post(g, "/shard/v1/query", req, frameInto(&env)); err != nil {
-			return nil, err
-		}
-		return &env, nil
-	}
+	attempt := func() (*Envelope, error) { return c.spreadQuery(g, req) }
 	run := attempt
 	if c.cfg.Hedge > 0 {
 		run = func() (*Envelope, error) { return hedged(c.cfg.Hedge, c.counters, attempt) }
@@ -120,7 +159,7 @@ func (c *legClient) query(g int, req *QueryRequest) (*Envelope, error) {
 	for try := 0; try <= c.cfg.Retries; try++ {
 		if try > 0 {
 			c.counters.Retries.Add(1)
-			time.Sleep(backoff)
+			c.cfg.Sleep(backoff)
 			backoff *= 2
 		}
 		var env *Envelope
@@ -132,9 +171,35 @@ func (c *legClient) query(g int, req *QueryRequest) (*Envelope, error) {
 		}
 	}
 	c.counters.LegErrs.Add(1)
-	var se *statusError
-	if errors.As(err, &se) && se.code == http.StatusConflict {
+	if conflict(err) {
+		var se *statusError
+		errors.As(err, &se)
 		return nil, fmt.Errorf("%w: %s", errEpochMismatch, se.body)
+	}
+	return nil, err
+}
+
+// spreadQuery tries group g's replicas once each in read-rotation
+// order (healthy first), returning the first success.
+func (c *legClient) spreadQuery(g int, req *QueryRequest) (*Envelope, error) {
+	var err error
+	for i, r := range c.reps.order(g) {
+		if i > 0 {
+			c.counters.Failovers.Add(1)
+		}
+		var env Envelope
+		if err = c.postReplica(g, r, "/shard/v1/query", req, frameInto(&env)); err == nil {
+			c.reps.ok(g, r)
+			return &env, nil
+		}
+		if replicaFault(err) {
+			c.reps.bad(g, r)
+		}
+		if terminal(err) && !conflict(err) {
+			// The request itself is malformed or names unknown state;
+			// every replica would reject it the same way.
+			break
+		}
 	}
 	return nil, err
 }
@@ -181,37 +246,45 @@ func hedged[T any](delay time.Duration, counters *Counters, attempt func() (T, e
 	}
 }
 
-// call runs one non-query wire call (write, compact, ranking) with
-// retries but no hedging.
-func (c *legClient) call(g int, path string, body any, out any) error {
+// callReplica runs one non-query wire call (write, compact, ranking)
+// against one specific replica, with retries but no hedging and no
+// failover — write-path ops must reach every replica individually, so
+// spreading them would defeat the point.
+func (c *legClient) callReplica(g, r int, path string, body any, out any) error {
 	var err error
 	backoff := c.cfg.Backoff
 	for try := 0; try <= c.cfg.Retries; try++ {
 		if try > 0 {
 			c.counters.Retries.Add(1)
-			time.Sleep(backoff)
+			c.cfg.Sleep(backoff)
 			backoff *= 2
 		}
-		if err = c.post(g, path, body, jsonInto(out)); err == nil {
+		if err = c.postReplica(g, r, path, body, jsonInto(out)); err == nil {
+			c.reps.ok(g, r)
 			return nil
+		}
+		if replicaFault(err) {
+			c.reps.bad(g, r)
 		}
 		if terminal(err) {
 			break
 		}
 	}
 	c.counters.LegErrs.Add(1)
-	var se *statusError
-	if errors.As(err, &se) && se.code == http.StatusConflict {
+	if conflict(err) {
+		var se *statusError
+		errors.As(err, &se)
 		return fmt.Errorf("%w: %s", errEpochMismatch, se.body)
 	}
 	return err
 }
 
-// get fetches one GET endpoint (info, stats, snapshot).
-func (c *legClient) get(g int, path string, decode func(io.Reader) error) error {
+// getReplica fetches one GET endpoint (info, stats, snapshot) from a
+// specific replica.
+func (c *legClient) getReplica(g, r int, path string, decode func(io.Reader) error) error {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(g, path), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(g, r, path), nil)
 	if err != nil {
 		return err
 	}
@@ -227,18 +300,37 @@ func (c *legClient) get(g int, path string, decode func(io.Reader) error) error 
 	return decode(resp.Body)
 }
 
-func (c *legClient) url(g int, path string) string {
-	return c.endpoint(g) + path + "?corpus=" + url.QueryEscape(c.corpus)
+// getSpread fetches one GET endpoint from any replica of group g,
+// walking the read rotation (idempotent reads only).
+func (c *legClient) getSpread(g int, path string, decode func(io.Reader) error) error {
+	var err error
+	for i, r := range c.reps.order(g) {
+		if i > 0 {
+			c.counters.Failovers.Add(1)
+		}
+		if err = c.getReplica(g, r, path, decode); err == nil {
+			c.reps.ok(g, r)
+			return nil
+		}
+		if replicaFault(err) {
+			c.reps.bad(g, r)
+		}
+	}
+	return err
 }
 
-func (c *legClient) post(g int, path string, body any, decode func(io.Reader) error) error {
+func (c *legClient) url(g, r int, path string) string {
+	return c.reps.endpoint(g, r) + path + "?corpus=" + url.QueryEscape(c.corpus)
+}
+
+func (c *legClient) postReplica(g, r int, path string, body any, decode func(io.Reader) error) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(g, path), bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(g, r, path), bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
@@ -295,6 +387,26 @@ func (l *httpLeg) SearchLeg(q shard.LegQuery) (shard.LegDocs, error) {
 			return shard.LegDocs{}, err
 		}
 	}
+	if out.Boundary, err = resolveHits(l.root, env.Boundary); err != nil {
+		return shard.LegDocs{}, err
+	}
+	return out, nil
+}
+
+// resolveHits reconstructs a wire hit list against the coordinator's
+// tree replica, nil for an empty list.
+func resolveHits(root *xmltree.Node, hits []WireHit) ([]*xseek.Result, error) {
+	if len(hits) == 0 {
+		return nil, nil
+	}
+	out := make([]*xseek.Result, len(hits))
+	for i, h := range hits {
+		r, err := resolveHit(root, h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
 	return out, nil
 }
 
@@ -328,6 +440,9 @@ func (l *httpLeg) RankedLeg(q shard.LegQuery, sharedT *xseek.SharedThreshold) (s
 	}
 	out.SLCAs, err = parseIDs(env.SLCAs)
 	if err != nil {
+		return shard.LegPage{}, err
+	}
+	if out.Boundary, err = resolveHits(l.root, env.Boundary); err != nil {
 		return shard.LegPage{}, err
 	}
 	out.Top = make([]*xseek.RankedResult, len(env.Hits))

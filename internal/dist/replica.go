@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// replicaTable is the coordinator's endpoint table: N replica base
+// URLs per shard group, with per-replica failure marks and a
+// per-group rotation counter that spreads idempotent reads
+// round-robin across healthy replicas. Writes ignore the rotation —
+// they go to every replica of every group.
+type replicaTable struct {
+	mu     sync.RWMutex
+	groups [][]string // [group][replica] base URLs
+
+	// fails[g][r] counts consecutive failures against a replica; a
+	// non-zero count demotes it to the back of the read order until a
+	// call succeeds again. rr[g] is group g's read-rotation cursor.
+	fails [][]atomic.Int32
+	rr    []atomic.Uint32
+}
+
+// newReplicaTable validates and copies the per-group replica URLs.
+func newReplicaTable(groups [][]string) (*replicaTable, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("dist: no shard endpoints")
+	}
+	t := &replicaTable{
+		groups: make([][]string, len(groups)),
+		fails:  make([][]atomic.Int32, len(groups)),
+		rr:     make([]atomic.Uint32, len(groups)),
+	}
+	for g, reps := range groups {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("dist: shard group %d has no replicas", g)
+		}
+		t.groups[g] = append([]string(nil), reps...)
+		t.fails[g] = make([]atomic.Int32, len(reps))
+	}
+	return t, nil
+}
+
+// GroupEndpoints splits a flat endpoint list into consecutive replica
+// sets of size replicas for DialReplicas — with replicas = 2 the
+// first two endpoints form shard group 0, the next two group 1, and
+// so on. replicas < 1 is treated as 1 (one single-replica group per
+// endpoint). The list length must divide evenly.
+func GroupEndpoints(endpoints []string, replicas int) ([][]string, error) {
+	return groupsOf(endpoints, replicas)
+}
+
+// groupsOf splits a flat endpoint list into consecutive replica sets
+// of size replicas (1 means one single-replica group per endpoint).
+func groupsOf(endpoints []string, replicas int) ([][]string, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if len(endpoints) == 0 || len(endpoints)%replicas != 0 {
+		return nil, fmt.Errorf("dist: %d endpoints do not divide into replica sets of %d",
+			len(endpoints), replicas)
+	}
+	groups := make([][]string, 0, len(endpoints)/replicas)
+	for i := 0; i < len(endpoints); i += replicas {
+		groups = append(groups, endpoints[i:i+replicas])
+	}
+	return groups, nil
+}
+
+// count returns group g's replica count.
+func (t *replicaTable) count(g int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.groups[g])
+}
+
+// maxReplicas returns the widest group's replica count.
+func (t *replicaTable) maxReplicas() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	max := 0
+	for _, g := range t.groups {
+		if len(g) > max {
+			max = len(g)
+		}
+	}
+	return max
+}
+
+// endpoint returns replica r of group g's current base URL.
+func (t *replicaTable) endpoint(g, r int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.groups[g][r]
+}
+
+// set repoints one replica — the recovery hook after a replica is
+// restarted (possibly elsewhere) from a peer snapshot.
+func (t *replicaTable) set(g, r int, url string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.groups[g][r] = url
+	t.fails[g][r].Store(0)
+}
+
+// order returns group g's replica indexes in this read's try order:
+// round-robin rotation for spread, with replicas carrying unresolved
+// failure marks demoted behind the healthy ones. Every replica is
+// always included — when all are marked, the read still tries each.
+func (t *replicaTable) order(g int) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.groups[g])
+	if n == 1 {
+		return []int{0}
+	}
+	start := int(t.rr[g].Add(1)-1) % n
+	out := make([]int, 0, n)
+	var down []int
+	for i := 0; i < n; i++ {
+		r := (start + i) % n
+		if t.fails[g][r].Load() == 0 {
+			out = append(out, r)
+		} else {
+			down = append(down, r)
+		}
+	}
+	return append(out, down...)
+}
+
+// ok clears replica (g, r)'s failure mark after a successful call.
+func (t *replicaTable) ok(g, r int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.fails[g][r].Store(0)
+}
+
+// bad marks replica (g, r) failed, demoting it in the read order
+// until a call succeeds again.
+func (t *replicaTable) bad(g, r int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.fails[g][r].Add(1)
+}
+
+// FetchSnapshot pulls one corpus's group snapshot from a live peer
+// replica — the self-healing path a restarting shard server takes
+// when its local snapshot is missing or stale: restore from the
+// shipped bytes and rejoin the cluster at the peer's current epoch
+// without a coordinator round trip.
+func FetchSnapshot(baseURL, corpus string, timeout time.Duration) (*persist.GroupSnapshot, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	u := baseURL + "/shard/v1/snapshot?corpus=" + url.QueryEscape(corpus)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: fetch peer snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: peer snapshot: status %d", resp.StatusCode)
+	}
+	snap, err := persist.DecodeGroup(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: peer snapshot: %w", err)
+	}
+	return snap, nil
+}

@@ -290,6 +290,9 @@ func serveQuery(s *legState, req *QueryRequest) (*Envelope, error) {
 		for _, r := range docs.Results {
 			env.Hits = append(env.Hits, wireHit(r, 0))
 		}
+		for _, r := range docs.Boundary {
+			env.Boundary = append(env.Boundary, wireHit(r, 0))
+		}
 		for _, id := range docs.SLCAs {
 			env.SLCAs = append(env.SLCAs, id.String())
 		}
@@ -313,6 +316,9 @@ func serveQuery(s *legState, req *QueryRequest) (*Envelope, error) {
 		}
 		for _, r := range page.Top {
 			env.Hits = append(env.Hits, wireHit(r.Result, math.Float64bits(r.Score)))
+		}
+		for _, r := range page.Boundary {
+			env.Boundary = append(env.Boundary, wireHit(r, 0))
 		}
 		for _, id := range page.SLCAs {
 			env.SLCAs = append(env.SLCAs, id.String())

@@ -150,7 +150,12 @@ type Envelope struct {
 	Hits []WireHit `json:"hits,omitempty"`
 	// SLCAs are the leg's kept (non-spine) SLCAs, document order.
 	SLCAs []string `json:"slcas,omitempty"`
-	// Total is the leg's full entity-result count
+	// Boundary are the leg's spine-rooted entity results (document
+	// order, scores unset): entities whose subtrees the partition
+	// split across groups, which the coordinator merges cross-leg and
+	// scores with whole-corpus counts.
+	Boundary []WireHit `json:"boundary,omitempty"`
+	// Total is the leg's full entity-result count, Boundary excluded
 	// (xseek.StreamTotalUnknown after an approximate early stop).
 	Total int `json:"total"`
 	// ThresholdBits is the leg's final WAND threshold (Float64bits);

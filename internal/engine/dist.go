@@ -24,7 +24,8 @@ type DistExecutor interface {
 	Compactions() int64
 	IndexStats() index.Stats
 	LegCount() int
-	DistCounters() (retries, hedges, degraded, legErrs int64)
+	Replicas() int
+	DistCounters() (retries, hedges, degraded, legErrs, failovers, shed int64)
 }
 
 // FromDist wraps a distributed coordinator in the serving layer. All

@@ -139,14 +139,19 @@ type Metrics struct {
 	PendingDelta      int    `json:"pending_delta"`
 	PendingTombstones int    `json:"pending_tombstones"`
 	// Distributed-serving counters, all zero for in-process engines:
-	// legs the coordinator fans out to, transport retries, hedged
-	// reads launched, degraded (partial) pages served, and leg calls
-	// failed after all retries.
-	DistLegs     int   `json:"dist_legs,omitempty"`
-	DistRetries  int64 `json:"dist_retries,omitempty"`
-	DistHedges   int64 `json:"dist_hedges,omitempty"`
-	DistDegraded int64 `json:"dist_degraded,omitempty"`
-	DistLegErrs  int64 `json:"dist_leg_errs,omitempty"`
+	// legs the coordinator fans out to, replicas per shard group,
+	// transport retries, hedged reads launched, degraded (partial)
+	// pages served, leg calls failed after all retries, reads failed
+	// over to another replica, and ranked queries shed by admission
+	// control.
+	DistLegs      int   `json:"dist_legs,omitempty"`
+	DistReplicas  int   `json:"dist_replicas,omitempty"`
+	DistRetries   int64 `json:"dist_retries,omitempty"`
+	DistHedges    int64 `json:"dist_hedges,omitempty"`
+	DistDegraded  int64 `json:"dist_degraded,omitempty"`
+	DistLegErrs   int64 `json:"dist_leg_errs,omitempty"`
+	DistFailovers int64 `json:"dist_failovers,omitempty"`
+	DistShed      int64 `json:"dist_shed,omitempty"`
 }
 
 // executor is the search substrate the serving layer plumbs onto: the
@@ -554,11 +559,13 @@ func (e *Engine) Metrics() Metrics {
 	if box.dist != nil {
 		m.Shards = box.dist.LegCount()
 		m.DistLegs = box.dist.LegCount()
+		m.DistReplicas = box.dist.Replicas()
 		m.Updates = box.dist.Updates()
 		m.Compactions = box.dist.Compactions()
 		m.Epoch = box.dist.Epoch()
 		m.PendingDelta = box.dist.PendingOps()
-		m.DistRetries, m.DistHedges, m.DistDegraded, m.DistLegErrs = box.dist.DistCounters()
+		m.DistRetries, m.DistHedges, m.DistDegraded, m.DistLegErrs,
+			m.DistFailovers, m.DistShed = box.dist.DistCounters()
 	}
 	e.queryMu.Lock()
 	m.QueryCacheLen = e.queries.len()

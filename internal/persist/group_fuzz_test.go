@@ -1,0 +1,125 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/update"
+)
+
+// groupFixture builds a realistic group snapshot and its encoding: a
+// journaled leg with ranking constants installed, the shape a shard
+// server ships to a healing peer.
+func groupFixture(t testing.TB) (*GroupSnapshot, []byte) {
+	t.Helper()
+	snap := &GroupSnapshot{
+		Epoch:   7,
+		ShardID: 1,
+		Shards:  2,
+		BaseXML: "<root><item><leaf>alpha beta </leaf></item><item><leaf>gamma </leaf></item></root>",
+		Journal: []update.JournalOp{
+			{Ord: 2, XML: "<item><leaf>delta </leaf></item>"},
+			{Remove: true, Ord: 0},
+		},
+		TotalNodes: 11,
+		DF:         map[string]int{"alpha": 1, "beta": 1, "gamma": 1, "delta": 1},
+	}
+	var buf bytes.Buffer
+	if err := EncodeGroup(&buf, snap); err != nil {
+		t.Fatalf("encode fixture: %v", err)
+	}
+	return snap, buf.Bytes()
+}
+
+// FuzzGroupSnapshotDecode drives DecodeGroup with arbitrary bytes: it
+// must never panic, and whenever it does accept an input, the decoded
+// snapshot must survive a re-encode/re-decode round trip unchanged —
+// the property the self-healing restore path depends on.
+func FuzzGroupSnapshotDecode(f *testing.F) {
+	_, valid := groupFixture(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("xsact-shard-group 1\n"))
+	f.Add([]byte("xsact-shard-group 2\n"))
+	f.Add([]byte("xsact-snapshot 4\ngarbage"))
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeGroup(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: failing closed is always acceptable
+		}
+		var buf bytes.Buffer
+		if err := EncodeGroup(&buf, snap); err != nil {
+			t.Fatalf("re-encode accepted snapshot: %v", err)
+		}
+		again, err := DecodeGroup(&buf)
+		if err != nil {
+			t.Fatalf("re-decode re-encoded snapshot: %v", err)
+		}
+		if !reflect.DeepEqual(snap, again) {
+			t.Fatalf("accepted snapshot not round-trip stable:\n first  %+v\n second %+v", snap, again)
+		}
+	})
+}
+
+// TestGroupSnapshotDecodeTruncation feeds every strict prefix of a
+// valid encoding to the decoder: all of them must fail closed, none
+// may panic or hand back a partial snapshot.
+func TestGroupSnapshotDecodeTruncation(t *testing.T) {
+	_, valid := groupFixture(t)
+	for cut := 0; cut < len(valid); cut++ {
+		if snap, err := DecodeGroup(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded: %+v", cut, len(valid), snap)
+		}
+	}
+}
+
+// TestGroupSnapshotDecodeBitFlips flips one bit in every byte of a
+// valid encoding: each corruption must either be rejected or decode
+// to exactly the original snapshot (a flip the checksum provably
+// cannot miss lands in the payload; header and envelope flips may
+// break framing instead, which is equally fail-closed).
+func TestGroupSnapshotDecodeBitFlips(t *testing.T) {
+	want, valid := groupFixture(t)
+	rejected := 0
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 1 << (i % 8)
+		snap, err := DecodeGroup(bytes.NewReader(mut))
+		if err != nil {
+			rejected++
+			continue
+		}
+		if !reflect.DeepEqual(snap, want) {
+			t.Fatalf("flip at byte %d decoded to a different snapshot:\n got  %+v\n want %+v", i, snap, want)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no corruption was rejected; the checksum is not engaged")
+	}
+}
+
+// TestGroupSnapshotHeaderRejections pins the decoder's fail-closed
+// answers for wrong magic and unsupported versions.
+func TestGroupSnapshotHeaderRejections(t *testing.T) {
+	_, valid := groupFixture(t)
+	body := valid[bytes.IndexByte(valid, '\n')+1:]
+	for _, tc := range []struct{ name, header, wantErr string }{
+		{"wrong magic", "xsact-snapshot 1\n", "not a shard-group snapshot"},
+		{"future version", fmt.Sprintf("%s %d\n", "xsact-shard-group", GroupFormatVersion+1), "unsupported shard-group version"},
+	} {
+		_, err := DecodeGroup(strings.NewReader(tc.header + string(body)))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: err %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

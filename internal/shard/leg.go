@@ -60,18 +60,34 @@ type LegQuery struct {
 
 // LegDocs is a doc-order leg's output: the group-internal SLCAs it
 // kept (document order) and their entity-mapped results.
+//
+// A kept SLCA can lift to an entity that sits on the spine — an
+// entity whose subtree the partition split across groups. Such a
+// result needs cross-group knowledge (another leg may hold earlier
+// matches under the same entity, and its term frequencies span
+// groups), so it is reported in Boundary, not Results: the fan-out
+// merges Boundary entries across legs and scores them with
+// whole-corpus counts. Results therefore contains only group-owned
+// roots, which can never collide across legs.
 type LegDocs struct {
-	SLCAs   []dewey.ID
-	Results []*xseek.Result
+	SLCAs    []dewey.ID
+	Results  []*xseek.Result
+	Boundary []*xseek.Result
 }
 
 // LegPage is a ranked leg's output.
 type LegPage struct {
-	// Top is the leg's own top-Limit, rank order.
+	// Top is the leg's own top-Limit, rank order. Spine-rooted
+	// entities are excluded — their leg-local scores would be partial
+	// — and reported through Boundary instead.
 	Top []*xseek.RankedResult
 	// SLCAs are the leg's kept (non-spine) SLCAs, document order.
 	SLCAs []dewey.ID
-	// Total is the leg's full entity-result count
+	// Boundary are the leg's spine-rooted entity results (document
+	// order, unscored); see LegDocs.Boundary. The fan-out merges them
+	// across legs and scores them with whole-corpus counts.
+	Boundary []*xseek.Result
+	// Total is the leg's full entity-result count, Boundary excluded
 	// (xseek.StreamTotalUnknown after an approximate early stop).
 	Total int
 	Stats xseek.WANDStats
@@ -126,7 +142,18 @@ func (l *localLeg) SearchLeg(q LegQuery) (LegDocs, error) {
 	if err != nil {
 		return LegDocs{}, err
 	}
-	return LegDocs{SLCAs: kept, Results: rs}, nil
+	out := LegDocs{SLCAs: kept}
+	for _, r := range rs {
+		// A group-internal SLCA can still lift to a spine-rooted
+		// entity (the partition split that entity's subtree). Those
+		// results need cross-group merging, so they travel separately.
+		if l.spineSet[r.Node.ID.String()] {
+			out.Boundary = append(out.Boundary, r)
+		} else {
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out, nil
 }
 
 func (l *localLeg) RankedLeg(q LegQuery, shared *xseek.SharedThreshold) (LegPage, error) {
@@ -152,6 +179,17 @@ func (l *localLeg) RankedLeg(q LegQuery, shared *xseek.SharedThreshold) (LegPage
 		func(id dewey.ID) { out.SLCAs = append(out.SLCAs, id) },
 	)
 	es := xseek.NewEntityStream(filtered, l.root, l.schema)
+	// Entities rooted on the spine leave the stream before scoring and
+	// counting: the leg's index sees only its own groups' matches, so
+	// its score for a cross-group entity would be partial, and another
+	// leg may emit the same entity. The fan-out re-derives both from
+	// the Boundary reports with whole-corpus knowledge.
+	es.FilterEntities(
+		func(n *xmltree.Node) bool { return !l.spineSet[n.ID.String()] },
+		func(h xseek.EntityHit) {
+			out.Boundary = append(out.Boundary, &xseek.Result{Node: h.Node, Match: h.Match, Label: xseek.LabelFor(h.Node)})
+		},
+	)
 	if q.WAND {
 		opts := xseek.SearchOptions{Limit: q.Limit, Accuracy: q.Accuracy}
 		out.Top, out.Total, out.Stats, err = xseek.ConsumeRankedWAND(es, opts, sh.StreamScorer(q.Terms), sh.TermBounds(q.Terms), shared)

@@ -51,26 +51,62 @@ func (f *Fanout) Search(query string) ([]*xseek.Result, error) {
 	})
 	var merged []*xseek.Result
 	var segSLCAs []dewey.ID // all kept SLCAs; sorted, since groups are contiguous
+	var boundary [][]*xseek.Result
 	for g, o := range outs {
 		if errs[g] != nil {
 			return nil, errs[g]
 		}
 		merged = append(merged, o.Results...)
 		segSLCAs = append(segSLCAs, o.SLCAs...)
+		if len(o.Boundary) > 0 {
+			boundary = append(boundary, o.Boundary)
+		}
 	}
 
 	spineIDs, err := f.spineSLCAs(terms, segSLCAs)
 	if err != nil {
 		return nil, err
 	}
+	var spineRes []*xseek.Result
 	if len(spineIDs) > 0 {
-		spineRes, err := f.spine.MapToEntities(spineIDs)
-		if err != nil {
+		if spineRes, err = f.spine.MapToEntities(spineIDs); err != nil {
 			return nil, err
 		}
-		merged = mergeByID(spineRes, merged)
+	}
+	if bucket := coalesceSpineResults(spineRes, boundary); len(bucket) > 0 {
+		merged = mergeByID(bucket, merged)
 	}
 	return merged, nil
+}
+
+// coalesceSpineResults merges the spine-rooted result lists — the
+// spine fix-up's own results plus every leg's boundary reports — into
+// one document-ordered list with one result per entity. Several
+// sources can name the same entity (an entity split across groups has
+// matches in each, and possibly a spine SLCA of its own); the
+// monolithic entity map keeps the document-order-first match as the
+// witness, so the merge keeps the entry with the smallest match ID.
+func coalesceSpineResults(spineRes []*xseek.Result, boundary [][]*xseek.Result) []*xseek.Result {
+	all := spineRes
+	for _, b := range boundary {
+		all = append(all, b...)
+	}
+	if len(all) <= 1 {
+		return all
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if c := all[i].Node.ID.Compare(all[j].Node.ID); c != 0 {
+			return c < 0
+		}
+		return all[i].Match.ID.Compare(all[j].Match.ID) < 0
+	})
+	out := all[:1]
+	for _, r := range all[1:] {
+		if !r.Node.ID.Equal(out[len(out)-1].Node.ID) {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // spineSLCAs derives the SLCAs that land on spine nodes — the one part

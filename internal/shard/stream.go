@@ -81,6 +81,7 @@ func (f *Fanout) rankedPage(query string, opts xseek.SearchOptions, wand bool) (
 	total := 0
 	degraded := false
 	var segSLCAs []dewey.ID // groups are contiguous, so the concat is sorted
+	var boundary [][]*xseek.Result
 	streams := make([][]*xseek.RankedResult, 0, len(outs)+1)
 	for g, o := range outs {
 		if errs[g] != nil {
@@ -102,27 +103,36 @@ func (f *Fanout) rankedPage(query string, opts xseek.SearchOptions, wand bool) (
 			total += o.Total
 		}
 		segSLCAs = append(segSLCAs, o.SLCAs...)
+		if len(o.Boundary) > 0 {
+			boundary = append(boundary, o.Boundary)
+		}
 		if len(o.Top) > 0 {
 			streams = append(streams, o.Top)
 		}
 	}
 
-	// Spine fix-up with whole-corpus knowledge, exactly as in Search;
-	// the handful of spine results is scored and cut like the eager
-	// RankPage's spine bucket. A degraded run skips it: the fix-up
-	// needs every leg's kept SLCAs and witness counts to be sound.
-	if !degraded {
+	// Spine fix-up with whole-corpus knowledge, exactly as in Search:
+	// the spine's own SLCAs plus the legs' boundary reports (entities
+	// whose subtrees the partition split across groups) coalesce into
+	// one spine bucket, scored with cross-leg term counts and cut like
+	// the eager RankPage's spine bucket. A degraded or early-terminated
+	// run skips it: the fix-up needs every leg's kept SLCAs, boundary
+	// reports, and witness counts to be sound, and such a run already
+	// reports its total as unknown.
+	if !degraded && !st.Terminated {
 		spineIDs, err := f.spineSLCAs(terms, segSLCAs)
 		if err != nil {
 			return nil, 0, st, err
 		}
+		var spineRes []*xseek.Result
 		if len(spineIDs) > 0 {
-			spineRes, err := f.spine.MapToEntities(spineIDs)
-			if err != nil {
+			if spineRes, err = f.spine.MapToEntities(spineIDs); err != nil {
 				return nil, 0, st, err
 			}
-			total += len(spineRes)
-			spine, err := f.RankPageErr(spineRes, query, xseek.SearchOptions{Limit: hi})
+		}
+		if bucket := coalesceSpineResults(spineRes, boundary); len(bucket) > 0 {
+			total += len(bucket)
+			spine, err := f.RankPageErr(bucket, query, xseek.SearchOptions{Limit: hi})
 			if err != nil {
 				return nil, 0, st, err
 			}

@@ -161,6 +161,10 @@ type EntityStream struct {
 	outPos  int
 	done    bool
 	err     error
+	// keep/drop implement FilterEntities: hits failing keep are
+	// diverted to drop instead of emitted.
+	keep func(*xmltree.Node) bool
+	drop func(EntityHit)
 }
 
 // NewEntityStream builds an entity stream over the given SLCA iterator
@@ -170,12 +174,30 @@ func NewEntityStream(it slca.Iterator, root *xmltree.Node, schema *Schema) *Enti
 	return &EntityStream{it: it, w: newPathWalker(root, schema)}
 }
 
+// FilterEntities diverts hits whose entity fails keep to drop (when
+// non-nil) instead of emitting them: consumers never see them and
+// totals never count them. The sharded executor installs it so a leg
+// keeps spine-rooted entities — whose matches can span shard groups —
+// out of its own stream while still reporting them for the fan-out's
+// cross-group fix-up. Deduplication runs before the filter, so drop
+// sees each distinct entity at most once, in document order.
+func (es *EntityStream) FilterEntities(keep func(*xmltree.Node) bool, drop func(EntityHit)) {
+	es.keep = keep
+	es.drop = drop
+}
+
 // Next returns the next result entity in document order.
 func (es *EntityStream) Next() (EntityHit, bool) {
 	for {
 		if es.outPos < len(es.out) {
 			h := es.out[es.outPos]
 			es.outPos++
+			if es.keep != nil && !es.keep(h.Node) {
+				if es.drop != nil {
+					es.drop(h)
+				}
+				continue
+			}
 			return h, true
 		}
 		es.out = es.out[:0]
